@@ -1,0 +1,92 @@
+// Command kggen generates a mission-specific reasoning knowledge graph
+// with the simulated LLM (Fig. 3) and prints it as JSON, Graphviz dot, or
+// a statistics summary.
+//
+// Usage:
+//
+//	kggen -mission Stealing -depth 3 -fanout 5 -format dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"edgekg/internal/bpe"
+	"edgekg/internal/concept"
+	"edgekg/internal/kggen"
+	"edgekg/internal/oracle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kggen: ")
+	var (
+		mission = flag.String("mission", "Stealing", "target anomaly class (see -list)")
+		depth   = flag.Int("depth", 3, "reasoning levels")
+		initial = flag.Int("initial-fanout", 6, "level-1 node count")
+		fanout  = flag.Int("fanout", 5, "nodes per expansion level")
+		format  = flag.String("format", "stats", "output format: json | dot | stats")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		errRate = flag.Float64("error-rate", 0.05, "LLM error injection rate (exercises the correction loop)")
+		list    = flag.Bool("list", false, "list available missions and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range concept.AnomalyClasses() {
+			fmt.Println(c)
+		}
+		return
+	}
+	if _, ok := concept.ClassByName(*mission); !ok {
+		log.Fatalf("unknown mission %q (use -list)", *mission)
+	}
+
+	ont := concept.Builtin()
+	tok := bpe.Train(ont.Concepts(), 800)
+	rng := rand.New(rand.NewSource(*seed))
+	llm := oracle.NewSim(ont, rng, oracle.Config{
+		DupErrorRate:        *errRate,
+		EdgeErrorRate:       *errRate,
+		CorrectionErrorRate: *errRate,
+		EdgeProb:            0.9,
+	})
+	opts := kggen.Options{
+		Depth:              *depth,
+		InitialFanout:      *initial,
+		Fanout:             *fanout,
+		MaxCorrectionIters: 4,
+		Tokenize:           tok.Encode,
+	}
+	g, report, err := kggen.Generate(llm, *mission, opts, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		data, err := g.MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	case "dot":
+		fmt.Print(g.DOT())
+	case "stats":
+		fmt.Println(report)
+		fmt.Println(g.ComputeStats())
+		for l := 1; l <= g.Depth(); l++ {
+			fmt.Printf("level %d:", l)
+			for _, n := range g.NodesAtLevel(l) {
+				fmt.Printf(" %s", n.Concept)
+			}
+			fmt.Println()
+		}
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}

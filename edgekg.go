@@ -1,0 +1,367 @@
+// Package edgekg is the public API of the continuous GNN-based anomaly
+// detection system of Yun et al., "Continuous GNN-based Anomaly Detection
+// on Edge using Efficient Adaptive Knowledge Graph Learning" (DATE 2025).
+//
+// The package assembles the full pipeline of the paper's Fig. 2 behind a
+// small surface: generate a mission-specific knowledge graph from the
+// (simulated) LLM, train the lightweight hierarchical-GNN detector,
+// deploy it frozen to a simulated edge runtime, and let continuous KG
+// adaptive learning keep it aligned with shifting anomaly trends — no
+// cloud involved. Interpretable KG retrieval decodes what the adapted
+// graph has learned back into vocabulary words.
+//
+// All heavy machinery lives in internal packages; this facade exposes
+// plain-Go types (float64 slices, strings, small structs) so downstream
+// users never need the internal APIs. See examples/ for runnable
+// walk-throughs and DESIGN.md for the architecture map.
+package edgekg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/core"
+	"edgekg/internal/dataset"
+	"edgekg/internal/edge"
+	"edgekg/internal/experiments"
+	"edgekg/internal/kg"
+	"edgekg/internal/kggen"
+	"edgekg/internal/retrieval"
+	"edgekg/internal/tensor"
+)
+
+// Options configures a System. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// Seed drives every stochastic component; equal seeds give bitwise
+	// identical systems.
+	Seed int64
+	// Scale selects the preset sizing: "quick" (seconds-scale, tests and
+	// demos) or "full" (the EXPERIMENTS.md configuration).
+	Scale string
+	// TrainSteps overrides the preset's training length when > 0.
+	TrainSteps int
+	// AdaptEveryFrames overrides the adaptation cadence when > 0.
+	AdaptEveryFrames int
+}
+
+// DefaultOptions returns a quick-scale configuration.
+func DefaultOptions() Options {
+	return Options{Seed: 42, Scale: "quick"}
+}
+
+// System is one end-to-end deployment: joint embedding space, mission KG,
+// detector, and (after Deploy*) the edge runtime.
+type System struct {
+	env     *experiments.Env
+	mission concept.Class
+	graph   *kg.Graph
+	det     *core.Detector
+	runtime *edge.Runtime
+	retr    *retrieval.Retriever
+	rng     *rand.Rand
+}
+
+// NewSystem builds the substrate (ontology, tokenizer, joint space,
+// dataset generator) for the given options.
+func NewSystem(opts Options) (*System, error) {
+	var scale experiments.Scale
+	switch opts.Scale {
+	case "", "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		return nil, fmt.Errorf("edgekg: unknown scale %q (want quick or full)", opts.Scale)
+	}
+	if opts.Seed != 0 {
+		scale.Seed = opts.Seed
+	}
+	if opts.TrainSteps > 0 {
+		scale.TrainSteps = opts.TrainSteps
+	}
+	if opts.AdaptEveryFrames > 0 {
+		scale.AdaptEvery = opts.AdaptEveryFrames
+	}
+	env, err := experiments.NewEnv(scale)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		env:  env,
+		retr: retrieval.New(env.Space),
+		rng:  rand.New(rand.NewSource(scale.Seed)),
+	}, nil
+}
+
+// Missions returns the supported mission (anomaly class) names.
+func Missions() []string {
+	classes := concept.AnomalyClasses()
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// Train generates the mission-specific KG and trains the detector on
+// synthetic task data (Fig. 2 A+B). It must be called before deployment.
+func (s *System) Train(mission string) error {
+	cls, ok := concept.ClassByName(mission)
+	if !ok || cls == concept.Normal {
+		return fmt.Errorf("edgekg: unknown mission %q (see Missions())", mission)
+	}
+	det, g, err := s.env.BuildTrainedDetector(cls, s.env.Scale.Seed+1)
+	if err != nil {
+		return err
+	}
+	s.mission = cls
+	s.graph = g
+	s.det = det
+	s.runtime = nil
+	return nil
+}
+
+// DeployAdaptive freezes the model and starts the edge runtime with
+// continuous KG adaptive learning enabled (Fig. 2C).
+func (s *System) DeployAdaptive() error { return s.deploy(true) }
+
+// DeployStatic freezes the model with adaptation disabled — the
+// "without KG adaptive learning" arm of Fig. 5.
+func (s *System) DeployStatic() error { return s.deploy(false) }
+
+func (s *System) deploy(adaptive bool) error {
+	if s.det == nil {
+		return fmt.Errorf("edgekg: Train before deploying")
+	}
+	sc := s.env.Scale
+	cfg := edge.DefaultConfig()
+	cfg.MonitorN = sc.MonitorN
+	cfg.MonitorLag = sc.MonitorLag
+	cfg.Adapt = sc.Adapt
+	cfg.AdaptEveryFrames = sc.AdaptEvery
+	if !adaptive {
+		cfg.AdaptEveryFrames = 0
+	}
+	rt, err := edge.NewRuntime(s.det, cfg, s.rng)
+	if err != nil {
+		return err
+	}
+	s.runtime = rt
+	return nil
+}
+
+// Deployed reports whether an edge runtime is active.
+func (s *System) Deployed() bool { return s.runtime != nil }
+
+// FrameSize returns the expected raw frame-feature length.
+func (s *System) FrameSize() int { return s.env.Space.PixDim() }
+
+// SynthesizeFrame generates one raw frame of the given class ("Normal" or
+// any mission name) — the stand-in for a camera capture.
+func (s *System) SynthesizeFrame(class string) ([]float64, error) {
+	cls, ok := concept.ClassByName(class)
+	if !ok {
+		return nil, fmt.Errorf("edgekg: unknown class %q", class)
+	}
+	pix := s.env.Gen.Frame(s.rng, cls)
+	out := make([]float64, pix.Size())
+	copy(out, pix.Data())
+	return out, nil
+}
+
+// FrameResult reports one processed frame.
+type FrameResult struct {
+	// Score is the anomaly probability pA ∈ [0,1].
+	Score float64
+	// Adapted is true when this frame's arrival triggered an adaptation
+	// round that selected pseudo-anomalies.
+	Adapted bool
+	// PrunedNodes and CreatedNodes count structural KG changes this round.
+	PrunedNodes, CreatedNodes int
+}
+
+// ProcessFrame scores one raw frame through the deployed runtime,
+// advancing the monitor and (on cadence) the adaptation loop.
+func (s *System) ProcessFrame(frame []float64) (FrameResult, error) {
+	if s.runtime == nil {
+		return FrameResult{}, fmt.Errorf("edgekg: deploy before processing frames")
+	}
+	if len(frame) != s.FrameSize() {
+		return FrameResult{}, fmt.Errorf("edgekg: frame length %d, want %d", len(frame), s.FrameSize())
+	}
+	pix := tensor.FromSlice(append([]float64(nil), frame...), len(frame))
+	score, rep, err := s.runtime.ProcessFrame(pix)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	return FrameResult{
+		Score:        score,
+		Adapted:      rep.Triggered,
+		PrunedNodes:  len(rep.Pruned),
+		CreatedNodes: len(rep.Created),
+	}, nil
+}
+
+// TestAUC evaluates the current detector against freshly synthesised test
+// videos of the given anomaly class (plus normals), returning frame-level
+// ROC-AUC — the paper's metric.
+func (s *System) TestAUC(class string) (float64, error) {
+	if s.det == nil {
+		return 0, fmt.Errorf("edgekg: Train first")
+	}
+	cls, ok := concept.ClassByName(class)
+	if !ok || cls == concept.Normal {
+		return 0, fmt.Errorf("edgekg: unknown anomaly class %q", class)
+	}
+	return s.env.EvalAUC(s.det, cls, s.env.Scale.Seed+999)
+}
+
+// KGStats summarises the current knowledge graph.
+type KGStats struct {
+	Mission       string
+	Depth         int
+	Nodes, Edges  int
+	CreatedNodes  int
+	NodesPerLevel []int
+}
+
+// KG returns the current graph's statistics.
+func (s *System) KG() (KGStats, error) {
+	if s.graph == nil {
+		return KGStats{}, fmt.Errorf("edgekg: Train first")
+	}
+	st := s.graph.ComputeStats()
+	return KGStats{
+		Mission:       st.Mission,
+		Depth:         st.Depth,
+		Nodes:         st.Nodes,
+		Edges:         st.Edges,
+		CreatedNodes:  st.CreatedNodes,
+		NodesPerLevel: st.NodesPerLevel,
+	}, nil
+}
+
+// KGDOT renders the current KG in Graphviz dot format.
+func (s *System) KGDOT() (string, error) {
+	if s.graph == nil {
+		return "", fmt.Errorf("edgekg: Train first")
+	}
+	return s.graph.DOT(), nil
+}
+
+// NodeInterpretation is one reasoning node decoded through Interpretable
+// KG Retrieval.
+type NodeInterpretation struct {
+	NodeID  int
+	Level   int
+	Concept string
+	// Decoded is the current top-1 retrieval of the node's learned token
+	// embeddings — equal to Concept before adaptation, drifting after.
+	Decoded string
+	// Created marks nodes inserted by the adaptation loop.
+	Created bool
+}
+
+// InterpretKG decodes every reasoning node's learned token embeddings
+// back to vocabulary words (Sec. III-E).
+func (s *System) InterpretKG() ([]NodeInterpretation, error) {
+	if s.det == nil {
+		return nil, fmt.Errorf("edgekg: Train first")
+	}
+	bank := s.det.GNN(0).Tokens()
+	var out []NodeInterpretation
+	for _, n := range s.graph.Nodes() {
+		if n.Kind != kg.Reasoning {
+			continue
+		}
+		out = append(out, NodeInterpretation{
+			NodeID:  int(n.ID),
+			Level:   n.Level,
+			Concept: n.Concept,
+			Decoded: s.retr.NodePhrase(bank.Bank(n.ID).Data, retrieval.Euclidean),
+			Created: n.Created,
+		})
+	}
+	return out, nil
+}
+
+// DeploymentStats summarises the edge runtime so far.
+type DeploymentStats struct {
+	Frames          int
+	AdaptRounds     int
+	TriggeredRounds int
+	PrunedNodes     int
+	CreatedNodes    int
+	ScoringFLOPs    int64
+	AdaptFLOPs      int64
+	EnergyPerAdaptJ float64
+}
+
+// Stats returns the deployment statistics (zero value before deployment).
+func (s *System) Stats() DeploymentStats {
+	if s.runtime == nil {
+		return DeploymentStats{}
+	}
+	st := s.runtime.Stats()
+	return DeploymentStats{
+		Frames:          st.Frames,
+		AdaptRounds:     st.AdaptRounds,
+		TriggeredRounds: st.TriggeredRounds,
+		PrunedNodes:     st.PrunedNodes,
+		CreatedNodes:    st.CreatedNodes,
+		ScoringFLOPs:    st.ScoringOps,
+		AdaptFLOPs:      st.AdaptOps,
+		EnergyPerAdaptJ: st.EnergyPerAdaptJ,
+	}
+}
+
+// GenerateKGOnly runs mission-specific KG generation without training and
+// returns the graph's JSON — what cmd/kggen prints.
+func GenerateKGOnly(mission string, seed int64) ([]byte, error) {
+	cls, ok := concept.ClassByName(mission)
+	if !ok || cls == concept.Normal {
+		return nil, fmt.Errorf("edgekg: unknown mission %q", mission)
+	}
+	env, err := experiments.NewEnv(experiments.QuickScale())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g, _, err := kggen.Generate(env.NewLLM(seed), mission, env.GenOptions(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.MarshalJSON()
+}
+
+// StreamClass returns frames drawn from the dataset stream abstraction —
+// convenience for demos needing a labelled mixed stream.
+type StreamClass struct {
+	Frame     []float64
+	Anomalous bool
+	Class     string
+}
+
+// NextStreamFrames synthesises n frames mixing Normal background with the
+// given anomaly class at the given rate.
+func (s *System) NextStreamFrames(class string, n int, anomalyRate float64) ([]StreamClass, error) {
+	cls, ok := concept.ClassByName(class)
+	if !ok {
+		return nil, fmt.Errorf("edgekg: unknown class %q", class)
+	}
+	sched := dataset.Schedule{Phases: []dataset.Phase{{Class: cls, Steps: n}}}
+	stream, err := dataset.NewStream(s.env.Gen, sched, anomalyRate, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StreamClass, n)
+	for i := range out {
+		pix, anom, c := stream.Next()
+		frame := make([]float64, pix.Size())
+		copy(frame, pix.Data())
+		out[i] = StreamClass{Frame: frame, Anomalous: anom, Class: c.String()}
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package edgekg
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Options{Seed: 5, Scale: "quick", TrainSteps: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func trainedSystem(t *testing.T) *System {
+	t.Helper()
+	sys := quickSystem(t)
+	if err := sys.Train("Stealing"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestMissionsListsUCFCrime(t *testing.T) {
+	ms := Missions()
+	if len(ms) != 13 {
+		t.Fatalf("missions = %d, want 13", len(ms))
+	}
+	want := map[string]bool{"Stealing": true, "Robbery": true, "Explosion": true}
+	for _, m := range ms {
+		delete(want, m)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing missions: %v", want)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Options{Scale: "galactic"}); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if _, err := NewSystem(Options{}); err != nil {
+		t.Errorf("zero options (default quick) rejected: %v", err)
+	}
+}
+
+func TestLifecycleGuards(t *testing.T) {
+	sys := quickSystem(t)
+	if err := sys.DeployAdaptive(); err == nil {
+		t.Error("deploy before train accepted")
+	}
+	if _, err := sys.TestAUC("Stealing"); err == nil {
+		t.Error("TestAUC before train accepted")
+	}
+	if _, err := sys.ProcessFrame(make([]float64, sys.FrameSize())); err == nil {
+		t.Error("ProcessFrame before deploy accepted")
+	}
+	if _, err := sys.KG(); err == nil {
+		t.Error("KG before train accepted")
+	}
+	if _, err := sys.InterpretKG(); err == nil {
+		t.Error("InterpretKG before train accepted")
+	}
+	if err := sys.Train("NotAMission"); err == nil {
+		t.Error("unknown mission accepted")
+	}
+	if err := sys.Train("Normal"); err == nil {
+		t.Error("Normal as mission accepted")
+	}
+}
+
+func TestTrainDeployProcess(t *testing.T) {
+	sys := trainedSystem(t)
+	auc, err := sys.TestAUC("Stealing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Errorf("trained AUC %v", auc)
+	}
+	if err := sys.DeployAdaptive(); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Deployed() {
+		t.Error("not deployed")
+	}
+	frame, err := sys.SynthesizeFrame("Stealing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != sys.FrameSize() {
+		t.Fatalf("frame size %d", len(frame))
+	}
+	res, err := sys.ProcessFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < 0 || res.Score > 1 {
+		t.Errorf("score %v", res.Score)
+	}
+	if _, err := sys.ProcessFrame(frame[:3]); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, err := sys.SynthesizeFrame("Martians"); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestKGAccessors(t *testing.T) {
+	sys := trainedSystem(t)
+	st, err := sys.KG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mission != "Stealing" || st.Nodes < 5 || st.Depth < 1 {
+		t.Errorf("stats %+v", st)
+	}
+	dot, err := sys.KGDOT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestInterpretKGInitiallyFaithful(t *testing.T) {
+	sys := trainedSystem(t)
+	nodes, err := sys.InterpretKG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		t.Fatal("no nodes")
+	}
+	// Most nodes should decode to their own concept before heavy drift
+	// (training with token updates moves them slightly).
+	faithful := 0
+	for _, n := range nodes {
+		if n.Decoded == n.Concept {
+			faithful++
+		}
+	}
+	if faithful*2 < len(nodes) {
+		t.Errorf("only %d/%d nodes decode to their own concept after training", faithful, len(nodes))
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	sys := trainedSystem(t)
+	if st := sys.Stats(); st.Frames != 0 {
+		t.Error("stats before deploy should be zero")
+	}
+	if err := sys.DeployAdaptive(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := sys.NextStreamFrames("Robbery", 40, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if _, err := sys.ProcessFrame(f.Frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.Stats()
+	if st.Frames != 40 {
+		t.Errorf("frames = %d", st.Frames)
+	}
+	if st.ScoringFLOPs <= 0 {
+		t.Error("no scoring FLOPs metered")
+	}
+	if st.AdaptRounds == 0 {
+		t.Error("no adaptation rounds at default cadence")
+	}
+}
+
+func TestDeployStaticNeverAdapts(t *testing.T) {
+	sys := trainedSystem(t)
+	if err := sys.DeployStatic(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := sys.NextStreamFrames("Explosion", 40, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		res, err := sys.ProcessFrame(f.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adapted {
+			t.Fatal("static deployment adapted")
+		}
+	}
+	if st := sys.Stats(); st.AdaptRounds != 0 {
+		t.Errorf("static stats %+v", st)
+	}
+}
+
+func TestNextStreamFramesLabels(t *testing.T) {
+	sys := quickSystem(t)
+	frames, err := sys.NextStreamFrames("Arson", 30, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if !f.Anomalous || f.Class != "Arson" {
+			t.Fatalf("rate-1.0 stream emitted %+v", f)
+		}
+	}
+	frames, err = sys.NextStreamFrames("Arson", 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if f.Anomalous || f.Class != "Normal" {
+			t.Fatalf("rate-0 stream emitted %+v", f)
+		}
+	}
+	if _, err := sys.NextStreamFrames("Nope", 5, 0.5); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestGenerateKGOnly(t *testing.T) {
+	data, err := GenerateKGOnly("Robbery", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "robbery") {
+		t.Error("generated KG JSON lacks mission concept")
+	}
+	if _, err := GenerateKGOnly("Nope", 3); err == nil {
+		t.Error("unknown mission accepted")
+	}
+}
+
+func TestRetrainResetsDeployment(t *testing.T) {
+	sys := trainedSystem(t)
+	if err := sys.DeployAdaptive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Train("Robbery"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Deployed() {
+		t.Error("retrain should reset the deployment")
+	}
+	st, err := sys.KG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mission != "Robbery" {
+		t.Errorf("mission = %s", st.Mission)
+	}
+}

@@ -1,0 +1,62 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"edgekg/internal/tensor"
+)
+
+// GradCheck verifies analytic gradients against central finite differences.
+// f must rebuild its computation graph from the current contents of the
+// input tensors on every call and return a scalar Value. inputs are the
+// leaves to check; each must have been created with requiresGrad true.
+//
+// The relative error uses the standard normalisation
+// |analytic − numeric| / max(1, |analytic|, |numeric|) and the check fails
+// if any element exceeds tol. eps is the finite-difference step (1e-6 is a
+// good default for float64).
+//
+// GradCheck is exported (rather than test-local) because every layer
+// package in this repository uses it to validate its backward pass.
+func GradCheck(f func() *Value, inputs []*Value, eps, tol float64) error {
+	for _, in := range inputs {
+		if !in.requiresGrad {
+			return fmt.Errorf("autograd: GradCheck input %p does not require grad", in)
+		}
+		in.ZeroGrad()
+	}
+	out := f()
+	if out.Data.Size() != 1 {
+		return fmt.Errorf("autograd: GradCheck requires scalar output, got shape %v", out.Shape())
+	}
+	out.Backward()
+	analytic := make([]*tensor.Tensor, len(inputs))
+	for i, in := range inputs {
+		if in.Grad == nil {
+			analytic[i] = tensor.New(in.Data.Shape()...)
+		} else {
+			analytic[i] = in.Grad.Clone()
+		}
+	}
+
+	for i, in := range inputs {
+		data := in.Data.Data()
+		for k := range data {
+			orig := data[k]
+			data[k] = orig + eps
+			plus := f().Scalar()
+			data[k] = orig - eps
+			minus := f().Scalar()
+			data[k] = orig
+			numeric := (plus - minus) / (2 * eps)
+			got := analytic[i].Data()[k]
+			denom := math.Max(1, math.Max(math.Abs(numeric), math.Abs(got)))
+			if math.Abs(numeric-got)/denom > tol {
+				return fmt.Errorf("autograd: GradCheck input %d elem %d: analytic %.8g vs numeric %.8g (rel err %.3g)",
+					i, k, got, numeric, math.Abs(numeric-got)/denom)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package autograd
+
+import (
+	"fmt"
+
+	"edgekg/internal/tensor"
+)
+
+// EdgeMessage computes the hierarchical message passing layer of eq. (2):
+// for each edge e = (src[e], dst[e]) in E(l) it emits the elementwise
+// product X_src ⊙ X_dst of the node-embedding rows. x is (|V|×D); the
+// result is (|E(l)|×D).
+func EdgeMessage(x *Value, src, dst []int) *Value {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("autograd: EdgeMessage %d sources vs %d destinations", len(src), len(dst)))
+	}
+	srcIdx := append([]int(nil), src...)
+	dstIdx := append([]int(nil), dst...)
+	xs := tensor.Gather(x.Data, srcIdx)
+	xd := tensor.Gather(x.Data, dstIdx)
+	out := tensor.Mul(xs, xd)
+	return newOp("edgemessage", out, []*Value{x}, func(g *tensor.Tensor) {
+		// d/dX_src = g ⊙ X_dst scattered to src rows; symmetric for dst.
+		gx := tensor.New(x.Data.Shape()...)
+		tensor.ScatterAddRows(gx, srcIdx, tensor.Mul(g, xd))
+		tensor.ScatterAddRows(gx, dstIdx, tensor.Mul(g, xs))
+		x.accumulate(gx)
+	})
+}
+
+// EdgeAggregate implements the hierarchical aggregate layer of eq. (3):
+// nodes in the current level (inLevel[d] true) receive the mean of the
+// messages addressed to them, all other nodes pass their embedding through
+// unchanged. msgs is (|E(l)|×D) aligned with dst; x is (|V|×D).
+//
+// A node flagged inLevel with no incoming messages keeps its embedding —
+// the situation arises transiently after node creation (Fig. 4C) before
+// random edges are attached, and dropping such nodes to zero would poison
+// BatchNorm statistics.
+func EdgeAggregate(x, msgs *Value, dst []int, inLevel []bool) *Value {
+	n := x.Data.Rows()
+	d := x.Data.Cols()
+	if len(inLevel) != n {
+		panic(fmt.Sprintf("autograd: EdgeAggregate inLevel length %d != %d nodes", len(inLevel), n))
+	}
+	if msgs.Data.Rows() != len(dst) {
+		panic(fmt.Sprintf("autograd: EdgeAggregate %d messages vs %d destinations", msgs.Data.Rows(), len(dst)))
+	}
+	dstIdx := append([]int(nil), dst...)
+	level := append([]bool(nil), inLevel...)
+
+	counts := make([]float64, n)
+	for _, t := range dstIdx {
+		counts[t]++
+	}
+	out := tensor.New(n, d)
+	// Pass-through rows.
+	for i := 0; i < n; i++ {
+		if !level[i] || counts[i] == 0 {
+			copy(out.Row(i), x.Data.Row(i))
+		}
+	}
+	// Mean-aggregated rows.
+	tensor.ScatterAddRows(out, dstIdx, msgs.Data)
+	for i := 0; i < n; i++ {
+		if level[i] && counts[i] > 0 {
+			row := out.Row(i)
+			// Remove the pass-through contribution is unnecessary: rows
+			// with counts>0 and inLevel were never seeded above, so the
+			// scatter result alone is the sum of messages.
+			inv := 1 / counts[i]
+			for j := range row {
+				row[j] *= inv
+			}
+		} else if counts[i] > 0 {
+			// Messages addressed to an out-of-level node are ignored per
+			// eq. (3); undo the scatter contribution.
+			row := out.Row(i)
+			copy(row, x.Data.Row(i))
+		}
+	}
+	return newOp("edgeaggregate", out, []*Value{x, msgs}, func(g *tensor.Tensor) {
+		if x.requiresGrad {
+			gx := tensor.New(n, d)
+			for i := 0; i < n; i++ {
+				if !level[i] || counts[i] == 0 {
+					copy(gx.Row(i), g.Row(i))
+				}
+			}
+			x.accumulate(gx)
+		}
+		if msgs.requiresGrad {
+			gm := tensor.New(len(dstIdx), d)
+			for e, t := range dstIdx {
+				if !level[t] || counts[t] == 0 {
+					continue
+				}
+				inv := 1 / counts[t]
+				grow, mrow := g.Row(t), gm.Row(e)
+				for j := 0; j < d; j++ {
+					mrow[j] = grow[j] * inv
+				}
+			}
+			msgs.accumulate(gm)
+		}
+	})
+}
+
+// RowsMask zeroes every row i of a matrix where keep[i] is false. It is
+// used to restrict losses to selected frames (the top-K pseudo-anomalies).
+func RowsMask(v *Value, keep []bool) *Value {
+	r, c := v.Data.Rows(), v.Data.Cols()
+	if len(keep) != r {
+		panic(fmt.Sprintf("autograd: RowsMask %d flags for %d rows", len(keep), r))
+	}
+	flags := append([]bool(nil), keep...)
+	out := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		if flags[i] {
+			copy(out.Row(i), v.Data.Row(i))
+		}
+	}
+	return newOp("rowsmask", out, []*Value{v}, func(g *tensor.Tensor) {
+		gv := tensor.New(r, c)
+		for i := 0; i < r; i++ {
+			if flags[i] {
+				copy(gv.Row(i), g.Row(i))
+			}
+		}
+		v.accumulate(gv)
+	})
+}

@@ -1,0 +1,187 @@
+package autograd
+
+import (
+	"math"
+
+	"edgekg/internal/tensor"
+)
+
+// BatchNormTrain applies training-mode batch normalisation over the rows of
+// x (statistics per column), with learnable per-column gain gamma and bias
+// beta. It returns the normalised output along with the batch mean and
+// biased variance so the caller can maintain running statistics for
+// inference. This is the BatchNorm of the GNN layer (eq. 4).
+func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, batchVar *tensor.Tensor) {
+	r, c := x.Data.Rows(), x.Data.Cols()
+	mean := tensor.MeanAxis0(x.Data)
+	variance := tensor.VarAxis0(x.Data)
+
+	invStd := tensor.Map(variance, func(v float64) float64 { return 1 / math.Sqrt(v+eps) })
+	xhat := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		xrow, hrow := x.Data.Row(i), xhat.Row(i)
+		for j := 0; j < c; j++ {
+			hrow[j] = (xrow[j] - mean.Data()[j]) * invStd.Data()[j]
+		}
+	}
+	o := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		hrow, orow := xhat.Row(i), o.Row(i)
+		for j := 0; j < c; j++ {
+			orow[j] = gamma.Data.Data()[j]*hrow[j] + beta.Data.Data()[j]
+		}
+	}
+
+	v := newOp("batchnorm", o, []*Value{x, gamma, beta}, func(g *tensor.Tensor) {
+		if gamma.requiresGrad {
+			gg := tensor.New(c)
+			for i := 0; i < r; i++ {
+				grow, hrow := g.Row(i), xhat.Row(i)
+				for j := 0; j < c; j++ {
+					gg.Data()[j] += grow[j] * hrow[j]
+				}
+			}
+			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+		}
+		if beta.requiresGrad {
+			beta.accumulate(tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
+		}
+		if x.requiresGrad {
+			// Standard batch-norm input gradient:
+			// dx = (γ·invStd/r) · (r·g − Σg − x̂·Σ(g⊙x̂))
+			sumG := tensor.New(c)
+			sumGH := tensor.New(c)
+			for i := 0; i < r; i++ {
+				grow, hrow := g.Row(i), xhat.Row(i)
+				for j := 0; j < c; j++ {
+					sumG.Data()[j] += grow[j]
+					sumGH.Data()[j] += grow[j] * hrow[j]
+				}
+			}
+			gx := tensor.New(r, c)
+			rn := float64(r)
+			for i := 0; i < r; i++ {
+				grow, hrow, xrow := g.Row(i), xhat.Row(i), gx.Row(i)
+				for j := 0; j < c; j++ {
+					coef := gamma.Data.Data()[j] * invStd.Data()[j] / rn
+					xrow[j] = coef * (rn*grow[j] - sumG.Data()[j] - hrow[j]*sumGH.Data()[j])
+				}
+			}
+			x.accumulate(gx)
+		}
+	})
+	return v, mean, variance
+}
+
+// BatchNormEval applies inference-mode batch normalisation using the frozen
+// running statistics. Gradients still flow into x (and gamma/beta if
+// trainable), which is what deployment-time adaptive learning needs: the
+// decision model is frozen but gradients must pass through it into the KG
+// token embeddings.
+func BatchNormEval(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor, eps float64) *Value {
+	r, c := x.Data.Rows(), x.Data.Cols()
+	invStd := tensor.Map(runningVar, func(v float64) float64 { return 1 / math.Sqrt(v+eps) })
+	o := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		xrow, orow := x.Data.Row(i), o.Row(i)
+		for j := 0; j < c; j++ {
+			xh := (xrow[j] - runningMean.Data()[j]) * invStd.Data()[j]
+			orow[j] = gamma.Data.Data()[j]*xh + beta.Data.Data()[j]
+		}
+	}
+	return newOp("batchnorm.eval", o, []*Value{x, gamma, beta}, func(g *tensor.Tensor) {
+		if gamma.requiresGrad {
+			gg := tensor.New(c)
+			for i := 0; i < r; i++ {
+				xrow, grow := x.Data.Row(i), g.Row(i)
+				for j := 0; j < c; j++ {
+					xh := (xrow[j] - runningMean.Data()[j]) * invStd.Data()[j]
+					gg.Data()[j] += grow[j] * xh
+				}
+			}
+			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+		}
+		if beta.requiresGrad {
+			beta.accumulate(tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
+		}
+		if x.requiresGrad {
+			gx := tensor.New(r, c)
+			for i := 0; i < r; i++ {
+				grow, xrow := g.Row(i), gx.Row(i)
+				for j := 0; j < c; j++ {
+					xrow[j] = grow[j] * gamma.Data.Data()[j] * invStd.Data()[j]
+				}
+			}
+			x.accumulate(gx)
+		}
+	})
+}
+
+// LayerNorm normalises each row of x to zero mean and unit variance, then
+// applies the per-column gain gamma and bias beta. The temporal transformer
+// blocks use it.
+func LayerNorm(x, gamma, beta *Value, eps float64) *Value {
+	r, c := x.Data.Rows(), x.Data.Cols()
+	xhat := tensor.New(r, c)
+	invStds := make([]float64, r)
+	for i := 0; i < r; i++ {
+		row := x.Data.Row(i)
+		mu := 0.0
+		for _, v := range row {
+			mu += v
+		}
+		mu /= float64(c)
+		va := 0.0
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= float64(c)
+		inv := 1 / math.Sqrt(va+eps)
+		invStds[i] = inv
+		hrow := xhat.Row(i)
+		for j, v := range row {
+			hrow[j] = (v - mu) * inv
+		}
+	}
+	o := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		hrow, orow := xhat.Row(i), o.Row(i)
+		for j := 0; j < c; j++ {
+			orow[j] = gamma.Data.Data()[j]*hrow[j] + beta.Data.Data()[j]
+		}
+	}
+	return newOp("layernorm", o, []*Value{x, gamma, beta}, func(g *tensor.Tensor) {
+		if gamma.requiresGrad {
+			gg := tensor.New(c)
+			for i := 0; i < r; i++ {
+				grow, hrow := g.Row(i), xhat.Row(i)
+				for j := 0; j < c; j++ {
+					gg.Data()[j] += grow[j] * hrow[j]
+				}
+			}
+			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+		}
+		if beta.requiresGrad {
+			beta.accumulate(tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
+		}
+		if x.requiresGrad {
+			gx := tensor.New(r, c)
+			cn := float64(c)
+			for i := 0; i < r; i++ {
+				grow, hrow, xrow := g.Row(i), xhat.Row(i), gx.Row(i)
+				sumG, sumGH := 0.0, 0.0
+				for j := 0; j < c; j++ {
+					gj := grow[j] * gamma.Data.Data()[j]
+					sumG += gj
+					sumGH += gj * hrow[j]
+				}
+				for j := 0; j < c; j++ {
+					gj := grow[j] * gamma.Data.Data()[j]
+					xrow[j] = invStds[i] / cn * (cn*gj - sumG - hrow[j]*sumGH)
+				}
+			}
+			x.accumulate(gx)
+		}
+	})
+}

@@ -1,0 +1,370 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"edgekg/internal/tensor"
+)
+
+// Add returns a + b elementwise.
+func Add(a, b *Value) *Value {
+	out := tensor.Add(a.Data, b.Data)
+	return newOp("add", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(g)
+		}
+		if b.requiresGrad {
+			b.accumulate(g)
+		}
+	})
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Value) *Value {
+	out := tensor.Sub(a.Data, b.Data)
+	return newOp("sub", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(g)
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.Neg(g))
+		}
+	})
+}
+
+// Mul returns the elementwise (Hadamard) product a ⊙ b — the primitive the
+// hierarchical message passing layer (eq. 2) is built from.
+func Mul(a, b *Value) *Value {
+	out := tensor.Mul(a.Data, b.Data)
+	return newOp("mul", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(tensor.Mul(g, b.Data))
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.Mul(g, a.Data))
+		}
+	})
+}
+
+// Scale returns alpha * a.
+func Scale(a *Value, alpha float64) *Value {
+	out := tensor.Scale(a.Data, alpha)
+	return newOp("scale", out, []*Value{a}, func(g *tensor.Tensor) {
+		a.accumulate(tensor.Scale(g, alpha))
+	})
+}
+
+// AddScalar returns a + alpha elementwise.
+func AddScalar(a *Value, alpha float64) *Value {
+	out := tensor.AddScalar(a.Data, alpha)
+	return newOp("addscalar", out, []*Value{a}, func(g *tensor.Tensor) {
+		a.accumulate(g)
+	})
+}
+
+// Neg returns -a.
+func Neg(a *Value) *Value { return Scale(a, -1) }
+
+// MatMul returns the matrix product a·b.
+func MatMul(a, b *Value) *Value {
+	out := tensor.MatMul(a.Data, b.Data)
+	return newOp("matmul", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(tensor.MatMulT2(g, b.Data)) // dA = G·Bᵀ
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.MatMulT1(a.Data, g)) // dB = Aᵀ·G
+		}
+	})
+}
+
+// MatMulT2 returns a·bᵀ. Attention scores use it as Q·Kᵀ.
+func MatMulT2(a, b *Value) *Value {
+	out := tensor.MatMulT2(a.Data, b.Data)
+	return newOp("matmulT2", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.accumulate(tensor.MatMul(g, b.Data)) // dA = G·B
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.MatMulT1(g, a.Data)) // dB = Gᵀ·A
+		}
+	})
+}
+
+// AddRow broadcasts the 1-D bias b over every row of matrix m — the "+ b"
+// of the dense sub-layer (eq. 1) and decision head (eq. 5).
+func AddRow(m, b *Value) *Value {
+	out := tensor.AddRow(m.Data, b.Data)
+	return newOp("addrow", out, []*Value{m, b}, func(g *tensor.Tensor) {
+		if m.requiresGrad {
+			m.accumulate(g)
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.SumAxis0(g).Reshape(b.Data.Shape()...))
+		}
+	})
+}
+
+// Gather selects rows of m. The KG token-embedding lookup and the
+// per-frame sensor-row selection are Gathers; the backward pass is the
+// scatter-add adjoint, which is how gradients reach only the selected
+// token embeddings during adaptive learning.
+func Gather(m *Value, rows []int) *Value {
+	idx := append([]int(nil), rows...)
+	out := tensor.Gather(m.Data, idx)
+	return newOp("gather", out, []*Value{m}, func(g *tensor.Tensor) {
+		gm := tensor.New(m.Data.Shape()...)
+		tensor.ScatterAddRows(gm, idx, g)
+		m.accumulate(gm)
+	})
+}
+
+// ConcatCols horizontally concatenates matrices with equal row counts;
+// the multi-KG reasoning embedding f_t = r_T1 ⌢ … ⌢ r_Tn is a ConcatCols.
+func ConcatCols(vs ...*Value) *Value {
+	datas := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		datas[i] = v.Data
+	}
+	out := tensor.ConcatCols(datas...)
+	return newOp("concatcols", out, vs, func(g *tensor.Tensor) {
+		off := 0
+		for _, v := range vs {
+			c := v.Data.Cols()
+			if v.requiresGrad {
+				v.accumulate(sliceColsTensor(g, off, off+c))
+			}
+			off += c
+		}
+	})
+}
+
+// ConcatRows vertically concatenates matrices with equal column counts.
+func ConcatRows(vs ...*Value) *Value {
+	datas := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		datas[i] = v.Data
+	}
+	out := tensor.ConcatRows(datas...)
+	return newOp("concatrows", out, vs, func(g *tensor.Tensor) {
+		off := 0
+		for _, v := range vs {
+			r := v.Data.Rows()
+			if v.requiresGrad {
+				v.accumulate(tensor.SliceRows(g, off, off+r))
+			}
+			off += r
+		}
+	})
+}
+
+// SliceCols returns columns [from, to) of a matrix; multi-head attention
+// splits its projections per head with it.
+func SliceCols(m *Value, from, to int) *Value {
+	out := sliceColsTensor(m.Data, from, to)
+	return newOp("slicecols", out, []*Value{m}, func(g *tensor.Tensor) {
+		gm := tensor.New(m.Data.Shape()...)
+		r := gm.Rows()
+		for i := 0; i < r; i++ {
+			copy(gm.Row(i)[from:to], g.Row(i))
+		}
+		m.accumulate(gm)
+	})
+}
+
+// SliceRows returns rows [from, to) of a matrix.
+func SliceRows(m *Value, from, to int) *Value {
+	out := tensor.SliceRows(m.Data, from, to)
+	return newOp("slicerows", out, []*Value{m}, func(g *tensor.Tensor) {
+		gm := tensor.New(m.Data.Shape()...)
+		c := gm.Cols()
+		copy(gm.Data()[from*c:to*c], g.Data())
+		m.accumulate(gm)
+	})
+}
+
+func sliceColsTensor(m *tensor.Tensor, from, to int) *tensor.Tensor {
+	r, c := m.Rows(), m.Cols()
+	if from < 0 || to > c || from > to {
+		panic(fmt.Sprintf("autograd: SliceCols [%d,%d) out of range for %d cols", from, to, c))
+	}
+	out := tensor.New(r, to-from)
+	for i := 0; i < r; i++ {
+		copy(out.Row(i), m.Row(i)[from:to])
+	}
+	return out
+}
+
+// Reshape returns a view of v with a new shape of equal size.
+func Reshape(v *Value, shape ...int) *Value {
+	orig := v.Data.Shape()
+	out := v.Data.Clone().Reshape(shape...)
+	return newOp("reshape", out, []*Value{v}, func(g *tensor.Tensor) {
+		v.accumulate(g.Clone().Reshape(orig...))
+	})
+}
+
+// Sum reduces v to a scalar.
+func Sum(v *Value) *Value {
+	out := tensor.Scalar(v.Data.Sum())
+	return newOp("sum", out, []*Value{v}, func(g *tensor.Tensor) {
+		v.accumulate(tensor.Full(g.Data()[0], v.Data.Shape()...))
+	})
+}
+
+// Mean reduces v to its scalar arithmetic mean.
+func Mean(v *Value) *Value {
+	n := v.Data.Size()
+	if n == 0 {
+		return Constant(tensor.Scalar(0))
+	}
+	out := tensor.Scalar(v.Data.Sum() / float64(n))
+	return newOp("mean", out, []*Value{v}, func(g *tensor.Tensor) {
+		v.accumulate(tensor.Full(g.Data()[0]/float64(n), v.Data.Shape()...))
+	})
+}
+
+// MeanRows returns the column means of a matrix as a (1×cols) matrix; the
+// text encoder pools token embeddings with it.
+func MeanRows(v *Value) *Value {
+	r := v.Data.Rows()
+	out := tensor.MeanAxis0(v.Data).Reshape(1, v.Data.Cols())
+	return newOp("meanrows", out, []*Value{v}, func(g *tensor.Tensor) {
+		gm := tensor.New(v.Data.Shape()...)
+		inv := 1.0 / float64(r)
+		grow := g.Data()
+		for i := 0; i < r; i++ {
+			row := gm.Row(i)
+			for j := range row {
+				row[j] = grow[j] * inv
+			}
+		}
+		v.accumulate(gm)
+	})
+}
+
+// ELU applies the exponential linear unit elementwise (alpha = 1), the
+// activation of every hierarchical GNN layer (eq. 4).
+func ELU(v *Value) *Value {
+	out := tensor.Map(v.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return math.Exp(x) - 1
+	})
+	return newOp("elu", out, []*Value{v}, func(g *tensor.Tensor) {
+		gv := tensor.New(v.Data.Shape()...)
+		vd, od, gd, dst := v.Data.Data(), out.Data(), g.Data(), gv.Data()
+		for i := range vd {
+			if vd[i] > 0 {
+				dst[i] = gd[i]
+			} else {
+				dst[i] = gd[i] * (od[i] + 1)
+			}
+		}
+		v.accumulate(gv)
+	})
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(v *Value) *Value {
+	out := tensor.Map(v.Data, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	return newOp("relu", out, []*Value{v}, func(g *tensor.Tensor) {
+		gv := tensor.New(v.Data.Shape()...)
+		vd, gd, dst := v.Data.Data(), g.Data(), gv.Data()
+		for i := range vd {
+			if vd[i] > 0 {
+				dst[i] = gd[i]
+			}
+		}
+		v.accumulate(gv)
+	})
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(v *Value) *Value {
+	out := tensor.Map(v.Data, math.Tanh)
+	return newOp("tanh", out, []*Value{v}, func(g *tensor.Tensor) {
+		gv := tensor.New(v.Data.Shape()...)
+		od, gd, dst := out.Data(), g.Data(), gv.Data()
+		for i := range od {
+			dst[i] = gd[i] * (1 - od[i]*od[i])
+		}
+		v.accumulate(gv)
+	})
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(v *Value) *Value {
+	out := tensor.Map(v.Data, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	return newOp("sigmoid", out, []*Value{v}, func(g *tensor.Tensor) {
+		gv := tensor.New(v.Data.Shape()...)
+		od, gd, dst := out.Data(), g.Data(), gv.Data()
+		for i := range od {
+			dst[i] = gd[i] * od[i] * (1 - od[i])
+		}
+		v.accumulate(gv)
+	})
+}
+
+// GELU applies the Gaussian error linear unit (tanh approximation), used by
+// the transformer feed-forward blocks.
+func GELU(v *Value) *Value {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	out := tensor.Map(v.Data, func(x float64) float64 {
+		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+	})
+	return newOp("gelu", out, []*Value{v}, func(g *tensor.Tensor) {
+		gv := tensor.New(v.Data.Shape()...)
+		vd, gd, dst := v.Data.Data(), g.Data(), gv.Data()
+		for i := range vd {
+			x := vd[i]
+			t := math.Tanh(c * (x + 0.044715*x*x*x))
+			dt := (1 - t*t) * c * (1 + 3*0.044715*x*x)
+			dst[i] = gd[i] * (0.5*(1+t) + 0.5*x*dt)
+		}
+		v.accumulate(gv)
+	})
+}
+
+// SoftmaxRows applies a row-wise softmax to a matrix — attention weights
+// and the decision head (eq. 5) both use it.
+func SoftmaxRows(v *Value) *Value {
+	out := tensor.SoftmaxRows(v.Data)
+	return newOp("softmaxrows", out, []*Value{v}, func(g *tensor.Tensor) {
+		r, c := out.Rows(), out.Cols()
+		gv := tensor.New(r, c)
+		for i := 0; i < r; i++ {
+			orow, grow, drow := out.Row(i), g.Row(i), gv.Row(i)
+			dot := 0.0
+			for j := 0; j < c; j++ {
+				dot += orow[j] * grow[j]
+			}
+			for j := 0; j < c; j++ {
+				drow[j] = orow[j] * (grow[j] - dot)
+			}
+		}
+		v.accumulate(gv)
+	})
+}
+
+// Dropout zeroes elements with probability p and scales survivors by
+// 1/(1-p) (inverted dropout). mask must contain 0/1 entries pre-drawn by
+// the caller; passing the mask keeps the op deterministic for testing.
+func Dropout(v *Value, mask *tensor.Tensor, p float64) *Value {
+	if p <= 0 {
+		return v
+	}
+	keep := 1 - p
+	scaled := tensor.Scale(mask, 1/keep)
+	out := tensor.Mul(v.Data, scaled)
+	return newOp("dropout", out, []*Value{v}, func(g *tensor.Tensor) {
+		v.accumulate(tensor.Mul(g, scaled))
+	})
+}

@@ -1,0 +1,111 @@
+// Package baseline implements the comparison arm of Table I: the
+// cloud-dependent pipeline that, on every anomaly-trend change, regenerates
+// the mission-specific KG with the (simulated) LLM in the cloud, retrains
+// the lightweight decision model, and ships the new KG to the edge. Its
+// costs are the paper's stated cloud constants plus whatever retraining
+// work this implementation actually performs.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/core"
+	"edgekg/internal/dataset"
+	"edgekg/internal/embed"
+	"edgekg/internal/flops"
+	"edgekg/internal/kg"
+	"edgekg/internal/kggen"
+	"edgekg/internal/oracle"
+)
+
+// Config assembles the cloud updater.
+type Config struct {
+	// Gen controls KG generation per update.
+	Gen kggen.Options
+	// Detector configures the rebuilt model.
+	Detector core.Config
+	// Train controls the post-update retraining run.
+	Train core.TrainConfig
+	// TrainVideos is the per-class video budget (normal, anomalous) for
+	// retraining data synthesised at the cloud.
+	TrainNormal, TrainAnomalous int
+	// Batch is the training clip batch size.
+	Batch int
+	// Cloud carries Table I's cost constants.
+	Cloud flops.CloudConstants
+}
+
+// CloudUpdater rebuilds detectors on demand, accounting cloud costs.
+type CloudUpdater struct {
+	space *embed.Space
+	llm   oracle.LLM
+	gen   *dataset.Generator
+	cfg   Config
+
+	updates int
+}
+
+// NewCloudUpdater returns a cloud updater.
+func NewCloudUpdater(space *embed.Space, llm oracle.LLM, gen *dataset.Generator, cfg Config) *CloudUpdater {
+	return &CloudUpdater{space: space, llm: llm, gen: gen, cfg: cfg}
+}
+
+// BuildFor regenerates the mission KG for the given anomaly class and
+// trains a fresh detector on cloud-synthesised task data — everything the
+// baseline does per trend change. Each call counts as one KG update.
+func (u *CloudUpdater) BuildFor(rng *rand.Rand, mission string) (*core.Detector, error) {
+	g, _, err := kggen.Generate(u.llm, mission, u.cfg.Gen, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: KG regeneration for %q: %w", mission, err)
+	}
+	det, err := core.NewDetector(rng, u.space, []*kg.Graph{g}, u.cfg.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: detector rebuild: %w", err)
+	}
+	cls, ok := concept.ClassByName(mission)
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown mission %q", mission)
+	}
+	vids := u.gen.TaskVideos(rng, cls, u.cfg.TrainNormal, u.cfg.TrainAnomalous)
+	src, err := dataset.NewClipSource(vids, det.Window(), u.cfg.Batch)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: clip source: %w", err)
+	}
+	src = src.WithLabelMap(dataset.BinaryLabelMap)
+	trainer := core.NewTrainer(det, u.cfg.Train)
+	trainer.Train(rng, src, nil)
+	det.Deploy()
+	u.updates++
+	return det, nil
+}
+
+// Updates returns how many cloud KG updates have been performed.
+func (u *CloudUpdater) Updates() int { return u.updates }
+
+// CloudCosts summarises the accumulated cloud-side costs per Table I's
+// accounting: per-update constants × update count.
+type CloudCosts struct {
+	Updates       int
+	TotalFLOPs    float64
+	TotalMinutes  float64
+	BandwidthGB   float64
+	GPTMemoryGB   float64 // during updates (peak, not cumulative)
+	KGMemoryGB    float64
+	EdgeStorageGB float64
+}
+
+// Costs returns the accumulated cloud costs.
+func (u *CloudUpdater) Costs() CloudCosts {
+	c := u.cfg.Cloud
+	return CloudCosts{
+		Updates:       u.updates,
+		TotalFLOPs:    float64(u.updates) * c.KGGenFLOPs,
+		TotalMinutes:  float64(u.updates) * c.KGGenMinutes,
+		BandwidthGB:   float64(u.updates) * c.KGTransferGB,
+		GPTMemoryGB:   c.GPTMemoryGB,
+		KGMemoryGB:    c.KGMemoryGB,
+		EdgeStorageGB: c.EdgeStorageGB,
+	}
+}

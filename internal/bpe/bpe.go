@@ -1,0 +1,272 @@
+// Package bpe implements a from-scratch byte-pair-encoding tokenizer in
+// the style of Sennrich et al. (2016), the vocabulary scheme the paper's
+// Interpretable KG Retrieval decodes through (Sec. III-E).
+//
+// Training counts adjacent symbol pairs over a word corpus and greedily
+// merges the most frequent pair until the merge budget is exhausted. Words
+// are split into runes with an end-of-word marker on the final rune, so
+// the decoder can reconstruct word boundaries exactly.
+package bpe
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// endOfWord marks a token that terminates a word.
+const endOfWord = "</w>"
+
+// UnknownToken is the token emitted for runes outside the training corpus.
+const UnknownToken = "<unk>"
+
+// Tokenizer encodes text to token ids and decodes ids back to text.
+type Tokenizer struct {
+	vocab      []string
+	vocabIndex map[string]int
+	merges     []pair
+	mergeRank  map[pair]int
+}
+
+type pair struct {
+	Left  string `json:"l"`
+	Right string `json:"r"`
+}
+
+// Train builds a tokenizer from a word corpus with at most numMerges merge
+// rules. Duplicate corpus entries weight pair counts, mimicking frequency-
+// weighted training. Multi-word entries are split on whitespace.
+func Train(corpus []string, numMerges int) *Tokenizer {
+	wordFreq := make(map[string]int)
+	for _, entry := range corpus {
+		for _, w := range strings.Fields(strings.ToLower(entry)) {
+			wordFreq[w]++
+		}
+	}
+
+	// Each word is a symbol sequence; symbols start as runes with the
+	// end-of-word marker fused onto the final rune.
+	type wordState struct {
+		syms []string
+		freq int
+	}
+	var words []wordState
+	baseVocab := map[string]bool{UnknownToken: true}
+	sortedWords := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		sortedWords = append(sortedWords, w)
+	}
+	sort.Strings(sortedWords)
+	for _, w := range sortedWords {
+		syms := splitWord(w)
+		for _, s := range syms {
+			baseVocab[s] = true
+		}
+		words = append(words, wordState{syms: syms, freq: wordFreq[w]})
+	}
+
+	t := &Tokenizer{vocabIndex: make(map[string]int), mergeRank: make(map[pair]int)}
+	baseList := make([]string, 0, len(baseVocab))
+	for s := range baseVocab {
+		baseList = append(baseList, s)
+	}
+	sort.Strings(baseList)
+	for _, s := range baseList {
+		t.addToken(s)
+	}
+
+	for m := 0; m < numMerges; m++ {
+		counts := make(map[pair]int)
+		for _, w := range words {
+			for i := 0; i+1 < len(w.syms); i++ {
+				counts[pair{w.syms[i], w.syms[i+1]}] += w.freq
+			}
+		}
+		if len(counts) == 0 {
+			break
+		}
+		best, bestCount := pair{}, 0
+		keys := make([]pair, 0, len(counts))
+		for p := range counts {
+			keys = append(keys, p)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Left != keys[j].Left {
+				return keys[i].Left < keys[j].Left
+			}
+			return keys[i].Right < keys[j].Right
+		})
+		for _, p := range keys {
+			if counts[p] > bestCount {
+				best, bestCount = p, counts[p]
+			}
+		}
+		if bestCount < 1 {
+			break
+		}
+		t.mergeRank[best] = len(t.merges)
+		t.merges = append(t.merges, best)
+		merged := best.Left + best.Right
+		t.addToken(merged)
+		for wi := range words {
+			words[wi].syms = applyMerge(words[wi].syms, best, merged)
+		}
+	}
+	return t
+}
+
+func (t *Tokenizer) addToken(tok string) {
+	if _, ok := t.vocabIndex[tok]; ok {
+		return
+	}
+	t.vocabIndex[tok] = len(t.vocab)
+	t.vocab = append(t.vocab, tok)
+}
+
+func splitWord(w string) []string {
+	runes := []rune(w)
+	syms := make([]string, len(runes))
+	for i, r := range runes {
+		syms[i] = string(r)
+	}
+	if len(syms) > 0 {
+		syms[len(syms)-1] += endOfWord
+	}
+	return syms
+}
+
+func applyMerge(syms []string, p pair, merged string) []string {
+	out := syms[:0]
+	for i := 0; i < len(syms); i++ {
+		if i+1 < len(syms) && syms[i] == p.Left && syms[i+1] == p.Right {
+			out = append(out, merged)
+			i++
+			continue
+		}
+		out = append(out, syms[i])
+	}
+	return out
+}
+
+// Encode tokenizes text (lowercased, whitespace-split) into token ids.
+// Runes never seen in training become the UnknownToken id.
+func (t *Tokenizer) Encode(text string) []int {
+	var ids []int
+	for _, w := range strings.Fields(strings.ToLower(text)) {
+		syms := splitWord(w)
+		// Replace unknown base symbols before merging.
+		for i, s := range syms {
+			if _, ok := t.vocabIndex[s]; !ok {
+				syms[i] = UnknownToken
+			}
+		}
+		// Greedily apply the lowest-rank applicable merge, exactly the
+		// standard BPE encode loop.
+		for {
+			bestRank, bestAt := -1, -1
+			for i := 0; i+1 < len(syms); i++ {
+				if r, ok := t.mergeRank[pair{syms[i], syms[i+1]}]; ok {
+					if bestRank == -1 || r < bestRank {
+						bestRank, bestAt = r, i
+					}
+				}
+			}
+			if bestAt == -1 {
+				break
+			}
+			merged := syms[bestAt] + syms[bestAt+1]
+			syms = append(syms[:bestAt], append([]string{merged}, syms[bestAt+2:]...)...)
+		}
+		for _, s := range syms {
+			ids = append(ids, t.vocabIndex[s])
+		}
+	}
+	return ids
+}
+
+// Decode reconstructs text from token ids. End-of-word markers become
+// single spaces; the result is trimmed.
+func (t *Tokenizer) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id < 0 || id >= len(t.vocab) {
+			b.WriteString(UnknownToken)
+			continue
+		}
+		tok := t.vocab[id]
+		if strings.HasSuffix(tok, endOfWord) {
+			b.WriteString(strings.TrimSuffix(tok, endOfWord))
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(tok)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// VocabSize returns the number of tokens (base symbols + merges + unk).
+func (t *Tokenizer) VocabSize() int { return len(t.vocab) }
+
+// Token returns the surface form of a token id.
+func (t *Tokenizer) Token(id int) string {
+	if id < 0 || id >= len(t.vocab) {
+		return UnknownToken
+	}
+	return t.vocab[id]
+}
+
+// TokenID returns the id of a token surface form.
+func (t *Tokenizer) TokenID(tok string) (int, bool) {
+	id, ok := t.vocabIndex[tok]
+	return id, ok
+}
+
+// TokenWord returns a human-readable form of a token id with the
+// end-of-word marker stripped — what Interpretable KG Retrieval prints.
+func (t *Tokenizer) TokenWord(id int) string {
+	return strings.TrimSuffix(t.Token(id), endOfWord)
+}
+
+// IsWordFinal reports whether a token id carries the end-of-word marker —
+// true for whole-word tokens and word-final fragments, false for interior
+// fragments like "ste" in "ste|aling".
+func (t *Tokenizer) IsWordFinal(id int) bool {
+	return strings.HasSuffix(t.Token(id), endOfWord)
+}
+
+// NumMerges returns the number of learned merge rules.
+func (t *Tokenizer) NumMerges() int { return len(t.merges) }
+
+// serialized is the JSON wire form of a tokenizer.
+type serialized struct {
+	Vocab  []string `json:"vocab"`
+	Merges []pair   `json:"merges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tokenizer) MarshalJSON() ([]byte, error) {
+	return json.Marshal(serialized{Vocab: t.vocab, Merges: t.merges})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Tokenizer) UnmarshalJSON(data []byte) error {
+	var s serialized
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	t.vocab = s.Vocab
+	t.merges = s.Merges
+	t.vocabIndex = make(map[string]int, len(s.Vocab))
+	for i, tok := range s.Vocab {
+		if _, dup := t.vocabIndex[tok]; dup {
+			return fmt.Errorf("bpe: duplicate token %q in serialized vocab", tok)
+		}
+		t.vocabIndex[tok] = i
+	}
+	t.mergeRank = make(map[pair]int, len(s.Merges))
+	for i, m := range s.Merges {
+		t.mergeRank[m] = i
+	}
+	return nil
+}

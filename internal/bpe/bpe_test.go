@@ -1,0 +1,200 @@
+package bpe
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var testCorpus = []string{
+	"stealing", "stealing", "stealing", "sneaky", "sneaky", "theft",
+	"firearm", "firearm", "gun", "robbery", "robbery", "mask",
+	"explosion", "blast", "smoke", "fire", "fireball", "gunshot",
+	"pickpocket", "lookout", "loot", "getaway", "street", "crowd",
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tok := Train(testCorpus, 200)
+	words := []string{"stealing", "sneaky", "firearm", "robbery", "explosion", "gun"}
+	for _, w := range words {
+		ids := tok.Encode(w)
+		if len(ids) == 0 {
+			t.Fatalf("Encode(%q) empty", w)
+		}
+		if got := tok.Decode(ids); got != w {
+			t.Errorf("round trip %q -> %v -> %q", w, ids, got)
+		}
+	}
+}
+
+func TestEncodeMultiWord(t *testing.T) {
+	tok := Train(testCorpus, 100)
+	got := tok.Decode(tok.Encode("sneaky theft"))
+	if got != "sneaky theft" {
+		t.Errorf("multi-word round trip = %q", got)
+	}
+}
+
+func TestEncodeIsCaseInsensitive(t *testing.T) {
+	tok := Train(testCorpus, 100)
+	a := tok.Encode("Stealing")
+	b := tok.Encode("stealing")
+	if len(a) != len(b) {
+		t.Fatalf("case changed tokenisation: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("case changed token ids")
+		}
+	}
+}
+
+func TestFrequentWordsMergeToFewTokens(t *testing.T) {
+	tok := Train(testCorpus, 300)
+	// "stealing" appears 3×; with 300 merges it should be 1-2 tokens.
+	if n := len(tok.Encode("stealing")); n > 2 {
+		t.Errorf("stealing encodes to %d tokens, expected ≤2 after training", n)
+	}
+	// A word sharing no structure stays long.
+	if n := len(tok.Encode("zzzzqqqq")); n < 4 {
+		t.Errorf("novel word suspiciously short: %d tokens", n)
+	}
+}
+
+func TestUnknownRunesBecomeUnk(t *testing.T) {
+	tok := Train(testCorpus, 50)
+	ids := tok.Encode("日本")
+	if len(ids) == 0 {
+		t.Fatal("unknown text produced no tokens")
+	}
+	unkID, ok := tok.TokenID(UnknownToken)
+	if !ok {
+		t.Fatal("vocab lacks <unk>")
+	}
+	for _, id := range ids {
+		if id != unkID {
+			t.Errorf("unknown rune mapped to %q, want <unk>", tok.Token(id))
+		}
+	}
+}
+
+func TestDecodeOutOfRangeIDs(t *testing.T) {
+	tok := Train(testCorpus, 10)
+	got := tok.Decode([]int{-1, 999999})
+	if !strings.Contains(got, UnknownToken) {
+		t.Errorf("Decode of bad ids = %q", got)
+	}
+}
+
+func TestTokenWordStripsMarker(t *testing.T) {
+	tok := Train(testCorpus, 300)
+	ids := tok.Encode("gun")
+	last := ids[len(ids)-1]
+	if w := tok.TokenWord(last); strings.Contains(w, "</w>") {
+		t.Errorf("TokenWord kept marker: %q", w)
+	}
+}
+
+func TestVocabConsistency(t *testing.T) {
+	tok := Train(testCorpus, 100)
+	if tok.VocabSize() == 0 {
+		t.Fatal("empty vocab")
+	}
+	for id := 0; id < tok.VocabSize(); id++ {
+		tokStr := tok.Token(id)
+		got, ok := tok.TokenID(tokStr)
+		if !ok || got != id {
+			t.Errorf("vocab index broken for id %d (%q): got %d, %v", id, tokStr, got, ok)
+		}
+	}
+	if tok.NumMerges() == 0 {
+		t.Error("training learned no merges on a corpus with repeats")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tok := Train(testCorpus, 150)
+	data, err := json.Marshal(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tokenizer
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"stealing", "firearm", "sneaky loot"} {
+		a := tok.Encode(w)
+		b := back.Encode(w)
+		if len(a) != len(b) {
+			t.Fatalf("deserialized encode differs for %q", w)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("deserialized encode differs for %q at %d", w, i)
+			}
+		}
+		if back.Decode(b) != tok.Decode(a) {
+			t.Fatalf("deserialized decode differs for %q", w)
+		}
+	}
+}
+
+func TestUnmarshalRejectsDuplicateVocab(t *testing.T) {
+	bad := `{"vocab":["a","a"],"merges":[]}`
+	var tok Tokenizer
+	if err := json.Unmarshal([]byte(bad), &tok); err == nil {
+		t.Error("duplicate vocab entries accepted")
+	}
+}
+
+// Property: Decode(Encode(w)) == w for any lowercase ASCII word whose runes
+// appeared in training.
+func TestRoundTripProperty(t *testing.T) {
+	tok := Train(testCorpus, 200)
+	// Mid-word letters and word-final letters must both have appeared in
+	// those positions during training, or the base symbol is unknown.
+	const mid = "aeilnorst"
+	const last = "gytkmn"
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		b := make([]byte, 0, n+1)
+		for i := 0; i < n; i++ {
+			b = append(b, mid[rng.Intn(len(mid))])
+		}
+		b = append(b, last[rng.Intn(len(last))])
+		w := string(b)
+		return tok.Decode(tok.Encode(w)) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainOnEmptyCorpus(t *testing.T) {
+	tok := Train(nil, 10)
+	if tok.VocabSize() == 0 {
+		t.Fatal("even empty training must include <unk>")
+	}
+	ids := tok.Encode("anything")
+	if got := tok.Decode(ids); got == "anything" {
+		t.Error("empty-corpus tokenizer cannot know this word")
+	}
+}
+
+func TestMergeBudgetRespected(t *testing.T) {
+	small := Train(testCorpus, 5)
+	if small.NumMerges() > 5 {
+		t.Errorf("merges %d exceed budget 5", small.NumMerges())
+	}
+	big := Train(testCorpus, 1000)
+	// Budget may not be reached (pairs run out), but must never exceed.
+	if big.NumMerges() > 1000 {
+		t.Errorf("merges %d exceed budget", big.NumMerges())
+	}
+	if small.NumMerges() >= big.NumMerges() {
+		t.Errorf("larger budget learned no more merges (%d vs %d)", small.NumMerges(), big.NumMerges())
+	}
+}

@@ -1,0 +1,156 @@
+package concept
+
+import "sync"
+
+// Builtin returns the embedded surveillance-domain ontology. It is built
+// once and shared; the Ontology is immutable after construction.
+func Builtin() *Ontology {
+	builtinOnce.Do(func() {
+		builtinOntology = newOntology(builtinProfiles(), curatedRelations())
+	})
+	return builtinOntology
+}
+
+var (
+	builtinOnce     sync.Once
+	builtinOntology *Ontology
+)
+
+// builtinProfiles defines which concepts each class expresses and how
+// strongly. The overlap structure is deliberate:
+//
+//   - Stealing and Robbery share {theft, loot, bag, getaway, lookout} —
+//     a *weak* shift pair (Fig. 5A);
+//   - Stealing and Explosion share nothing — a *strong* shift pair
+//     (Fig. 5B);
+//   - every anomaly class shares the generic scene concepts with Normal
+//     only weakly, keeping the detection problem solvable.
+func builtinProfiles() map[Class][]Weighted {
+	return map[Class][]Weighted{
+		Normal: {
+			{"street", 0.9}, {"sidewalk", 0.8}, {"pedestrian", 0.9},
+			{"walking", 0.85}, {"vehicle", 0.6}, {"daylight", 0.7},
+			{"building", 0.7}, {"crowd", 0.5}, {"shopping", 0.5},
+			{"conversation", 0.4}, {"traffic", 0.6}, {"waiting", 0.4},
+			{"storefront", 0.5}, {"parking", 0.5},
+		},
+		Abuse: {
+			{"abuse", 1.0}, {"victim", 0.9}, {"aggression", 0.85},
+			{"shouting", 0.7}, {"cornering", 0.6}, {"fear", 0.7},
+			{"intimidation", 0.6}, {"struggle", 0.5},
+		},
+		Arrest: {
+			{"arrest", 1.0}, {"police", 0.95}, {"handcuffs", 0.85},
+			{"patrol", 0.6}, {"siren", 0.6}, {"custody", 0.7},
+			{"uniform", 0.5}, {"restraint", 0.6},
+		},
+		Arson: {
+			{"arson", 1.0}, {"fire", 0.9}, {"gasoline", 0.8},
+			{"ignition", 0.75}, {"flame", 0.85}, {"smoke", 0.8},
+			{"torch", 0.6}, {"accelerant", 0.55},
+		},
+		Assault: {
+			{"assault", 1.0}, {"punch", 0.85}, {"aggression", 0.8},
+			{"victim", 0.75}, {"struggle", 0.7}, {"kick", 0.65},
+			{"attack", 0.8}, {"injury", 0.5},
+		},
+		Burglary: {
+			{"burglary", 1.0}, {"breakin", 0.9}, {"window", 0.7},
+			{"crowbar", 0.65}, {"night", 0.6}, {"intruder", 0.8},
+			{"theft", 0.7}, {"forced-entry", 0.6}, {"alarm", 0.5},
+		},
+		Explosion: {
+			{"explosion", 1.0}, {"blast", 0.95}, {"fireball", 0.8},
+			{"smoke", 0.75}, {"debris", 0.8}, {"shockwave", 0.7},
+			{"detonation", 0.75}, {"rubble", 0.6}, {"panic", 0.55},
+		},
+		Fighting: {
+			{"fighting", 1.0}, {"brawl", 0.9}, {"punch", 0.8},
+			{"kick", 0.7}, {"crowd", 0.5}, {"struggle", 0.75},
+			{"shoving", 0.6}, {"aggression", 0.7},
+		},
+		RoadAccidents: {
+			{"accident", 1.0}, {"collision", 0.95}, {"crash", 0.9},
+			{"vehicle", 0.8}, {"skid", 0.6}, {"debris", 0.55},
+			{"injury", 0.6}, {"wreckage", 0.6}, {"traffic", 0.4},
+		},
+		Robbery: {
+			{"robbery", 1.0}, {"firearm", 0.9}, {"gun", 0.85},
+			{"mask", 0.8}, {"threat", 0.8}, {"cash", 0.7},
+			{"register", 0.6}, {"demand", 0.65}, {"holdup", 0.75},
+			{"loot", 0.35}, {"getaway", 0.3}, {"theft", 0.3},
+			{"bag", 0.25}, {"lookout", 0.2},
+		},
+		Shooting: {
+			{"shooting", 1.0}, {"gun", 0.9}, {"firearm", 0.85},
+			{"muzzle-flash", 0.7}, {"gunshot", 0.9}, {"panic", 0.6},
+			{"victim", 0.6}, {"fleeing", 0.55},
+		},
+		Shoplifting: {
+			{"shoplifting", 1.0}, {"store", 0.8}, {"concealment", 0.8},
+			{"merchandise", 0.75}, {"bag", 0.6}, {"theft", 0.7},
+			{"aisle", 0.5}, {"sneaky", 0.55}, {"lookout", 0.4},
+		},
+		Stealing: {
+			{"stealing", 1.0}, {"theft", 0.9}, {"sneaky", 0.85},
+			{"pickpocket", 0.75}, {"unattended", 0.7}, {"bag", 0.65},
+			{"wallet", 0.6}, {"loot", 0.6}, {"grab", 0.6},
+			{"lookout", 0.5}, {"concealment", 0.55}, {"getaway", 0.45},
+			{"car", 0.4},
+		},
+		Vandalism: {
+			{"vandalism", 1.0}, {"graffiti", 0.85}, {"smash", 0.8},
+			{"spray", 0.7}, {"damage", 0.75}, {"window", 0.55},
+			{"kicking", 0.5}, {"destruction", 0.7},
+		},
+	}
+}
+
+// curatedRelations adds cross-profile reasoning links the profile
+// co-membership rule cannot produce — chains like firearm→weapon→danger
+// that give generated KGs depth beyond a single class's vocabulary.
+func curatedRelations() []relation {
+	return []relation{
+		// Weapon cluster.
+		{"gun", "weapon", 0.9}, {"firearm", "weapon", 0.9},
+		{"knife", "weapon", 0.8}, {"weapon", "danger", 0.8},
+		{"muzzle-flash", "gunshot", 0.8},
+		// Theft cluster.
+		{"theft", "crime", 0.85}, {"loot", "valuables", 0.7},
+		{"wallet", "valuables", 0.75}, {"bag", "valuables", 0.5},
+		{"merchandise", "valuables", 0.6}, {"cash", "valuables", 0.8},
+		{"pickpocket", "crowd", 0.4}, {"sneaky", "hiding", 0.7},
+		{"concealment", "hiding", 0.8}, {"lookout", "accomplice", 0.6},
+		{"getaway", "fleeing", 0.8}, {"getaway", "car", 0.5},
+		// Violence cluster.
+		{"punch", "violence", 0.8}, {"kick", "violence", 0.75},
+		{"attack", "violence", 0.85}, {"aggression", "violence", 0.8},
+		{"brawl", "violence", 0.8}, {"struggle", "violence", 0.6},
+		{"violence", "danger", 0.75}, {"victim", "injury", 0.6},
+		// Fire cluster.
+		{"fire", "heat", 0.7}, {"flame", "heat", 0.75},
+		{"smoke", "haze", 0.6}, {"blast", "danger", 0.8},
+		{"explosion", "fire", 0.6}, {"fireball", "flame", 0.8},
+		{"detonation", "blast", 0.85}, {"debris", "destruction", 0.6},
+		{"rubble", "destruction", 0.7},
+		// Authority cluster.
+		{"police", "authority", 0.85}, {"uniform", "authority", 0.6},
+		{"siren", "emergency", 0.75}, {"alarm", "emergency", 0.7},
+		{"arrest", "crime", 0.5}, {"custody", "authority", 0.6},
+		// Scene / misc.
+		{"crime", "danger", 0.7}, {"panic", "fear", 0.8},
+		{"fleeing", "panic", 0.5}, {"crash", "impact", 0.8},
+		{"collision", "impact", 0.85}, {"impact", "danger", 0.6},
+		{"night", "darkness", 0.8}, {"intruder", "trespass", 0.8},
+		{"breakin", "trespass", 0.75}, {"threat", "intimidation", 0.8},
+		{"demand", "threat", 0.6}, {"hostage", "threat", 0.7},
+		{"holdup", "threat", 0.65}, {"shouting", "noise", 0.6},
+		{"gunshot", "noise", 0.7}, {"graffiti", "paint", 0.7},
+		{"spray", "paint", 0.75}, {"smash", "destruction", 0.75},
+		{"damage", "destruction", 0.8}, {"store", "storefront", 0.7},
+		{"shopping", "store", 0.6}, {"register", "store", 0.6},
+		{"mask", "hiding", 0.6}, {"vehicle", "car", 0.8},
+		{"traffic", "vehicle", 0.6}, {"skid", "tire", 0.7},
+		{"wreckage", "debris", 0.7}, {"injury", "emergency", 0.5},
+	}
+}

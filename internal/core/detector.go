@@ -1,0 +1,263 @@
+// Package core assembles the paper's system and implements its primary
+// contribution. Detector is the MissionGNN-style pipeline of Fig. 2(B):
+// frozen joint embedding → per-KG hierarchical GNN → transformer temporal
+// model → linear+softmax decision head. Monitor tracks the deployed
+// anomaly-score distribution and selects the top-K recent scores as
+// pseudo-anomalies with K = |Δm|·N (Sec. III-D). Adapter performs the
+// continuous KG adaptive learning loop of Fig. 4: token-embedding-only
+// updates, per-node L2 convergence tracking, and node pruning + creation
+// on divergence.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/decision"
+	"edgekg/internal/embed"
+	"edgekg/internal/gnn"
+	"edgekg/internal/kg"
+	"edgekg/internal/nn"
+	"edgekg/internal/temporal"
+	"edgekg/internal/tensor"
+)
+
+// Config assembles a Detector.
+type Config struct {
+	// GNN configures every per-KG hierarchical GNN.
+	GNN gnn.Config
+	// Temporal configures the short-term temporal model; InputDim is
+	// overwritten with the concatenated reasoning width.
+	Temporal temporal.Config
+	// NumClasses is n+1 (normal + anomaly types) for the decision head.
+	NumClasses int
+	// Loss carries the λ_spa / λ_smt weights.
+	Loss decision.LossConfig
+	// ScoreTemperature calibrates the frozen head at deployment: scores
+	// use softmax(logits/T). Training drives logits far apart, so raw
+	// float64 softmax saturates to exactly 0/1 — monotone (AUC is
+	// unaffected) but fatal for the monitor, whose top-K selection and
+	// Δm detection need graded scores. 0 means 1 (no scaling).
+	ScoreTemperature float64
+}
+
+// DefaultConfig returns the paper's model shape for a given class count.
+func DefaultConfig(numClasses int) Config {
+	return Config{
+		GNN:              gnn.DefaultConfig(),
+		Temporal:         temporal.Config{InnerDim: 128, Heads: 8, Layers: 1, Window: 8},
+		NumClasses:       numClasses,
+		Loss:             decision.DefaultLossConfig(),
+		ScoreTemperature: 4,
+	}
+}
+
+// Detector is the assembled anomaly detection model.
+type Detector struct {
+	space *embed.Space
+	gnns  []*gnn.Model
+	temp  *temporal.Model
+	head  *decision.Head
+	cfg   Config
+}
+
+// NewDetector builds a detector reasoning over the given mission KGs.
+func NewDetector(rng *rand.Rand, space *embed.Space, graphs []*kg.Graph, cfg Config) (*Detector, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("core: detector needs at least one mission KG")
+	}
+	d := &Detector{space: space, cfg: cfg}
+	reasonDim := 0
+	for _, g := range graphs {
+		m, err := gnn.NewModel(rng, g, space, cfg.GNN)
+		if err != nil {
+			return nil, fmt.Errorf("core: GNN for %q: %w", g.Mission, err)
+		}
+		d.gnns = append(d.gnns, m)
+		reasonDim += m.Width()
+	}
+	tcfg := cfg.Temporal
+	tcfg.InputDim = reasonDim
+	tm, err := temporal.New(rng, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: temporal model: %w", err)
+	}
+	d.temp = tm
+	head, err := decision.NewHead(rng, reasonDim, cfg.NumClasses)
+	if err != nil {
+		return nil, fmt.Errorf("core: decision head: %w", err)
+	}
+	d.head = head
+	return d, nil
+}
+
+// Space returns the frozen joint embedding model.
+func (d *Detector) Space() *embed.Space { return d.space }
+
+// Graphs returns the mission KGs in model order.
+func (d *Detector) Graphs() []*kg.Graph {
+	out := make([]*kg.Graph, len(d.gnns))
+	for i, m := range d.gnns {
+		out[i] = m.Graph()
+	}
+	return out
+}
+
+// GNN returns the i-th per-KG model.
+func (d *Detector) GNN(i int) *gnn.Model { return d.gnns[i] }
+
+// NumGNNs returns the mission-KG count.
+func (d *Detector) NumGNNs() int { return len(d.gnns) }
+
+// Temporal returns the short-term temporal model.
+func (d *Detector) Temporal() *temporal.Model { return d.temp }
+
+// Head returns the decision head.
+func (d *Detector) Head() *decision.Head { return d.head }
+
+// ReasoningDim returns D = Σ_i D_{d+2} — the concatenated multi-KG
+// reasoning embedding width.
+func (d *Detector) ReasoningDim() int {
+	dim := 0
+	for _, m := range d.gnns {
+		dim += m.Width()
+	}
+	return dim
+}
+
+// Window returns the temporal window length T.
+func (d *Detector) Window() int { return d.temp.Window() }
+
+// EmbedFrames encodes raw pixel frames (rows) and reasons over every KG,
+// returning the concatenated per-frame reasoning embeddings f_t
+// (rows × ReasoningDim). Gradients flow into the token banks (and GNN
+// weights when unfrozen).
+func (d *Detector) EmbedFrames(pix *tensor.Tensor) *autograd.Value {
+	sem := autograd.Constant(d.space.EncodeImageBatch(pix))
+	outs := make([]*autograd.Value, len(d.gnns))
+	for i, m := range d.gnns {
+		outs[i] = m.Forward(sem)
+	}
+	if len(outs) == 1 {
+		return outs[0]
+	}
+	return autograd.ConcatCols(outs...)
+}
+
+// ForwardClip runs the full pipeline over a contiguous clip of
+// window+batch−1 frames, producing logits for the batch overlapping
+// windows. Frame embeddings are computed once and shared across windows,
+// which is both faster and exactly what a streaming deployment sees.
+func (d *Detector) ForwardClip(clip *tensor.Tensor, batch int) *autograd.Value {
+	t := d.temp.Window()
+	if clip.Rows() != t+batch-1 {
+		panic(fmt.Sprintf("core: clip has %d rows, want window+batch-1 = %d", clip.Rows(), t+batch-1))
+	}
+	emb := d.EmbedFrames(clip) // (t+batch-1 × D)
+	outs := make([]*autograd.Value, batch)
+	for k := 0; k < batch; k++ {
+		win := autograd.SliceRows(emb, k, k+t)
+		outs[k] = d.temp.ForwardSeq(win)
+	}
+	return d.head.Logits(autograd.ConcatRows(outs...))
+}
+
+// ScoreVideo scores every frame of a video in inference mode, returning
+// per-frame anomaly scores pA. The first window−1 frames are scored with
+// a left-padded window (first frame repeated), matching a causal stream
+// warm-up.
+func (d *Detector) ScoreVideo(frames *tensor.Tensor) []float64 {
+	d.SetTraining(false)
+	n := frames.Rows()
+	t := d.temp.Window()
+	emb := d.EmbedFrames(frames).Data // inference: raw data is fine
+	scores := make([]float64, n)
+	invT := 1.0
+	if d.cfg.ScoreTemperature > 0 {
+		invT = 1 / d.cfg.ScoreTemperature
+	}
+	for i := 0; i < n; i++ {
+		win := tensor.New(t, emb.Cols())
+		for k := 0; k < t; k++ {
+			src := i - (t - 1) + k
+			if src < 0 {
+				src = 0
+			}
+			copy(win.Row(k), emb.Row(src))
+		}
+		out := d.temp.ForwardSeq(autograd.Constant(win))
+		logits := autograd.Scale(d.head.Logits(out), invT)
+		probs := autograd.SoftmaxRows(logits)
+		scores[i] = 1 - probs.Data.At2(0, 0)
+	}
+	return scores
+}
+
+// ScoreTemperature returns the deployment calibration temperature (≥1 in
+// practice; 1 when unset).
+func (d *Detector) ScoreTemperature() float64 {
+	if d.cfg.ScoreTemperature > 0 {
+		return d.cfg.ScoreTemperature
+	}
+	return 1
+}
+
+// SetTraining toggles BatchNorm/Dropout mode across the pipeline.
+func (d *Detector) SetTraining(t bool) {
+	for _, m := range d.gnns {
+		m.SetTraining(t)
+	}
+	d.temp.SetTraining(t)
+}
+
+// Params returns every weight of the trainable models (GNN dense/BN,
+// temporal, head) excluding the token banks.
+func (d *Detector) Params() []nn.Param {
+	var ps []nn.Param
+	for i, m := range d.gnns {
+		ps = append(ps, nn.Prefix(fmt.Sprintf("gnn%d", i), m.Params())...)
+	}
+	ps = append(ps, nn.Prefix("temporal", d.temp.Params())...)
+	ps = append(ps, nn.Prefix("head", d.head.Params())...)
+	return ps
+}
+
+// TokenParams returns the KG token-bank parameters across all graphs —
+// the only weights deployment-time adaptation updates.
+func (d *Detector) TokenParams() []nn.Param {
+	var ps []nn.Param
+	for i, m := range d.gnns {
+		ps = append(ps, nn.Prefix(fmt.Sprintf("gnn%d", i), m.TokenParams())...)
+	}
+	return ps
+}
+
+// paramsModule adapts a parameter list to nn.Module for Freeze/Unfreeze.
+type paramsModule []nn.Param
+
+func (p paramsModule) Params() []nn.Param { return p }
+
+// Deploy freezes the entire model — weights and token banks — and
+// switches to inference mode: the state of Fig. 2(C) "Froze Model" before
+// adaptation begins.
+func (d *Detector) Deploy() {
+	nn.Freeze(paramsModule(d.Params()))
+	nn.Freeze(paramsModule(d.TokenParams()))
+	d.SetTraining(false)
+}
+
+// EnableAdaptation unfreezes only the token banks ("Unfroze Model" in
+// Fig. 2(C) applies solely to the KG token embeddings).
+func (d *Detector) EnableAdaptation() {
+	nn.Freeze(paramsModule(d.Params()))
+	nn.Unfreeze(paramsModule(d.TokenParams()))
+	d.SetTraining(false)
+}
+
+// UnfreezeAll restores full trainability (pre-deployment training mode).
+func (d *Detector) UnfreezeAll() {
+	nn.Unfreeze(paramsModule(d.Params()))
+	nn.Unfreeze(paramsModule(d.TokenParams()))
+	d.SetTraining(true)
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"edgekg/internal/tensor"
+)
+
+// Sample is one monitored data point: a frame, its anomaly score and its
+// arrival sequence number.
+type Sample struct {
+	Frame *tensor.Tensor // (1 × pixDim) raw pixel features
+	Score float64
+	Seq   int
+}
+
+// Monitor tracks the anomaly-score distribution over the most recent N
+// data points and implements the pseudo-label selection rule of
+// Sec. III-D: when the windowed mean has dropped relative to the mean at
+// reference time t′ (Δm = m_t − m_t′ < 0), the top K = |Δm|·N recent
+// scores are treated as anomalies.
+//
+// Two interpretations of t′ are supported. Sliding mode compares against
+// the windowed mean refLag pushes ago and fires only during the
+// transition itself. Anchored mode fixes t′ at the first full window
+// after deployment (healthy operation) so Δm stays negative — and
+// adaptation keeps engaging — for as long as the model remains degraded,
+// annealing naturally as recovery drives the mean back up. The sustained
+// recovery curves of Fig. 5 require the anchored reading.
+type Monitor struct {
+	n      int
+	refLag int
+
+	anchored  bool
+	reference float64
+	hasRef    bool
+
+	buf   []Sample  // ring of the last n samples
+	means []float64 // windowed mean history, one entry per Push
+	seq   int
+}
+
+// NewMonitor returns a sliding-reference monitor over windows of n
+// samples comparing against the mean refLag pushes ago.
+func NewMonitor(n, refLag int) (*Monitor, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: monitor window %d must be ≥2", n)
+	}
+	if refLag < 1 {
+		return nil, fmt.Errorf("core: monitor reference lag %d must be ≥1", refLag)
+	}
+	return &Monitor{n: n, refLag: refLag}, nil
+}
+
+// NewAnchoredMonitor returns an anchored-reference monitor: t′ is frozen
+// at the mean of the first full window (the post-deployment validation
+// period the paper tunes t′ on).
+func NewAnchoredMonitor(n int) (*Monitor, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: monitor window %d must be ≥2", n)
+	}
+	return &Monitor{n: n, refLag: 1, anchored: true}, nil
+}
+
+// Anchored reports the reference mode.
+func (m *Monitor) Anchored() bool { return m.anchored }
+
+// Reference returns the anchored reference mean (0 until established).
+func (m *Monitor) Reference() float64 { return m.reference }
+
+// SetReference overrides the anchored reference — callers can re-anchor
+// after a planned mission change.
+func (m *Monitor) SetReference(ref float64) {
+	m.reference = ref
+	m.hasRef = true
+}
+
+// N returns the window size.
+func (m *Monitor) N() int { return m.n }
+
+// Push records a scored frame.
+func (m *Monitor) Push(frame *tensor.Tensor, score float64) {
+	m.buf = append(m.buf, Sample{Frame: frame, Score: score, Seq: m.seq})
+	m.seq++
+	if len(m.buf) > m.n {
+		m.buf = m.buf[1:]
+	}
+	m.means = append(m.means, m.mean())
+	// Bound the mean history: only the last refLag+1 entries matter.
+	if len(m.means) > m.refLag+1 {
+		m.means = m.means[len(m.means)-m.refLag-1:]
+	}
+	if m.anchored && !m.hasRef && len(m.buf) == m.n {
+		m.reference = m.mean()
+		m.hasRef = true
+	}
+}
+
+func (m *Monitor) mean() float64 {
+	if len(m.buf) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range m.buf {
+		s += x.Score
+	}
+	return s / float64(len(m.buf))
+}
+
+// Mean returns the current windowed mean m_t.
+func (m *Monitor) Mean() float64 { return m.mean() }
+
+// Ready reports whether the window is full and the t′ reference exists.
+func (m *Monitor) Ready() bool {
+	if m.anchored {
+		return len(m.buf) == m.n && m.hasRef
+	}
+	return len(m.buf) == m.n && len(m.means) > m.refLag
+}
+
+// DeltaM returns Δm = m_t − m_t′. It is meaningful only when Ready.
+func (m *Monitor) DeltaM() float64 {
+	if !m.Ready() {
+		return 0
+	}
+	cur := m.means[len(m.means)-1]
+	if m.anchored {
+		return cur - m.reference
+	}
+	ref := m.means[len(m.means)-1-m.refLag]
+	return cur - ref
+}
+
+// K returns the pseudo-anomaly count K = |Δm|·N, zero when the mean has
+// not dropped (Δm ≥ 0) or the monitor is not ready, clamped to [0, N].
+func (m *Monitor) K() int {
+	dm := m.DeltaM()
+	if !m.Ready() || dm >= 0 {
+		return 0
+	}
+	k := int(-dm * float64(m.n))
+	if k < 1 {
+		k = 1 // a detected drop always yields at least one pseudo-label
+	}
+	if k > m.n {
+		k = m.n
+	}
+	return k
+}
+
+// TopK returns the K highest-scoring samples in the window, ordered by
+// descending score (ties by recency). The returned slice is fresh.
+func (m *Monitor) TopK() []Sample {
+	k := m.K()
+	if k == 0 {
+		return nil
+	}
+	sorted := append([]Sample(nil), m.buf...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].Seq > sorted[j].Seq
+	})
+	return sorted[:k]
+}
+
+// BottomK returns the k lowest-scoring samples (most confidently normal),
+// used as the non-anomalous anchors of the adaptation loss.
+func (m *Monitor) BottomK(k int) []Sample {
+	if k <= 0 || len(m.buf) == 0 {
+		return nil
+	}
+	if k > len(m.buf) {
+		k = len(m.buf)
+	}
+	sorted := append([]Sample(nil), m.buf...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score < sorted[j].Score
+		}
+		return sorted[i].Seq > sorted[j].Seq
+	})
+	return sorted[:k]
+}
+
+// Reset clears all state including any anchored reference.
+func (m *Monitor) Reset() {
+	m.buf = nil
+	m.means = nil
+	m.seq = 0
+	m.reference = 0
+	m.hasRef = false
+}

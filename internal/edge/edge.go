@@ -1,0 +1,174 @@
+// Package edge simulates the deployed edge device of Fig. 2(C): a runtime
+// that scores an incoming frame stream with the frozen detector, feeds the
+// score-distribution monitor, runs the continuous KG adaptation loop on a
+// fixed cadence (once per simulated day in Table I), and meters every
+// phase's FLOPs so the efficiency comparison reflects the code that
+// actually ran.
+package edge
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/core"
+	"edgekg/internal/flops"
+	"edgekg/internal/tensor"
+)
+
+// Config controls the runtime.
+type Config struct {
+	// MonitorN is the monitor's sliding window size (the N of K=|Δm|·N).
+	MonitorN int
+	// MonitorLag is the t′ reference lag in pushes (sliding mode only).
+	MonitorLag int
+	// AnchoredReference freezes t′ at the first full window after
+	// deployment, so adaptation keeps engaging while the model is
+	// degraded (see core.NewAnchoredMonitor). The Fig. 5 recovery curves
+	// use this mode.
+	AnchoredReference bool
+	// AdaptEveryFrames is the adaptation cadence: one adaptation round per
+	// this many processed frames ("one loop of KG modification once per
+	// day" in Sec. IV-D). 0 disables adaptation — the static-KG arm.
+	AdaptEveryFrames int
+	// Adapt configures the adapter (ignored when adaptation is disabled).
+	Adapt core.AdaptConfig
+	// Device models energy/latency for the cost report.
+	Device flops.DeviceProfile
+}
+
+// DefaultConfig returns the experiment suite's runtime settings.
+func DefaultConfig() Config {
+	return Config{
+		MonitorN:          64,
+		MonitorLag:        32,
+		AnchoredReference: true,
+		AdaptEveryFrames:  64,
+		Adapt:             core.DefaultAdaptConfig(),
+		Device:            flops.JetsonClass(),
+	}
+}
+
+// Runtime is one simulated edge deployment.
+type Runtime struct {
+	det     *core.Detector
+	mon     *core.Monitor
+	adapter *core.Adapter
+	cfg     Config
+	ledger  *flops.Ledger
+
+	frames      int
+	adaptRounds int
+	triggered   int
+	pruned      int
+	created     int
+}
+
+// Ledger phase names.
+const (
+	PhaseScoring    = "scoring"
+	PhaseAdaptation = "adaptation"
+)
+
+// NewRuntime deploys a detector. The detector is frozen (and token banks
+// unfrozen when adaptation is enabled) as a side effect, exactly like a
+// real deployment hand-off.
+func NewRuntime(det *core.Detector, cfg Config, rng *rand.Rand) (*Runtime, error) {
+	var mon *core.Monitor
+	var err error
+	if cfg.AnchoredReference {
+		mon, err = core.NewAnchoredMonitor(cfg.MonitorN)
+	} else {
+		mon, err = core.NewMonitor(cfg.MonitorN, cfg.MonitorLag)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("edge: %w", err)
+	}
+	r := &Runtime{det: det, mon: mon, cfg: cfg, ledger: flops.NewLedger()}
+	if cfg.AdaptEveryFrames > 0 {
+		adapter, err := core.NewAdapter(det, cfg.Adapt, rng)
+		if err != nil {
+			return nil, fmt.Errorf("edge: %w", err)
+		}
+		r.adapter = adapter
+	} else {
+		det.Deploy()
+	}
+	return r, nil
+}
+
+// Detector returns the deployed detector.
+func (r *Runtime) Detector() *core.Detector { return r.det }
+
+// Monitor returns the score monitor (for observability and tests).
+func (r *Runtime) Monitor() *core.Monitor { return r.mon }
+
+// Adaptive reports whether this runtime runs the adaptation loop.
+func (r *Runtime) Adaptive() bool { return r.adapter != nil }
+
+// ProcessFrame scores one incoming frame, updates the monitor, and — on
+// the adaptation cadence — runs one adaptation round. It returns the
+// anomaly score and the adaptation report (zero-valued when no round ran).
+func (r *Runtime) ProcessFrame(pix *tensor.Tensor) (float64, core.AdaptReport, error) {
+	frame := pix.Reshape(1, pix.Size())
+	var score float64
+	r.ledger.Meter(PhaseScoring, func() {
+		score = r.det.ScoreVideo(frame)[0]
+	})
+	r.mon.Push(frame, score)
+	r.frames++
+
+	var rep core.AdaptReport
+	if r.adapter != nil && r.cfg.AdaptEveryFrames > 0 && r.frames%r.cfg.AdaptEveryFrames == 0 {
+		var err error
+		r.ledger.Meter(PhaseAdaptation, func() {
+			rep, err = r.adapter.Step(r.mon)
+		})
+		if err != nil {
+			return score, rep, fmt.Errorf("edge: adaptation round: %w", err)
+		}
+		r.adaptRounds++
+		if rep.Triggered {
+			r.triggered++
+		}
+		r.pruned += len(rep.Pruned)
+		r.created += len(rep.Created)
+	}
+	return score, rep, nil
+}
+
+// Stats summarises a deployment for the cost tables.
+type Stats struct {
+	Frames           int
+	AdaptRounds      int
+	TriggeredRounds  int
+	PrunedNodes      int
+	CreatedNodes     int
+	ScoringOps       int64
+	AdaptOps         int64
+	AdaptOpsPerRound int64
+	// EnergyPerAdaptJ and AdaptLatencyS follow from the device profile.
+	EnergyPerAdaptJ float64
+	AdaptLatencyS   float64
+}
+
+// Stats returns the deployment's accumulated statistics.
+func (r *Runtime) Stats() Stats {
+	s := Stats{
+		Frames:          r.frames,
+		AdaptRounds:     r.adaptRounds,
+		TriggeredRounds: r.triggered,
+		PrunedNodes:     r.pruned,
+		CreatedNodes:    r.created,
+		ScoringOps:      r.ledger.PhaseOps(PhaseScoring),
+		AdaptOps:        r.ledger.PhaseOps(PhaseAdaptation),
+	}
+	if r.adaptRounds > 0 {
+		s.AdaptOpsPerRound = s.AdaptOps / int64(r.adaptRounds)
+		s.EnergyPerAdaptJ = r.cfg.Device.EnergyJoules(s.AdaptOpsPerRound)
+		s.AdaptLatencyS = r.cfg.Device.LatencySeconds(s.AdaptOpsPerRound)
+	}
+	return s
+}
+
+// Ledger exposes the phase cost ledger.
+func (r *Runtime) Ledger() *flops.Ledger { return r.ledger }

@@ -1,0 +1,178 @@
+package edge
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/bpe"
+	"edgekg/internal/concept"
+	"edgekg/internal/core"
+	"edgekg/internal/dataset"
+	"edgekg/internal/decision"
+	"edgekg/internal/embed"
+	"edgekg/internal/gnn"
+	"edgekg/internal/kg"
+	"edgekg/internal/kggen"
+	"edgekg/internal/oracle"
+	"edgekg/internal/temporal"
+)
+
+func buildFixture(t *testing.T, seed int64) (*core.Detector, *dataset.Generator) {
+	t.Helper()
+	ont := concept.Builtin()
+	tok := bpe.Train(ont.Concepts(), 600)
+	space, err := embed.NewSpace(tok, ont.Concepts(), embed.Config{Dim: 16, PixDim: 32, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	llm := oracle.NewSim(ont, rng, oracle.Config{EdgeProb: 0.9})
+	g, _, err := kggen.Generate(llm, "Stealing",
+		kggen.Options{Depth: 2, InitialFanout: 4, Fanout: 3, MaxCorrectionIters: 3, Tokenize: tok.Encode}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := core.NewDetector(rng, space, []*kg.Graph{g}, core.Config{
+		GNN:        gnn.Config{Width: 8},
+		Temporal:   temporal.Config{InnerDim: 16, Heads: 2, Layers: 1, Window: 4},
+		NumClasses: 2,
+		Loss:       decision.DefaultLossConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := dataset.DefaultConfig()
+	dcfg.FramesPerVideo = 16
+	gen, err := dataset.NewGenerator(space, ont, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, gen
+}
+
+func smallConfig(adaptive bool) Config {
+	cfg := DefaultConfig()
+	cfg.MonitorN = 8
+	cfg.MonitorLag = 4
+	cfg.AdaptEveryFrames = 8
+	if !adaptive {
+		cfg.AdaptEveryFrames = 0
+	}
+	return cfg
+}
+
+func TestRuntimeScoresAndMeters(t *testing.T) {
+	det, gen := buildFixture(t, 1)
+	rng := rand.New(rand.NewSource(1))
+	rt, err := NewRuntime(det, smallConfig(true), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Adaptive() {
+		t.Fatal("runtime should be adaptive")
+	}
+	for i := 0; i < 8; i++ {
+		score, _, err := rt.ProcessFrame(gen.Frame(rng, concept.Stealing))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score < 0 || score > 1 {
+			t.Fatalf("score %v out of range", score)
+		}
+	}
+	// Force a mean drop so the second adaptation round triggers: pretend
+	// healthy operation scored far higher than what we see now.
+	rt.Monitor().SetReference(1.0)
+	for i := 0; i < 8; i++ {
+		if _, _, err := rt.ProcessFrame(gen.Frame(rng, concept.Stealing)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.Frames != 16 {
+		t.Errorf("frames = %d", st.Frames)
+	}
+	if st.ScoringOps <= 0 {
+		t.Error("scoring ops not metered")
+	}
+	if st.AdaptRounds != 2 { // every 8 frames
+		t.Errorf("adapt rounds = %d, want 2", st.AdaptRounds)
+	}
+	if st.TriggeredRounds == 0 {
+		t.Error("forced mean drop did not trigger")
+	}
+	if st.AdaptOps <= 0 {
+		t.Error("adaptation ops not metered")
+	}
+	if rt.Ledger().PhaseEvents(PhaseScoring) != 16 {
+		t.Errorf("scoring events = %d", rt.Ledger().PhaseEvents(PhaseScoring))
+	}
+}
+
+func TestStaticRuntimeNeverAdapts(t *testing.T) {
+	det, gen := buildFixture(t, 2)
+	rng := rand.New(rand.NewSource(2))
+	rt, err := NewRuntime(det, smallConfig(false), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Adaptive() {
+		t.Fatal("static runtime claims to be adaptive")
+	}
+	for i := 0; i < 24; i++ {
+		if _, rep, err := rt.ProcessFrame(gen.Frame(rng, concept.Robbery)); err != nil {
+			t.Fatal(err)
+		} else if rep.Triggered {
+			t.Fatal("static runtime adapted")
+		}
+	}
+	st := rt.Stats()
+	if st.AdaptRounds != 0 || st.AdaptOps != 0 {
+		t.Errorf("static runtime recorded adaptation: %+v", st)
+	}
+	if st.EnergyPerAdaptJ != 0 {
+		t.Error("static runtime reports adaptation energy")
+	}
+}
+
+func TestRuntimeStatsDeviceDerived(t *testing.T) {
+	det, gen := buildFixture(t, 3)
+	rng := rand.New(rand.NewSource(3))
+	cfg := smallConfig(true)
+	rt, err := NewRuntime(det, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, _, err := rt.ProcessFrame(gen.Frame(rng, concept.Normal)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.AdaptRounds != 1 {
+		t.Fatalf("adapt rounds = %d", st.AdaptRounds)
+	}
+	wantE := cfg.Device.EnergyJoules(st.AdaptOpsPerRound)
+	if st.EnergyPerAdaptJ != wantE {
+		t.Errorf("energy %v, want %v", st.EnergyPerAdaptJ, wantE)
+	}
+	wantL := cfg.Device.LatencySeconds(st.AdaptOpsPerRound)
+	if st.AdaptLatencyS != wantL {
+		t.Errorf("latency %v, want %v", st.AdaptLatencyS, wantL)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	det, _ := buildFixture(t, 4)
+	rng := rand.New(rand.NewSource(4))
+	bad := smallConfig(true)
+	bad.MonitorN = 1
+	if _, err := NewRuntime(det, bad, rng); err == nil {
+		t.Error("bad monitor config accepted")
+	}
+	bad = smallConfig(true)
+	bad.Adapt.LR = 0
+	if _, err := NewRuntime(det, bad, rng); err == nil {
+		t.Error("bad adapt config accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/bpe"
+	"edgekg/internal/concept"
+	"edgekg/internal/tensor"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	corpus := concept.Builtin().Concepts()
+	tok := bpe.Train(corpus, 600)
+	s, err := NewSpace(tok, corpus, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	tok := bpe.Train([]string{"a"}, 1)
+	if _, err := NewSpace(tok, []string{"a"}, Config{Dim: 1, PixDim: 4}); err == nil {
+		t.Error("dim 1 accepted")
+	}
+	if _, err := NewSpace(tok, []string{"a"}, Config{Dim: 8, PixDim: 4}); err == nil {
+		t.Error("pixDim < dim accepted")
+	}
+}
+
+func TestWordVectorsDeterministicUnitNorm(t *testing.T) {
+	s := testSpace(t)
+	v1 := s.WordVector("stealing")
+	v2 := s.WordVector("stealing")
+	if !tensor.AllClose(v1, v2, 0) {
+		t.Error("word vector not deterministic")
+	}
+	if math.Abs(tensor.Norm2(v1)-1) > 1e-9 {
+		t.Errorf("word vector norm %v", tensor.Norm2(v1))
+	}
+	// Distinct words get distinct directions.
+	v3 := s.WordVector("explosion")
+	if tensor.CosineSimilarity(v1, v3) > 0.8 {
+		t.Errorf("unrelated words too close: %v", tensor.CosineSimilarity(v1, v3))
+	}
+}
+
+func TestRenderEncodeInverts(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(1))
+	sem := s.WordVector("robbery")
+	pix := s.Render(rng, sem, 0) // noiseless
+	back := s.EncodeImage(pix)
+	if !tensor.AllClose(back, sem, 1e-9) {
+		t.Errorf("encode(render(x)) != x: dist %v", tensor.L2Distance(back, sem))
+	}
+}
+
+func TestRenderEncodeAttenuatesNoise(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(2))
+	sem := s.WordVector("gun")
+	var totalErr float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		pix := s.Render(rng, sem, 0.1)
+		back := s.EncodeImage(pix)
+		totalErr += tensor.L2Distance(back, sem)
+	}
+	avg := totalErr / trials
+	// Orthonormal projection keeps only dim of pixDim noise dimensions:
+	// expected error ≈ 0.1·sqrt(dim) ≈ 0.57, far below the raw pixel noise
+	// norm 0.1·sqrt(pixDim) ≈ 0.98.
+	if avg > 0.8 {
+		t.Errorf("noise attenuation too weak: avg err %v", avg)
+	}
+	if avg < 0.2 {
+		t.Errorf("suspiciously low noise: avg err %v", avg)
+	}
+}
+
+func TestEncodeImageBatchMatchesSingle(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(3))
+	p1 := s.Render(rng, s.WordVector("fire"), 0.05)
+	p2 := s.Render(rng, s.WordVector("smoke"), 0.05)
+	batch := tensor.ConcatRows(p1.Reshape(1, s.PixDim()), p2.Reshape(1, s.PixDim()))
+	enc := s.EncodeImageBatch(batch)
+	e1 := s.EncodeImage(p1)
+	e2 := s.EncodeImage(p2)
+	if !tensor.AllClose(tensor.SliceRows(enc, 0, 1).Reshape(s.Dim()), e1, 1e-9) {
+		t.Error("batch row 0 disagrees with single encode")
+	}
+	if !tensor.AllClose(tensor.SliceRows(enc, 1, 2).Reshape(s.Dim()), e2, 1e-9) {
+		t.Error("batch row 1 disagrees with single encode")
+	}
+}
+
+// The alignment property everything rests on: TextEncode(word) must be
+// close to WordVector(word), because BPE collapses trained words to
+// whole-word tokens whose table rows were seeded from the word vectors.
+func TestTextEncodeAlignsWithWordVectors(t *testing.T) {
+	s := testSpace(t)
+	words := []string{"stealing", "sneaky", "firearm", "robbery", "explosion"}
+	for _, w := range words {
+		te := s.TextEncode(w)
+		cos := tensor.CosineSimilarity(te, s.WordVector(w))
+		if cos < 0.85 {
+			t.Errorf("TextEncode(%q) misaligned: cos %v", w, cos)
+		}
+	}
+}
+
+func TestTextEncodeCrossAlignmentViaImage(t *testing.T) {
+	// A rendered frame of concept X must be closer (in encoded space) to
+	// TextEncode(X) than to TextEncode(unrelated Y): the joint-space
+	// property that makes the GNN's sensor products informative.
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(4))
+	frame := s.EncodeImage(s.Render(rng, s.WordVector("stealing"), 0.1))
+	same := tensor.CosineSimilarity(frame, s.TextEncode("stealing"))
+	other := tensor.CosineSimilarity(frame, s.TextEncode("explosion"))
+	if same <= other {
+		t.Errorf("joint alignment broken: same %v vs other %v", same, other)
+	}
+	if same < 0.5 {
+		t.Errorf("same-concept similarity too low: %v", same)
+	}
+}
+
+func TestTokenTableIsCopy(t *testing.T) {
+	s := testSpace(t)
+	tab := s.TokenTable()
+	tab.Fill(0)
+	if tensor.Norm2(s.TokenTable()) == 0 {
+		t.Error("TokenTable leaked internal storage")
+	}
+}
+
+func TestTokenVector(t *testing.T) {
+	s := testSpace(t)
+	ids := s.Tokenizer().Encode("gun")
+	if len(ids) == 0 {
+		t.Fatal("no tokens")
+	}
+	v := s.TokenVector(ids[0])
+	if v.Size() != s.Dim() {
+		t.Errorf("token vector size %d", v.Size())
+	}
+	if tensor.Norm2(v) == 0 {
+		t.Error("token vector zero")
+	}
+}
+
+func TestUnseenTokensGetSmallVectors(t *testing.T) {
+	s := testSpace(t)
+	unkID, ok := s.Tokenizer().TokenID(bpe.UnknownToken)
+	if !ok {
+		t.Fatal("no <unk> token")
+	}
+	v := s.TokenVector(unkID)
+	n := tensor.Norm2(v)
+	if n == 0 || n > 0.5 {
+		t.Errorf("<unk> vector norm %v, want small but nonzero", n)
+	}
+}
+
+func TestTextEncodeEmpty(t *testing.T) {
+	s := testSpace(t)
+	v := s.TextEncode("")
+	if tensor.Norm2(v) != 0 {
+		t.Error("empty phrase should encode to zero vector")
+	}
+}
+
+func TestCameraColumnsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := orthonormalColumns(rng, 20, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			dot := 0.0
+			for r := 0; r < 20; r++ {
+				dot += m.At2(r, i) * m.At2(r, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("col %d·col %d = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestRenderDimensionChecks(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(6))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong semantic dim")
+		}
+	}()
+	s.Render(rng, tensor.New(s.Dim()+1), 0)
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/core"
+)
+
+// testScale is even smaller than QuickScale so the whole suite stays fast.
+func testScale() Scale {
+	s := QuickScale()
+	s.TrainSteps = 150
+	s.SegmentFrames = 96
+	s.AdaptEvery = 24
+	s.MonitorN = 24
+	s.MonitorLag = 12
+	s.EvalNormals, s.EvalAnomlous = 3, 3
+	return s
+}
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestEnvConstruction(t *testing.T) {
+	env := testEnv(t)
+	if env.Space.Dim() != 16 || env.Space.PixDim() != 32 {
+		t.Errorf("space dims %d/%d", env.Space.Dim(), env.Space.PixDim())
+	}
+	if env.Tok.VocabSize() == 0 {
+		t.Error("empty vocab")
+	}
+}
+
+func TestBuildTrainedDetectorDeterministic(t *testing.T) {
+	env := testEnv(t)
+	d1, g1, err := env.BuildTrainedDetector(concept.Stealing, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, g2, err := env.BuildTrainedDetector(concept.Stealing, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Error("same-seed KGs differ structurally")
+	}
+	// Same seed ⇒ identical weights ⇒ identical evaluation.
+	a1, err := env.EvalAUC(d1, concept.Stealing, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := env.EvalAUC(d2, concept.Stealing, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("same-seed detectors disagree: %v vs %v", a1, a2)
+	}
+	if a1 < 0.7 {
+		t.Errorf("trained AUC %v too low", a1)
+	}
+}
+
+func TestRunFig5WeakShiftShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig5(env, concept.Stealing, concept.Robbery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Adaptive) == 0 || len(res.Static) == 0 {
+		t.Fatal("no curve points")
+	}
+	if len(res.Adaptive) != len(res.Static) {
+		t.Errorf("arm lengths differ: %d vs %d", len(res.Adaptive), len(res.Static))
+	}
+	// Both phases must be represented.
+	phases := map[int]bool{}
+	for _, p := range res.Adaptive {
+		phases[p.Phase] = true
+		if p.AUC < 0 || p.AUC > 1 {
+			t.Fatalf("AUC %v out of range", p.AUC)
+		}
+	}
+	if !phases[0] || !phases[1] {
+		t.Error("curve missing a phase")
+	}
+	if res.Overlap <= 0.1 {
+		t.Errorf("weak-shift overlap %v suspiciously low", res.Overlap)
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 5", "Stealing→Robbery", "anomaly shift", "post-shift gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "step,phase,auc_adaptive,auc_static\n") {
+		t.Error("CSV header wrong")
+	}
+	if strings.Count(csv, "\n") != len(res.Adaptive)+1 {
+		t.Error("CSV row count wrong")
+	}
+}
+
+func TestRunFig6Trajectory(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunFig6(env, "sneaky", "firearm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trajectory
+	if len(tr.Iterations) < 3 {
+		t.Fatalf("trajectory too short: %d points", len(tr.Iterations))
+	}
+	if res.DecodedStart == "" {
+		t.Error("no decoded start phrase")
+	}
+	if len(res.TopKEnd) != 5 {
+		t.Errorf("top-5 has %d entries", len(res.TopKEnd))
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 6", "sneaky", "firearm", "net drift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if !strings.Contains(res.CSV(), "iteration,dist_initial,dist_target,top_word") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestRunTableIAccounting(t *testing.T) {
+	env := testEnv(t)
+	cfg := DefaultTableIConfig()
+	cfg.Days = 8 // keep the test fast; cost scaling is linear anyway
+	res, err := RunTableI(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cloud side: 4 updates at the paper's constants.
+	if res.CloudCosts.Updates != 4 {
+		t.Errorf("cloud updates = %d, want 4", res.CloudCosts.Updates)
+	}
+	if res.CloudCosts.TotalFLOPs != 4e15 {
+		t.Errorf("cloud FLOPs = %v, want 4e15", res.CloudCosts.TotalFLOPs)
+	}
+	if res.CloudCosts.BandwidthGB != 2 {
+		t.Errorf("bandwidth = %v, want 2 GB", res.CloudCosts.BandwidthGB)
+	}
+	// Edge side: measured, nonzero, and orders of magnitude below cloud.
+	if res.EdgeOpsPerDay <= 0 {
+		t.Error("no edge adaptation ops measured")
+	}
+	if float64(res.EdgeOpsPerMonth) >= res.CloudCosts.TotalFLOPs/1000 {
+		t.Errorf("edge monthly ops %v not ≪ cloud %v", res.EdgeOpsPerMonth, res.CloudCosts.TotalFLOPs)
+	}
+	// AUCs sane.
+	if res.BaselineAUC < 0.5 || res.ProposedAUC < 0.5 {
+		t.Errorf("AUCs too low: baseline %v proposed %v", res.BaselineAUC, res.ProposedAUC)
+	}
+	out := res.Render()
+	for _, want := range []string{"TABLE I", "Average AUC", "FLOPs/month", "Scalability"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestScalesConstructible(t *testing.T) {
+	if _, err := NewEnv(QuickScale()); err != nil {
+		t.Errorf("quick scale: %v", err)
+	}
+	full := FullScale()
+	if full.TemporalInner != 128 || full.TemporalHeads != 8 {
+		t.Error("full scale should use the paper's temporal shape")
+	}
+}
+
+func TestDefaultAdaptConfigSanity(t *testing.T) {
+	cfg := core.DefaultAdaptConfig()
+	if cfg.LR <= 0 || cfg.Patience < 1 {
+		t.Error("default adapt config invalid")
+	}
+}

@@ -1,0 +1,168 @@
+package flops
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CloudConstants carries the cloud-side cost figures Table I states for
+// the GPT-4 KG-update baseline. They are constants of the paper's
+// accounting, not measured here (the cloud is exactly what the proposed
+// method removes).
+type CloudConstants struct {
+	// KGGenFLOPs is the GPT-4 compute per KG generation (1e15 in Table I).
+	KGGenFLOPs float64
+	// KGGenMinutes is wall-clock per generation.
+	KGGenMinutes float64
+	// GPTMemoryGB is GPT-4's serving footprint during generation.
+	GPTMemoryGB float64
+	// KGMemoryGB is the knowledge graph's memory footprint.
+	KGMemoryGB float64
+	// KGTransferGB is network traffic per KG update pushed to the edge.
+	KGTransferGB float64
+	// EdgeStorageGB is the on-device storage requirement.
+	EdgeStorageGB float64
+}
+
+// PaperCloudConstants returns Table I's stated values.
+func PaperCloudConstants() CloudConstants {
+	return CloudConstants{
+		KGGenFLOPs:    1e15,
+		KGGenMinutes:  1,
+		GPTMemoryGB:   200,
+		KGMemoryGB:    0.5,
+		KGTransferGB:  0.5,
+		EdgeStorageGB: 1,
+	}
+}
+
+// DeviceProfile models the edge device for energy and latency accounting.
+type DeviceProfile struct {
+	Name string
+	// FLOPSPerSecond is sustained compute throughput.
+	FLOPSPerSecond float64
+	// JoulesPerFLOP is the energy cost per floating point operation.
+	JoulesPerFLOP float64
+	// IdlePowerWatts is drawn regardless of work (unused by Table I but
+	// kept for the energy ablation bench).
+	IdlePowerWatts float64
+}
+
+// JetsonClass returns a Jetson-Nano-class profile: ~5 GFLOP/s sustained
+// CPU-side, ~5 nJ/FLOP. With Table I's 1e9 FLOPs per daily adaptation this
+// yields the paper's "approx. 5 J" per update.
+func JetsonClass() DeviceProfile {
+	return DeviceProfile{
+		Name:           "jetson-class",
+		FLOPSPerSecond: 5e9,
+		JoulesPerFLOP:  5e-9,
+		IdlePowerWatts: 2,
+	}
+}
+
+// EnergyJoules returns the energy to execute ops floating point
+// operations.
+func (d DeviceProfile) EnergyJoules(ops int64) float64 {
+	return float64(ops) * d.JoulesPerFLOP
+}
+
+// LatencySeconds returns the time to execute ops floating point
+// operations at sustained throughput.
+func (d DeviceProfile) LatencySeconds(ops int64) float64 {
+	if d.FLOPSPerSecond <= 0 {
+		return 0
+	}
+	return float64(ops) / d.FLOPSPerSecond
+}
+
+// Ledger accumulates op/byte costs per named phase. It is safe for
+// concurrent use.
+type Ledger struct {
+	mu     sync.Mutex
+	phases map[string]*phaseCost
+}
+
+type phaseCost struct {
+	ops, bytes int64
+	events     int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{phases: make(map[string]*phaseCost)}
+}
+
+// Record adds one event's costs to a phase.
+func (l *Ledger) Record(phase string, ops, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := l.phases[phase]
+	if p == nil {
+		p = &phaseCost{}
+		l.phases[phase] = p
+	}
+	p.ops += ops
+	p.bytes += bytes
+	p.events++
+}
+
+// Meter runs fn with a fresh counter and records its cost under phase,
+// returning the measured ops.
+func (l *Ledger) Meter(phase string, fn func()) int64 {
+	ops, bytes := Count(fn)
+	l.Record(phase, ops, bytes)
+	return ops
+}
+
+// PhaseOps returns the accumulated ops of a phase (0 if absent).
+func (l *Ledger) PhaseOps(phase string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p := l.phases[phase]; p != nil {
+		return p.ops
+	}
+	return 0
+}
+
+// PhaseEvents returns how many events a phase recorded.
+func (l *Ledger) PhaseEvents(phase string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p := l.phases[phase]; p != nil {
+		return p.events
+	}
+	return 0
+}
+
+// TotalOps returns the ledger-wide op count.
+func (l *Ledger) TotalOps() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, p := range l.phases {
+		total += p.ops
+	}
+	return total
+}
+
+// Phases returns the recorded phase names, sorted.
+func (l *Ledger) Phases() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.phases))
+	for k := range l.phases {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Summary renders the ledger for logs.
+func (l *Ledger) Summary() string {
+	out := ""
+	for _, ph := range l.Phases() {
+		out += fmt.Sprintf("%s: ops=%d events=%d\n", ph, l.PhaseOps(ph), l.PhaseEvents(ph))
+	}
+	return out
+}

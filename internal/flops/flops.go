@@ -1,0 +1,75 @@
+// Package flops provides floating-point-operation, byte-traffic, energy and
+// latency accounting for the edge/cloud cost comparison of Table I.
+//
+// The package is a leaf dependency: internal/tensor reports operation counts
+// here, and internal/edge and internal/baseline read ledgers out to build
+// the cost tables. Counting is active only while a Counter is installed via
+// SetActive, so the steady-state overhead of an idle counter is one atomic
+// pointer load per tensor op.
+package flops
+
+import "sync/atomic"
+
+// Counter accumulates floating point operations and bytes moved. The zero
+// value is ready to use. Counter is safe for concurrent use.
+type Counter struct {
+	ops   atomic.Int64
+	bytes atomic.Int64
+}
+
+// AddOps records n floating point operations.
+func (c *Counter) AddOps(n int64) { c.ops.Add(n) }
+
+// AddBytes records n bytes of memory traffic.
+func (c *Counter) AddBytes(n int64) { c.bytes.Add(n) }
+
+// Ops returns the accumulated floating point operation count.
+func (c *Counter) Ops() int64 { return c.ops.Load() }
+
+// Bytes returns the accumulated byte-traffic count.
+func (c *Counter) Bytes() int64 { return c.bytes.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.ops.Store(0)
+	c.bytes.Store(0)
+}
+
+var active atomic.Pointer[Counter]
+
+// SetActive installs c as the process-wide active counter. Tensor operations
+// report their cost to the active counter. Passing nil disables counting.
+// It returns the previously active counter (possibly nil) so callers can
+// restore it: defer flops.SetActive(flops.SetActive(c)).
+func SetActive(c *Counter) *Counter {
+	return active.Swap(c)
+}
+
+// Active returns the currently installed counter, or nil when counting is
+// disabled.
+func Active() *Counter { return active.Load() }
+
+// Add reports n floating point operations to the active counter, if any.
+func Add(n int64) {
+	if c := active.Load(); c != nil {
+		c.ops.Add(n)
+	}
+}
+
+// AddBytes reports n bytes of traffic to the active counter, if any.
+func AddBytes(n int64) {
+	if c := active.Load(); c != nil {
+		c.bytes.Add(n)
+	}
+}
+
+// Count runs fn with a fresh active counter installed, restores the previous
+// counter, and returns the operations and bytes fn consumed. It is the
+// convenient way to meter one phase of a pipeline.
+func Count(fn func()) (ops, bytes int64) {
+	var c Counter
+	prev := SetActive(&c)
+	defer SetActive(prev)
+	fn()
+	return c.Ops(), c.Bytes()
+}

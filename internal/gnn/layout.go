@@ -1,0 +1,102 @@
+// Package gnn implements the hierarchical graph neural network of
+// Sec. III-C (eqs. 1–4): per-layer dense refinement, hierarchical message
+// passing restricted to the edge group E(l), hierarchical mean aggregation
+// with pass-through for out-of-level nodes, BatchNorm and ELU. One Model
+// reasons over one mission-specific KG; multi-KG reasoning concatenates
+// the per-graph embedding-node outputs (handled by the caller).
+package gnn
+
+import (
+	"fmt"
+
+	"edgekg/internal/kg"
+)
+
+// layout caches the index structure of a KG for tensor execution: node
+// ordering, per-edge-group source/destination index lists, and per-group
+// level membership masks. It must be rebuilt (Model.Rebind) whenever the
+// graph's node or edge set changes.
+type layout struct {
+	nodes []*kg.Node
+	index map[kg.NodeID]int
+	// groups[l] holds the edges between level l and l+1 (0-based: group 0
+	// is sensor→level1, group depth is levelDepth→embedding terminal).
+	groups []edgeGroup
+	// sensorIdx and embIdx locate the terminals in the node ordering.
+	sensorIdx, embIdx int
+}
+
+type edgeGroup struct {
+	src, dst []int
+	// inLevel[i] is true when node i belongs to the group's destination
+	// level — the V(l) membership of eq. (3).
+	inLevel []bool
+}
+
+// buildLayout indexes a strictly valid graph. Node order is (level, id),
+// matching kg.Graph.Nodes, so the sensor node is always index 0 and the
+// embedding terminal is always the last index.
+func buildLayout(g *kg.Graph) (*layout, error) {
+	if g.SensorNode() == nil || g.EmbeddingTerminal() == nil {
+		return nil, fmt.Errorf("gnn: graph %q lacks terminals; call AttachTerminals first", g.Mission)
+	}
+	lo := &layout{index: make(map[kg.NodeID]int)}
+	lo.nodes = g.Nodes()
+	for i, n := range lo.nodes {
+		lo.index[n.ID] = i
+	}
+	lo.sensorIdx = lo.index[g.SensorNode().ID]
+	lo.embIdx = lo.index[g.EmbeddingTerminal().ID]
+
+	depth := g.Depth()
+	lo.groups = make([]edgeGroup, depth+1)
+	for l := 0; l <= depth; l++ {
+		grp := edgeGroup{inLevel: make([]bool, len(lo.nodes))}
+		for i, n := range lo.nodes {
+			if n.Level == l+1 {
+				grp.inLevel[i] = true
+			}
+		}
+		lo.groups[l] = grp
+	}
+	for _, e := range g.Edges() {
+		srcNode := g.Node(e.Src)
+		si, ok1 := lo.index[e.Src]
+		di, ok2 := lo.index[e.Dst]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("gnn: edge %d→%d references unindexed node", e.Src, e.Dst)
+		}
+		l := srcNode.Level
+		if l < 0 || l > depth {
+			return nil, fmt.Errorf("gnn: edge source level %d outside [0,%d]", l, depth)
+		}
+		lo.groups[l].src = append(lo.groups[l].src, si)
+		lo.groups[l].dst = append(lo.groups[l].dst, di)
+	}
+	return lo, nil
+}
+
+// numNodes returns the node count.
+func (lo *layout) numNodes() int { return len(lo.nodes) }
+
+// replicate returns the group's index lists offset for a batch of b graph
+// copies stacked row-wise (block-diagonal batching), plus the replicated
+// level mask.
+func (g edgeGroup) replicate(b, v int) (src, dst []int, inLevel []bool) {
+	src = make([]int, 0, b*len(g.src))
+	dst = make([]int, 0, b*len(g.dst))
+	inLevel = make([]bool, b*v)
+	for k := 0; k < b; k++ {
+		off := k * v
+		for _, s := range g.src {
+			src = append(src, s+off)
+		}
+		for _, d := range g.dst {
+			dst = append(dst, d+off)
+		}
+		for i, in := range g.inLevel {
+			inLevel[off+i] = in
+		}
+	}
+	return src, dst, inLevel
+}

@@ -1,0 +1,192 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/embed"
+	"edgekg/internal/kg"
+	"edgekg/internal/nn"
+	"edgekg/internal/tensor"
+)
+
+// Model is the hierarchical GNN over one mission-specific KG. For a KG of
+// depth d it applies d+2 layers (Sec. III-C): one per edge group
+// (sensor→L1, L1→L2, …, Ld→embedding) plus a final dense refinement layer
+// with no message passing, matching the paper's layer count.
+type Model struct {
+	graph  *kg.Graph
+	space  *embed.Space
+	tokens *TokenBank
+	layers []*layer
+	lo     *layout
+	width  int
+}
+
+// layer is one hierarchical GNN layer: φ_l (dense), M_l/A_l (messages and
+// aggregation over its edge group), BatchNorm, ELU. group == -1 marks the
+// final refinement layer, which skips message passing.
+type layer struct {
+	dense *nn.Linear
+	bn    *nn.BatchNorm1d
+	group int
+}
+
+// Config sizes a Model.
+type Config struct {
+	// Width is the embedding dimensionality D_l of every GNN layer — the
+	// paper uses 8 across all layers (Sec. IV-A).
+	Width int
+}
+
+// DefaultConfig returns the paper's GNN configuration.
+func DefaultConfig() Config { return Config{Width: 8} }
+
+// NewModel builds a hierarchical GNN for g with a fresh token bank
+// initialised from space.
+func NewModel(rng *rand.Rand, g *kg.Graph, space *embed.Space, cfg Config) (*Model, error) {
+	if cfg.Width < 1 {
+		return nil, fmt.Errorf("gnn: width %d must be ≥1", cfg.Width)
+	}
+	lo, err := buildLayout(g)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		graph:  g,
+		space:  space,
+		tokens: NewTokenBank(g, space),
+		lo:     lo,
+		width:  cfg.Width,
+	}
+	inDim := space.Dim()
+	numGroups := g.Depth() + 1
+	for l := 0; l < numGroups; l++ {
+		m.layers = append(m.layers, &layer{
+			dense: nn.NewLinear(rng, inDim, cfg.Width),
+			bn:    nn.NewBatchNorm1d(cfg.Width),
+			group: l,
+		})
+		inDim = cfg.Width
+	}
+	// Final refinement layer (brings the count to d+2).
+	m.layers = append(m.layers, &layer{
+		dense: nn.NewLinear(rng, inDim, cfg.Width),
+		bn:    nn.NewBatchNorm1d(cfg.Width),
+		group: -1,
+	})
+	return m, nil
+}
+
+// Graph returns the KG the model reasons over.
+func (m *Model) Graph() *kg.Graph { return m.graph }
+
+// Tokens returns the trainable token bank.
+func (m *Model) Tokens() *TokenBank { return m.tokens }
+
+// Width returns the output embedding dimensionality.
+func (m *Model) Width() int { return m.width }
+
+// NumLayers returns the layer count (depth + 2).
+func (m *Model) NumLayers() int { return len(m.layers) }
+
+// Rebind re-indexes the model after the KG's structure changed (node
+// pruning/creation), synchronising the token bank with the surviving
+// node set.
+func (m *Model) Rebind() error {
+	lo, err := buildLayout(m.graph)
+	if err != nil {
+		return err
+	}
+	m.lo = lo
+	m.tokens.SyncWith(m.graph, m.space)
+	return nil
+}
+
+// Forward reasons over a batch of already-image-encoded frames
+// (batch × space.Dim()) and returns the embedding-node outputs
+// (batch × Width) — the per-KG reasoning embedding r_T of Sec. III-C.
+func (m *Model) Forward(frames *autograd.Value) *autograd.Value {
+	b := frames.Data.Rows()
+	if frames.Data.Cols() != m.space.Dim() {
+		panic(fmt.Sprintf("gnn: frame dim %d != semantic dim %d", frames.Data.Cols(), m.space.Dim()))
+	}
+	v := m.lo.numNodes()
+
+	// Assemble the batched node-feature matrix (b*v × dim): each graph
+	// copy stacks its sensor row (that sample's frame embedding), the
+	// shared reasoning-node features (token-bank means) and a zero row for
+	// the embedding terminal.
+	nodeRows := make([]*autograd.Value, v)
+	for i, n := range m.lo.nodes {
+		switch n.Kind {
+		case kg.Reasoning:
+			nodeRows[i] = m.tokens.NodeEmbedding(n.ID)
+		case kg.Sensor, kg.EmbeddingNode:
+			nodeRows[i] = nil // filled per sample below
+		}
+	}
+	// The embedding terminal starts at the multiplicative identity: with
+	// product messages (eq. 2) a zero row would absorb every incoming
+	// message, so ones let the final aggregation carry the upstream
+	// reasoning embeddings through unchanged.
+	ones := autograd.Constant(tensor.Ones(1, m.space.Dim()))
+	perSample := make([]*autograd.Value, 0, b*v)
+	for k := 0; k < b; k++ {
+		sensor := autograd.SliceRows(frames, k, k+1)
+		for i := range nodeRows {
+			switch {
+			case i == m.lo.sensorIdx:
+				perSample = append(perSample, sensor)
+			case nodeRows[i] != nil:
+				perSample = append(perSample, nodeRows[i])
+			default:
+				perSample = append(perSample, ones)
+			}
+		}
+	}
+	x := autograd.ConcatRows(perSample...)
+
+	for _, ly := range m.layers {
+		x = ly.dense.Forward(x)
+		if ly.group >= 0 {
+			src, dst, inLevel := m.lo.groups[ly.group].replicate(b, v)
+			msgs := autograd.EdgeMessage(x, src, dst)
+			x = autograd.EdgeAggregate(x, msgs, dst, inLevel)
+		}
+		x = autograd.ELU(ly.bn.Forward(x))
+	}
+
+	// Extract the embedding-terminal row of every sample.
+	embRows := make([]int, b)
+	for k := 0; k < b; k++ {
+		embRows[k] = k*v + m.lo.embIdx
+	}
+	return autograd.Gather(x, embRows)
+}
+
+// SetTraining switches the BatchNorm layers between batch and running
+// statistics.
+func (m *Model) SetTraining(t bool) {
+	for _, ly := range m.layers {
+		ly.bn.SetTraining(t)
+	}
+}
+
+// Params returns the GNN weights (dense + BatchNorm), excluding the token
+// bank — these are what training updates and deployment freezes.
+func (m *Model) Params() []nn.Param {
+	var ps []nn.Param
+	for i, ly := range m.layers {
+		prefix := fmt.Sprintf("layer%d", i)
+		ps = append(ps, nn.Prefix(prefix+".dense", ly.dense.Params())...)
+		ps = append(ps, nn.Prefix(prefix+".bn", ly.bn.Params())...)
+	}
+	return ps
+}
+
+// TokenParams returns the token-bank parameters — what adaptation updates.
+func (m *Model) TokenParams() []nn.Param {
+	return nn.Prefix("tokens", m.tokens.Params())
+}

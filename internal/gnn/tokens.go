@@ -1,0 +1,139 @@
+package gnn
+
+import (
+	"fmt"
+	"sort"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/embed"
+	"edgekg/internal/kg"
+	"edgekg/internal/nn"
+	"edgekg/internal/tensor"
+)
+
+// TokenBank holds the continuous token embeddings of every reasoning node
+// in one KG — the only parameters deployment-time adaptive learning
+// updates (Sec. III-D: "only the embeddings of the KG tokens are
+// updated"). Each node owns a (numTokens × dim) trainable matrix
+// initialised from the frozen joint model's aligned token table, exactly
+// the CoOp-style continuous-prompt setup Sec. III-E decodes.
+type TokenBank struct {
+	dim   int
+	banks map[kg.NodeID]*autograd.Value
+}
+
+// NewTokenBank builds a bank for every reasoning node of g, initialising
+// node token rows from the space's token table.
+func NewTokenBank(g *kg.Graph, space *embed.Space) *TokenBank {
+	tb := &TokenBank{dim: space.Dim(), banks: make(map[kg.NodeID]*autograd.Value)}
+	for _, n := range g.Nodes() {
+		if n.Kind != kg.Reasoning {
+			continue
+		}
+		tb.banks[n.ID] = autograd.Param(initialTokens(n, space))
+	}
+	return tb
+}
+
+// initialTokens returns the (numTokens × dim) initial embedding matrix of
+// a node: its BPE tokens' table rows, or the text encoding of its concept
+// when it carries no token ids.
+func initialTokens(n *kg.Node, space *embed.Space) *tensor.Tensor {
+	if len(n.TokenIDs) == 0 {
+		return space.TextEncode(n.Concept).Reshape(1, space.Dim())
+	}
+	rows := make([]*tensor.Tensor, len(n.TokenIDs))
+	for i, id := range n.TokenIDs {
+		rows[i] = space.TokenVector(id).Reshape(1, space.Dim())
+	}
+	return tensor.ConcatRows(rows...)
+}
+
+// Dim returns the embedding dimensionality.
+func (tb *TokenBank) Dim() int { return tb.dim }
+
+// Has reports whether the bank tracks node id.
+func (tb *TokenBank) Has(id kg.NodeID) bool {
+	_, ok := tb.banks[id]
+	return ok
+}
+
+// Bank returns the trainable token matrix of a node.
+func (tb *TokenBank) Bank(id kg.NodeID) *autograd.Value {
+	b, ok := tb.banks[id]
+	if !ok {
+		panic(fmt.Sprintf("gnn: no token bank for node %d", id))
+	}
+	return b
+}
+
+// NodeEmbedding returns the node's (1 × dim) feature: the mean of its
+// token embeddings, differentiable into the bank.
+func (tb *TokenBank) NodeEmbedding(id kg.NodeID) *autograd.Value {
+	return autograd.MeanRows(tb.Bank(id))
+}
+
+// Snapshot returns a deep copy of a node's token matrix — the "old token
+// embeddings" side of the convergence distance test (Fig. 4A).
+func (tb *TokenBank) Snapshot(id kg.NodeID) *tensor.Tensor {
+	return tb.Bank(id).Data.Clone()
+}
+
+// Install sets (or replaces) a node's token matrix. Node creation passes
+// the random embedding of Fig. 4C through here.
+func (tb *TokenBank) Install(id kg.NodeID, init *tensor.Tensor) {
+	if init.Dims() != 2 || init.Cols() != tb.dim {
+		panic(fmt.Sprintf("gnn: Install shape %v, want (k × %d)", init.Shape(), tb.dim))
+	}
+	tb.banks[id] = autograd.Param(init)
+}
+
+// Remove drops a pruned node's bank.
+func (tb *TokenBank) Remove(id kg.NodeID) { delete(tb.banks, id) }
+
+// SyncWith reconciles the bank set with the graph after structural
+// mutation: banks for pruned nodes are dropped, new reasoning nodes get
+// banks initialised from the space. Existing banks are left untouched so
+// learned embeddings survive unrelated mutations.
+func (tb *TokenBank) SyncWith(g *kg.Graph, space *embed.Space) {
+	live := make(map[kg.NodeID]bool)
+	for _, n := range g.Nodes() {
+		if n.Kind != kg.Reasoning {
+			continue
+		}
+		live[n.ID] = true
+		if _, ok := tb.banks[n.ID]; !ok {
+			tb.banks[n.ID] = autograd.Param(initialTokens(n, space))
+		}
+	}
+	for id := range tb.banks {
+		if !live[id] {
+			delete(tb.banks, id)
+		}
+	}
+}
+
+// Params implements nn.Module: one named parameter per node, sorted by id
+// for deterministic state dictionaries.
+func (tb *TokenBank) Params() []nn.Param {
+	ids := make([]kg.NodeID, 0, len(tb.banks))
+	for id := range tb.banks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]nn.Param, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, nn.Param{Name: fmt.Sprintf("node%d", id), V: tb.banks[id]})
+	}
+	return out
+}
+
+// NodeIDs returns the tracked node ids sorted ascending.
+func (tb *TokenBank) NodeIDs() []kg.NodeID {
+	ids := make([]kg.NodeID, 0, len(tb.banks))
+	for id := range tb.banks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

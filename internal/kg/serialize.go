@@ -1,0 +1,143 @@
+package kg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// wireGraph is the JSON form of a Graph.
+type wireGraph struct {
+	Mission string     `json:"mission"`
+	Depth   int        `json:"depth"`
+	NextID  NodeID     `json:"next_id"`
+	Nodes   []wireNode `json:"nodes"`
+	Edges   []Edge     `json:"edges"`
+}
+
+type wireNode struct {
+	ID       NodeID `json:"id"`
+	Concept  string `json:"concept"`
+	Level    int    `json:"level"`
+	Kind     Kind   `json:"kind"`
+	TokenIDs []int  `json:"token_ids,omitempty"`
+	Created  bool   `json:"created,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with deterministic ordering.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	w := wireGraph{Mission: g.Mission, Depth: g.depth, NextID: g.nextID, Edges: g.Edges()}
+	ids := append([]NodeID(nil), g.order...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := g.nodes[id]
+		w.Nodes = append(w.Nodes, wireNode{
+			ID: n.ID, Concept: n.Concept, Level: n.Level, Kind: n.Kind,
+			TokenIDs: n.TokenIDs, Created: n.Created,
+		})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var w wireGraph
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Depth < 1 {
+		return fmt.Errorf("kg: serialized graph depth %d invalid", w.Depth)
+	}
+	fresh := New(w.Mission, w.Depth)
+	fresh.nextID = w.NextID
+	for _, wn := range w.Nodes {
+		n := &Node{ID: wn.ID, Concept: wn.Concept, Level: wn.Level, Kind: wn.Kind,
+			TokenIDs: append([]int(nil), wn.TokenIDs...), Created: wn.Created}
+		if _, dup := fresh.nodes[n.ID]; dup {
+			return fmt.Errorf("kg: serialized graph has duplicate node id %d", n.ID)
+		}
+		fresh.nodes[n.ID] = n
+		fresh.order = append(fresh.order, n.ID)
+		fresh.out[n.ID] = make(map[NodeID]bool)
+		fresh.in[n.ID] = make(map[NodeID]bool)
+		if n.ID >= fresh.nextID {
+			fresh.nextID = n.ID + 1
+		}
+	}
+	for _, e := range w.Edges {
+		if fresh.nodes[e.Src] == nil || fresh.nodes[e.Dst] == nil {
+			return fmt.Errorf("kg: serialized edge %d→%d references missing node", e.Src, e.Dst)
+		}
+		fresh.out[e.Src][e.Dst] = true
+		fresh.in[e.Dst][e.Src] = true
+	}
+	*g = *fresh
+	return nil
+}
+
+// DOT renders the graph in Graphviz dot format, one rank per level, for
+// human inspection of generated and adapted KGs.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Mission)
+	for l := 0; l <= g.depth+1; l++ {
+		nodes := g.NodesAtLevel(l)
+		if len(nodes) == 0 {
+			continue
+		}
+		b.WriteString("  { rank=same; ")
+		for _, n := range nodes {
+			fmt.Fprintf(&b, "n%d; ", n.ID)
+		}
+		b.WriteString("}\n")
+		for _, n := range nodes {
+			shape := ""
+			if n.Kind != Reasoning {
+				shape = ", shape=ellipse"
+			} else if n.Created {
+				shape = ", style=dashed"
+			}
+			fmt.Fprintf(&b, "  n%d [label=%q%s];\n", n.ID, n.Concept, shape)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e.Src, e.Dst)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarises a graph for logs and the experiment reports.
+type Stats struct {
+	Mission       string
+	Depth         int
+	Nodes         int
+	Edges         int
+	NodesPerLevel []int
+	CreatedNodes  int
+}
+
+// ComputeStats returns the graph's summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Mission:       g.Mission,
+		Depth:         g.depth,
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		NodesPerLevel: make([]int, g.depth+2),
+	}
+	for _, n := range g.Nodes() {
+		s.NodesPerLevel[n.Level]++
+		if n.Created {
+			s.CreatedNodes++
+		}
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("kg %q: depth=%d nodes=%d edges=%d perLevel=%v created=%d",
+		s.Mission, s.Depth, s.Nodes, s.Edges, s.NodesPerLevel, s.CreatedNodes)
+}

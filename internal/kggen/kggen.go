@@ -1,0 +1,368 @@
+// Package kggen implements the mission-specific reasoning KG generation
+// framework of Fig. 3: initial node generation, a level-by-level expansion
+// loop (node generation → edge generation → error detection), a bounded
+// error-correction loop, fallback pruning of uncorrectable elements, and
+// finalisation by attaching the sensor and embedding nodes.
+package kggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/kg"
+	"edgekg/internal/oracle"
+)
+
+// Options configures generation.
+type Options struct {
+	// Depth is the number of reasoning levels to generate.
+	Depth int
+	// InitialFanout is the node count requested for level 1.
+	InitialFanout int
+	// Fanout is the node count requested for each subsequent level.
+	Fanout int
+	// MaxCorrectionIters bounds the error-correction loop per level; when
+	// exhausted, problematic nodes and edges are pruned (Sec. III-B).
+	MaxCorrectionIters int
+	// Tokenize converts a concept phrase to BPE token ids for node
+	// initialisation. nil leaves TokenIDs empty.
+	Tokenize func(string) []int
+}
+
+// DefaultOptions returns the configuration used throughout the experiment
+// suite: 3 reasoning levels, 6 initial concepts, 5 per expansion.
+func DefaultOptions() Options {
+	return Options{Depth: 3, InitialFanout: 6, Fanout: 5, MaxCorrectionIters: 4}
+}
+
+// Report records what the generation loop did — the observability the
+// cmd/kggen tool prints.
+type Report struct {
+	Mission          string
+	LevelsGenerated  int
+	NodesRequested   int
+	NodesCommitted   int
+	DuplicatesFound  int
+	InvalidEdges     int
+	CorrectionRounds int
+	PrunedNodes      int
+	PrunedEdges      int
+}
+
+// String summarises the report.
+func (r Report) String() string {
+	return fmt.Sprintf("kggen %q: levels=%d nodes=%d/%d dups=%d badEdges=%d corrections=%d prunedNodes=%d prunedEdges=%d",
+		r.Mission, r.LevelsGenerated, r.NodesCommitted, r.NodesRequested,
+		r.DuplicatesFound, r.InvalidEdges, r.CorrectionRounds, r.PrunedNodes, r.PrunedEdges)
+}
+
+// Generate builds a mission-specific KG with the given LLM. rng drives
+// only tie-breaking inside this loop (the LLM owns its own randomness).
+// The returned graph always passes strict validation.
+func Generate(llm oracle.LLM, mission string, opts Options, rng *rand.Rand) (*kg.Graph, Report, error) {
+	if opts.Depth < 1 {
+		return nil, Report{}, fmt.Errorf("kggen: depth %d must be ≥1", opts.Depth)
+	}
+	if opts.InitialFanout < 1 || opts.Fanout < 1 {
+		return nil, Report{}, fmt.Errorf("kggen: fanouts must be ≥1 (initial %d, expansion %d)", opts.InitialFanout, opts.Fanout)
+	}
+	report := Report{Mission: mission}
+	g := kg.New(mission, opts.Depth)
+
+	tokenize := opts.Tokenize
+	if tokenize == nil {
+		tokenize = func(string) []int { return nil }
+	}
+
+	// Level 1: initial reasoning nodes. The paper treats these as given by
+	// the LLM without a correction loop; we still dedupe defensively.
+	initial := dedupe(llm.InitialNodes(mission, opts.InitialFanout))
+	report.NodesRequested += opts.InitialFanout
+	if len(initial) == 0 {
+		return nil, report, fmt.Errorf("kggen: LLM produced no initial nodes for mission %q", mission)
+	}
+	for _, c := range initial {
+		if _, err := g.AddNode(c, 1, tokenize(c)); err != nil {
+			return nil, report, fmt.Errorf("kggen: initial node %q: %w", c, err)
+		}
+		report.NodesCommitted++
+	}
+	report.LevelsGenerated = 1
+
+	// Expansion loop for levels 2..Depth.
+	for level := 2; level <= opts.Depth; level++ {
+		current := conceptsAt(g, level-1)
+		existing := allConcepts(g)
+		report.NodesRequested += opts.Fanout
+
+		names := llm.NextNodes(mission, current, existing, opts.Fanout)
+		proposals := llm.ProposeEdges(current, names)
+
+		// Error detection and bounded correction (Fig. 3's inner loop).
+		for iter := 0; ; iter++ {
+			dups, badEdges := detectErrors(g, current, names, proposals)
+			if len(dups) == 0 && len(badEdges) == 0 {
+				break
+			}
+			if iter >= opts.MaxCorrectionIters {
+				// Correction budget exhausted: prune the problematic
+				// nodes and edges, exactly the paper's fallback.
+				names, proposals = pruneErrors(names, proposals, dups, badEdges)
+				report.PrunedNodes += len(dups)
+				report.PrunedEdges += len(badEdges)
+				break
+			}
+			report.CorrectionRounds++
+			report.DuplicatesFound += len(dups)
+			report.InvalidEdges += len(badEdges)
+			var prunedN, prunedE int
+			names, proposals, prunedN, prunedE = correctErrors(llm, g, names, proposals, dups, badEdges)
+			report.PrunedNodes += prunedN
+			report.PrunedEdges += prunedE
+		}
+
+		if len(names) == 0 {
+			return nil, report, fmt.Errorf("kggen: level %d empty after correction for mission %q", level, mission)
+		}
+
+		// Commit nodes.
+		committed := make(map[string]kg.NodeID, len(names))
+		for _, c := range names {
+			n, err := g.AddNode(c, level, tokenize(c))
+			if err != nil {
+				// detectErrors guarantees uniqueness; a failure here is a
+				// programming error worth surfacing loudly.
+				return nil, report, fmt.Errorf("kggen: committing %q at level %d: %w", c, level, err)
+			}
+			committed[c] = n.ID
+			report.NodesCommitted++
+		}
+		// Commit edges; resolution cannot fail after detection, but guard.
+		prev := nodeIndexAt(g, level-1)
+		for _, p := range proposals {
+			srcID, ok1 := prev[p.From]
+			dstID, ok2 := committed[p.To]
+			if !ok1 || !ok2 {
+				continue
+			}
+			if g.HasEdge(srcID, dstID) {
+				continue
+			}
+			if err := g.AddEdge(srcID, dstID); err != nil {
+				return nil, report, fmt.Errorf("kggen: committing edge %q→%q: %w", p.From, p.To, err)
+			}
+		}
+		// Guarantee connectivity: any new node without a parent gets the
+		// deterministic first node of the previous level (correction-by-
+		// construction; counted as a corrected edge).
+		for _, c := range names {
+			id := committed[c]
+			if len(g.InNeighbors(id)) == 0 {
+				src := g.NodesAtLevel(level - 1)[rng.Intn(len(g.NodesAtLevel(level-1)))]
+				if err := g.AddEdge(src.ID, id); err != nil {
+					return nil, report, fmt.Errorf("kggen: repairing orphan %q: %w", c, err)
+				}
+				report.CorrectionRounds++
+			}
+		}
+		report.LevelsGenerated = level
+	}
+
+	g.AttachTerminals()
+	if issues := g.Validate(true); len(issues) > 0 {
+		// Dead ends at interior levels are legal intermediate states in
+		// the paper's DAG (a node may inform nothing downstream); repair
+		// by linking to a random next-level node to keep reasoning flow.
+		for _, is := range issues {
+			if is.Kind != kg.IssueDeadEndNode {
+				return nil, report, fmt.Errorf("kggen: generated graph invalid: %v", is)
+			}
+			n := g.Node(is.Node)
+			next := g.NodesAtLevel(n.Level + 1)
+			if len(next) == 0 {
+				return nil, report, fmt.Errorf("kggen: cannot repair dead end %v", is)
+			}
+			if err := g.AddEdge(n.ID, next[rng.Intn(len(next))].ID); err != nil {
+				return nil, report, fmt.Errorf("kggen: repairing dead end: %w", err)
+			}
+		}
+		if issues := g.Validate(true); len(issues) > 0 {
+			return nil, report, fmt.Errorf("kggen: graph still invalid after repair: %v", issues[0])
+		}
+	}
+	return g, report, nil
+}
+
+// detectErrors returns duplicated concepts in names (against the graph and
+// within names) and invalid edge proposals (source not in the current
+// level or destination not among the surviving names).
+func detectErrors(g *kg.Graph, current, names []string, proposals []oracle.EdgeProposal) (dups []string, badEdges []oracle.EdgeProposal) {
+	existing := make(map[string]bool)
+	for _, c := range allConcepts(g) {
+		existing[c] = true
+	}
+	seen := make(map[string]bool, len(names))
+	nameSet := make(map[string]bool, len(names))
+	for _, c := range names {
+		if existing[c] || seen[c] {
+			dups = append(dups, c)
+			continue
+		}
+		seen[c] = true
+		nameSet[c] = true
+	}
+	curSet := make(map[string]bool, len(current))
+	for _, c := range current {
+		curSet[c] = true
+	}
+	for _, p := range proposals {
+		if !curSet[p.From] || !nameSet[p.To] {
+			badEdges = append(badEdges, p)
+		}
+	}
+	return dups, badEdges
+}
+
+// correctErrors asks the LLM to fix each duplicate and rewires each bad
+// edge to its nearest legal form, returning the updated proposals along
+// with how many elements had to be pruned because no correction existed
+// (the LLM declined, or the edge carried no recoverable structure).
+func correctErrors(llm oracle.LLM, g *kg.Graph, names []string, proposals []oracle.EdgeProposal, dups []string, badEdges []oracle.EdgeProposal) (outN []string, outP []oracle.EdgeProposal, prunedNodes, prunedEdges int) {
+	existing := allConcepts(g)
+	replaced := make(map[string]string, len(dups))
+	dupSet := make(map[string]int, len(dups))
+	for _, d := range dups {
+		dupSet[d]++
+	}
+	outNames := make([]string, 0, len(names))
+	used := make(map[string]bool)
+	for _, c := range existing {
+		used[c] = true
+	}
+	for _, c := range names {
+		if dupSet[c] > 0 && (used[c] || containsDup(outNames, c)) {
+			dupSet[c]--
+			fix := llm.CorrectDuplicate(c, append(existing, outNames...))
+			if fix == "" {
+				prunedNodes++ // no suggestion: prune the duplicate outright
+				continue
+			}
+			replaced[c] = fix
+			outNames = append(outNames, fix)
+			continue
+		}
+		outNames = append(outNames, c)
+	}
+	outProps := make([]oracle.EdgeProposal, 0, len(proposals))
+	bad := make(map[oracle.EdgeProposal]bool, len(badEdges))
+	for _, e := range badEdges {
+		bad[e] = true
+	}
+	for _, p := range proposals {
+		if r, ok := replaced[p.To]; ok {
+			p.To = r
+		}
+		if bad[p] {
+			// Predefined correction prompt: strip the corruption marker if
+			// present, otherwise prune the edge.
+			if fixed, ok := stripCorruption(p.From); ok {
+				p.From = fixed
+			} else {
+				prunedEdges++
+				continue
+			}
+		}
+		outProps = append(outProps, p)
+	}
+	return outNames, outProps, prunedNodes, prunedEdges
+}
+
+// pruneErrors drops uncorrectable names and edges outright.
+func pruneErrors(names []string, proposals []oracle.EdgeProposal, dups []string, badEdges []oracle.EdgeProposal) ([]string, []oracle.EdgeProposal) {
+	dupSet := make(map[string]int)
+	for _, d := range dups {
+		dupSet[d]++
+	}
+	outNames := names[:0]
+	dropped := make(map[string]bool)
+	for _, c := range names {
+		if dupSet[c] > 0 {
+			dupSet[c]--
+			dropped[c] = true
+			continue
+		}
+		outNames = append(outNames, c)
+	}
+	bad := make(map[oracle.EdgeProposal]bool)
+	for _, e := range badEdges {
+		bad[e] = true
+	}
+	outProps := proposals[:0]
+	for _, p := range proposals {
+		if bad[p] || dropped[p.To] {
+			continue
+		}
+		outProps = append(outProps, p)
+	}
+	return outNames, outProps
+}
+
+func stripCorruption(s string) (string, bool) {
+	const marker = "level-skip:"
+	if len(s) > len(marker) && s[:len(marker)] == marker {
+		return s[len(marker):], true
+	}
+	return s, false
+}
+
+func containsDup(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func conceptsAt(g *kg.Graph, level int) []string {
+	nodes := g.NodesAtLevel(level)
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Kind == kg.Reasoning {
+			out = append(out, n.Concept)
+		}
+	}
+	return out
+}
+
+func nodeIndexAt(g *kg.Graph, level int) map[string]kg.NodeID {
+	out := make(map[string]kg.NodeID)
+	for _, n := range g.NodesAtLevel(level) {
+		if n.Kind == kg.Reasoning {
+			out[n.Concept] = n.ID
+		}
+	}
+	return out
+}
+
+func allConcepts(g *kg.Graph) []string {
+	var out []string
+	for _, n := range g.Nodes() {
+		if n.Kind == kg.Reasoning {
+			out = append(out, n.Concept)
+		}
+	}
+	return out
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package kggen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgekg/internal/bpe"
+	"edgekg/internal/concept"
+	"edgekg/internal/kg"
+	"edgekg/internal/oracle"
+)
+
+func cleanOracle(seed int64) oracle.LLM {
+	return oracle.NewSim(concept.Builtin(), rand.New(rand.NewSource(seed)), oracle.Config{EdgeProb: 0.9})
+}
+
+func faultyOracle(seed int64) oracle.LLM {
+	cfg := oracle.Config{DupErrorRate: 0.4, EdgeErrorRate: 0.4, CorrectionErrorRate: 0.3, EdgeProb: 0.9}
+	return oracle.NewSim(concept.Builtin(), rand.New(rand.NewSource(seed)), cfg)
+}
+
+func TestGenerateCleanOracle(t *testing.T) {
+	g, rep, err := Generate(cleanOracle(1), "Stealing", DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := g.Validate(true); len(issues) != 0 {
+		t.Fatalf("invalid graph: %v", issues)
+	}
+	if g.Depth() != 3 {
+		t.Errorf("depth = %d", g.Depth())
+	}
+	if g.SensorNode() == nil || g.EmbeddingTerminal() == nil {
+		t.Error("terminals missing")
+	}
+	if rep.LevelsGenerated != 3 {
+		t.Errorf("levels = %d", rep.LevelsGenerated)
+	}
+	if rep.NodesCommitted < 10 {
+		t.Errorf("only %d nodes committed", rep.NodesCommitted)
+	}
+	// Level 1 must reflect the mission profile.
+	l1 := g.NodesAtLevel(1)
+	found := false
+	for _, n := range l1 {
+		if n.Concept == "stealing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("level 1 lacks the mission keyword")
+	}
+}
+
+func TestGenerateWithFaultyOracleStillValid(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g, rep, err := Generate(faultyOracle(seed), "Robbery", DefaultOptions(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if issues := g.Validate(true); len(issues) != 0 {
+			t.Fatalf("seed %d: invalid graph: %v", seed, issues)
+		}
+		if rep.DuplicatesFound == 0 && rep.InvalidEdges == 0 && rep.PrunedNodes == 0 {
+			t.Logf("seed %d: no injected errors surfaced (possible but unlikely)", seed)
+		}
+	}
+}
+
+func TestErrorDetectionAndCorrectionCounts(t *testing.T) {
+	// Across several faulty runs, the correction machinery must have
+	// engaged at least once.
+	totalCorrections, totalDups := 0, 0
+	for seed := int64(0); seed < 10; seed++ {
+		_, rep, err := Generate(faultyOracle(seed+100), "Explosion", DefaultOptions(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalCorrections += rep.CorrectionRounds
+		totalDups += rep.DuplicatesFound
+	}
+	if totalDups == 0 {
+		t.Error("40% duplicate injection never detected across 10 runs")
+	}
+	if totalCorrections == 0 {
+		t.Error("correction loop never ran")
+	}
+}
+
+func TestGenerateTokenizes(t *testing.T) {
+	tok := bpe.Train(concept.Builtin().Concepts(), 500)
+	opts := DefaultOptions()
+	opts.Tokenize = tok.Encode
+	g, _, err := Generate(cleanOracle(2), "Stealing", opts, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind != kg.Reasoning {
+			continue
+		}
+		if len(n.TokenIDs) == 0 {
+			t.Errorf("node %q has no token ids", n.Concept)
+		}
+		if got := tok.Decode(n.TokenIDs); got != n.Concept {
+			t.Errorf("tokens decode to %q, want %q", got, n.Concept)
+		}
+	}
+}
+
+func TestGenerateDepthOne(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Depth = 1
+	g, _, err := Generate(cleanOracle(3), "Arson", opts, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := g.Validate(true); len(issues) != 0 {
+		t.Fatalf("depth-1 graph invalid: %v", issues)
+	}
+}
+
+func TestGenerateDeepGraph(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Depth = 5
+	g, _, err := Generate(cleanOracle(4), "Robbery", opts, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := g.Validate(true); len(issues) != 0 {
+		t.Fatalf("depth-5 graph invalid: %v", issues)
+	}
+	// Deep levels are reachable from the sensor.
+	if len(g.NodesAtLevel(5)) == 0 {
+		t.Error("level 5 empty")
+	}
+}
+
+func TestGenerateBadOptions(t *testing.T) {
+	if _, _, err := Generate(cleanOracle(5), "Stealing", Options{Depth: 0, InitialFanout: 3, Fanout: 3}, rand.New(rand.NewSource(5))); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, _, err := Generate(cleanOracle(5), "Stealing", Options{Depth: 2, InitialFanout: 0, Fanout: 3}, rand.New(rand.NewSource(5))); err == nil {
+		t.Error("fanout 0 accepted")
+	}
+}
+
+// scriptedLLM forces specific pathological behaviours the Sim cannot
+// guarantee deterministically.
+type scriptedLLM struct {
+	initial   []string
+	nextCalls int
+}
+
+func (s *scriptedLLM) InitialNodes(string, int) []string { return s.initial }
+
+func (s *scriptedLLM) NextNodes(_ string, _, existing []string, count int) []string {
+	s.nextCalls++
+	// Always emit one duplicate of an existing concept plus fresh ones.
+	out := []string{existing[0]}
+	for i := 1; i < count; i++ {
+		out = append(out, "fresh-"+string(rune('a'+s.nextCalls))+string(rune('a'+i)))
+	}
+	return out
+}
+
+func (s *scriptedLLM) ProposeEdges(current, next []string) []oracle.EdgeProposal {
+	var out []oracle.EdgeProposal
+	for _, n := range next {
+		out = append(out, oracle.EdgeProposal{From: current[0], To: n})
+	}
+	// And one structurally invalid proposal.
+	out = append(out, oracle.EdgeProposal{From: "nowhere", To: next[0]})
+	return out
+}
+
+func (s *scriptedLLM) CorrectDuplicate(dup string, existing []string) string {
+	return "" // refuse to help: forces the pruning path
+}
+
+func TestUncorrectableErrorsArePruned(t *testing.T) {
+	llm := &scriptedLLM{initial: []string{"seed-a", "seed-b"}}
+	opts := Options{Depth: 2, InitialFanout: 2, Fanout: 3, MaxCorrectionIters: 2}
+	g, rep, err := Generate(llm, "Synthetic", opts, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := g.Validate(true); len(issues) != 0 {
+		t.Fatalf("invalid after pruning: %v", issues)
+	}
+	if rep.PrunedNodes == 0 {
+		t.Error("refusing oracle should force node pruning")
+	}
+	if rep.PrunedEdges == 0 {
+		t.Error("invalid proposal should be pruned")
+	}
+	// The duplicate never landed.
+	seen := map[string]int{}
+	for _, n := range g.Nodes() {
+		seen[n.Concept]++
+	}
+	for c, count := range seen {
+		if count > 1 {
+			t.Errorf("concept %q appears %d times", c, count)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	_, rep, err := Generate(cleanOracle(7), "Stealing", DefaultOptions(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "Stealing") || !strings.Contains(s, "levels=3") {
+		t.Errorf("report string = %q", s)
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	g1, _, err := Generate(cleanOracle(8), "Shooting", DefaultOptions(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Generate(cleanOracle(8), "Shooting", DefaultOptions(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2 := g1.Nodes(), g2.Nodes()
+	if len(n1) != len(n2) {
+		t.Fatalf("node counts differ: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i].Concept != n2[i].Concept || n1[i].Level != n2[i].Level {
+			t.Fatalf("node %d differs: %q/%d vs %q/%d", i, n1[i].Concept, n1[i].Level, n2[i].Concept, n2[i].Level)
+		}
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ")
+	}
+}

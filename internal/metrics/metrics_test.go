@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// Inverted scores give 0.
+	inv := []float64{0.1, 0.2, 0.8, 0.9}
+	auc, _ = AUC(inv, labels)
+	if auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// scores: pos {0.8, 0.4}, neg {0.6, 0.2}: pairs (0.8>0.6), (0.8>0.2),
+	// (0.4<0.6), (0.4>0.2) → 3/4.
+	auc, err := AUC([]float64{0.8, 0.4, 0.6, 0.2}, []bool{true, true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 under midrank handling.
+	auc, err := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1, 2}, []bool{true}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AUC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class labels accepted")
+	}
+	if _, err := AUC([]float64{math.NaN(), 2}, []bool{true, false}); err == nil {
+		t.Error("NaN score accepted")
+	}
+}
+
+// Property: AUC is invariant under strictly monotone transforms of scores.
+func TestAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Float64() < 0.5
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true // AUC undefined; skip
+		}
+		a1, err1 := AUC(scores, labels)
+		warped := make([]float64, n)
+		for i, s := range scores {
+			warped[i] = math.Exp(2*s) + 1 // strictly increasing
+		}
+		a2, err2 := AUC(warped, labels)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random scores give AUC near 0.5 in expectation.
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sum := 0.0
+	const runs = 50
+	for r := 0; r < runs; r++ {
+		n := 200
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = i%2 == 0
+		}
+		a, err := AUC(scores, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += a
+	}
+	if avg := sum / runs; math.Abs(avg-0.5) > 0.03 {
+		t.Errorf("mean random AUC = %v, want ≈0.5", avg)
+	}
+}
+
+func TestROCEndpointsAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 50
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < 0.4
+	}
+	roc := ROC(scores, labels)
+	first, last := roc[0], roc[len(roc)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Errorf("ROC must start at origin, got %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("ROC must end at (1,1), got %+v", last)
+	}
+	for i := 1; i < len(roc); i++ {
+		if roc[i].TPR < roc[i-1].TPR || roc[i].FPR < roc[i-1].FPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, false}
+	pr := PR(scores, labels)
+	if len(pr) != 4 {
+		t.Fatalf("points = %d", len(pr))
+	}
+	// At threshold 0.9: 1 prediction, 1 TP → precision 1, recall 0.5.
+	if pr[0].Precision != 1 || pr[0].Recall != 0.5 {
+		t.Errorf("first point %+v", pr[0])
+	}
+	// At the last threshold everything is predicted: recall 1.
+	if pr[3].Recall != 1 {
+		t.Errorf("last recall %v", pr[3].Recall)
+	}
+}
+
+func TestConfusionAndDerived(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []bool{true, false, true, false}
+	c := Confuse(scores, labels, 0.5)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion %+v", c)
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("accuracy %v", c.Accuracy())
+	}
+	if c.F1() != 0.5 {
+		t.Errorf("F1 %v", c.F1())
+	}
+	var empty Confusion
+	if empty.Accuracy() != 0 || empty.F1() != 0 {
+		t.Error("empty confusion must yield 0 metrics")
+	}
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 7
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	variance := 0.0
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v vs %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-variance) > 1e-9 {
+		t.Errorf("var %v vs %v", w.Var(), variance)
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Std()-math.Sqrt(variance)) > 1e-9 {
+		t.Error("std mismatch")
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("empty Welford must be zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 100)
+	}
+	if h.Total() != 100 {
+		t.Errorf("total %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 10 {
+			t.Errorf("bin %d count %d, want 10", i, c)
+		}
+	}
+	// Out-of-range clamps.
+	h.Add(-5)
+	h.Add(99)
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Error("clamping broken")
+	}
+	if q := h.Quantile(0.5); q < 0.3 || q > 0.6 {
+		t.Errorf("median %v", q)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not ordered")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad histogram accepted")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/tensor"
+)
+
+// MultiHeadAttention implements scaled dot-product self-attention over a
+// single sequence matrix (T × dim). The short-term temporal model of
+// Sec. III-C uses 8 heads over an inner dimensionality of 128.
+type MultiHeadAttention struct {
+	Wq, Wk, Wv, Wo *Linear
+
+	heads  int
+	dim    int
+	dk     int
+	causal bool
+}
+
+// NewMultiHeadAttention returns self-attention with the given model
+// dimension and head count; dim must be divisible by heads. When causal is
+// true, position t attends only to positions ≤ t.
+func NewMultiHeadAttention(rng *rand.Rand, dim, heads int, causal bool) *MultiHeadAttention {
+	if heads <= 0 || dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Wq:     NewLinear(rng, dim, dim),
+		Wk:     NewLinear(rng, dim, dim),
+		Wv:     NewLinear(rng, dim, dim),
+		Wo:     NewLinear(rng, dim, dim),
+		heads:  heads,
+		dim:    dim,
+		dk:     dim / heads,
+		causal: causal,
+	}
+}
+
+// Forward applies self-attention to a (T × dim) sequence.
+func (a *MultiHeadAttention) Forward(x *autograd.Value) *autograd.Value {
+	t := x.Data.Rows()
+	q := a.Wq.Forward(x)
+	k := a.Wk.Forward(x)
+	v := a.Wv.Forward(x)
+
+	var mask *tensor.Tensor
+	if a.causal {
+		mask = causalMask(t)
+	}
+
+	outs := make([]*autograd.Value, a.heads)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for h := 0; h < a.heads; h++ {
+		lo, hi := h*a.dk, (h+1)*a.dk
+		qh := autograd.SliceCols(q, lo, hi)
+		kh := autograd.SliceCols(k, lo, hi)
+		vh := autograd.SliceCols(v, lo, hi)
+		scores := autograd.Scale(autograd.MatMulT2(qh, kh), scale)
+		if mask != nil {
+			scores = autograd.Add(scores, autograd.Constant(mask))
+		}
+		attn := autograd.SoftmaxRows(scores)
+		outs[h] = autograd.MatMul(attn, vh)
+	}
+	return a.Wo.Forward(autograd.ConcatCols(outs...))
+}
+
+// causalMask returns a (t×t) additive mask with -1e9 above the diagonal.
+func causalMask(t int) *tensor.Tensor {
+	m := tensor.New(t, t)
+	for i := 0; i < t; i++ {
+		row := m.Row(i)
+		for j := i + 1; j < t; j++ {
+			row[j] = -1e9
+		}
+	}
+	return m
+}
+
+// Params implements Module.
+func (a *MultiHeadAttention) Params() []Param {
+	var ps []Param
+	ps = append(ps, Prefix("wq", a.Wq.Params())...)
+	ps = append(ps, Prefix("wk", a.Wk.Params())...)
+	ps = append(ps, Prefix("wv", a.Wv.Params())...)
+	ps = append(ps, Prefix("wo", a.Wo.Params())...)
+	return ps
+}
+
+// EncoderLayer is one pre-norm transformer encoder block:
+// x + MHA(LN(x)) followed by x + FFN(LN(x)).
+type EncoderLayer struct {
+	Attn *MultiHeadAttention
+	LN1  *LayerNorm
+	LN2  *LayerNorm
+	FF1  *Linear
+	FF2  *Linear
+	Drop *Dropout
+}
+
+// NewEncoderLayer returns an encoder block with a GELU feed-forward of
+// width ffDim.
+func NewEncoderLayer(rng *rand.Rand, dim, heads, ffDim int, dropout float64, causal bool) *EncoderLayer {
+	return &EncoderLayer{
+		Attn: NewMultiHeadAttention(rng, dim, heads, causal),
+		LN1:  NewLayerNorm(dim),
+		LN2:  NewLayerNorm(dim),
+		FF1:  NewLinear(rng, dim, ffDim),
+		FF2:  NewLinear(rng, ffDim, dim),
+		Drop: NewDropout(rng, dropout),
+	}
+}
+
+// Forward applies the block to a (T × dim) sequence.
+func (e *EncoderLayer) Forward(x *autograd.Value) *autograd.Value {
+	h := autograd.Add(x, e.Drop.Forward(e.Attn.Forward(e.LN1.Forward(x))))
+	ff := e.FF2.Forward(autograd.GELU(e.FF1.Forward(e.LN2.Forward(h))))
+	return autograd.Add(h, e.Drop.Forward(ff))
+}
+
+// SetTraining implements Trainer.
+func (e *EncoderLayer) SetTraining(t bool) { e.Drop.SetTraining(t) }
+
+// Params implements Module.
+func (e *EncoderLayer) Params() []Param {
+	var ps []Param
+	ps = append(ps, Prefix("attn", e.Attn.Params())...)
+	ps = append(ps, Prefix("ln1", e.LN1.Params())...)
+	ps = append(ps, Prefix("ln2", e.LN2.Params())...)
+	ps = append(ps, Prefix("ff1", e.FF1.Params())...)
+	ps = append(ps, Prefix("ff2", e.FF2.Params())...)
+	return ps
+}
+
+// PositionalEncoding returns the standard sinusoidal (T × dim) position
+// table added to transformer inputs.
+func PositionalEncoding(t, dim int) *tensor.Tensor {
+	pe := tensor.New(t, dim)
+	for pos := 0; pos < t; pos++ {
+		row := pe.Row(pos)
+		for i := 0; i < dim; i++ {
+			angle := float64(pos) / math.Pow(10000, float64(2*(i/2))/float64(dim))
+			if i%2 == 0 {
+				row[i] = math.Sin(angle)
+			} else {
+				row[i] = math.Cos(angle)
+			}
+		}
+	}
+	return pe
+}

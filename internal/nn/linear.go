@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math/rand"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b, the dense sub-layer φ_l of
+// eq. (1) and the decision head of eq. (5).
+type Linear struct {
+	W *autograd.Value // (in × out)
+	B *autograd.Value // (out)
+
+	in, out int
+}
+
+// NewLinear returns a Linear layer with Glorot-uniform weights and zero
+// bias drawn from rng.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		W:   autograd.Param(tensor.GlorotUniform(rng, in, out)),
+		B:   autograd.Param(tensor.New(out)),
+		in:  in,
+		out: out,
+	}
+}
+
+// Forward applies the layer to a (batch × in) input.
+func (l *Linear) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.AddRow(autograd.MatMul(x, l.W), l.B)
+}
+
+// In returns the input dimensionality.
+func (l *Linear) In() int { return l.in }
+
+// Out returns the output dimensionality.
+func (l *Linear) Out() int { return l.out }
+
+// Params implements Module.
+func (l *Linear) Params() []Param {
+	return []Param{{Name: "w", V: l.W}, {Name: "b", V: l.B}}
+}
+
+// Embedding is a trainable lookup table of row vectors. KG token
+// embeddings are Embeddings; adaptation backpropagates into exactly these
+// tables while everything else is frozen.
+type Embedding struct {
+	Table *autograd.Value // (vocab × dim)
+}
+
+// NewEmbedding returns a table of shape (vocab × dim) initialised from
+// N(0, scale²).
+func NewEmbedding(rng *rand.Rand, vocab, dim int, scale float64) *Embedding {
+	return &Embedding{Table: autograd.Param(tensor.RandN(rng, scale, vocab, dim))}
+}
+
+// EmbeddingFrom wraps an existing table tensor as an Embedding.
+func EmbeddingFrom(table *tensor.Tensor) *Embedding {
+	return &Embedding{Table: autograd.Param(table)}
+}
+
+// Lookup gathers the rows for ids, preserving order and duplicates.
+func (e *Embedding) Lookup(ids []int) *autograd.Value {
+	return autograd.Gather(e.Table, ids)
+}
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding) Vocab() int { return e.Table.Data.Dim(0) }
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding) Dim() int { return e.Table.Data.Dim(1) }
+
+// Params implements Module.
+func (e *Embedding) Params() []Param {
+	return []Param{{Name: "table", V: e.Table}}
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math/rand"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/tensor"
+)
+
+// BatchNorm1d normalises each column of a (batch × features) activation
+// over the batch, with learnable gain/bias and running statistics for
+// inference — the BatchNorm of every hierarchical GNN layer (eq. 4).
+type BatchNorm1d struct {
+	Gamma *autograd.Value
+	Beta  *autograd.Value
+
+	RunningMean *tensor.Tensor
+	RunningVar  *tensor.Tensor
+
+	Eps      float64
+	Momentum float64 // running = (1-m)*running + m*batch
+	training bool
+	features int
+}
+
+// NewBatchNorm1d returns a BatchNorm over the given feature count with
+// gamma=1, beta=0, running mean 0 and running variance 1.
+func NewBatchNorm1d(features int) *BatchNorm1d {
+	return &BatchNorm1d{
+		Gamma:       autograd.Param(tensor.Ones(features)),
+		Beta:        autograd.Param(tensor.New(features)),
+		RunningMean: tensor.New(features),
+		RunningVar:  tensor.Ones(features),
+		Eps:         1e-5,
+		Momentum:    0.1,
+		training:    true,
+		features:    features,
+	}
+}
+
+// Forward applies the normalisation. In training mode batch statistics are
+// used and the running statistics updated; in inference mode the frozen
+// running statistics are used (gradients still flow through to the input,
+// as deployment-time adaptation requires).
+func (b *BatchNorm1d) Forward(x *autograd.Value) *autograd.Value {
+	if b.training {
+		out, mean, variance := autograd.BatchNormTrain(x, b.Gamma, b.Beta, b.Eps)
+		m := b.Momentum
+		tensor.AxpyInPlace(tensor.ScaleInPlace(b.RunningMean, 1-m), m, mean)
+		tensor.AxpyInPlace(tensor.ScaleInPlace(b.RunningVar, 1-m), m, variance)
+		return out
+	}
+	return autograd.BatchNormEval(x, b.Gamma, b.Beta, b.RunningMean, b.RunningVar, b.Eps)
+}
+
+// SetTraining implements Trainer.
+func (b *BatchNorm1d) SetTraining(t bool) { b.training = t }
+
+// Training reports the current mode.
+func (b *BatchNorm1d) Training() bool { return b.training }
+
+// Params implements Module.
+func (b *BatchNorm1d) Params() []Param {
+	return []Param{{Name: "gamma", V: b.Gamma}, {Name: "beta", V: b.Beta}}
+}
+
+// LayerNorm normalises each row of its input, with learnable gain/bias.
+type LayerNorm struct {
+	Gamma *autograd.Value
+	Beta  *autograd.Value
+	Eps   float64
+}
+
+// NewLayerNorm returns a LayerNorm over rows of width features.
+func NewLayerNorm(features int) *LayerNorm {
+	return &LayerNorm{
+		Gamma: autograd.Param(tensor.Ones(features)),
+		Beta:  autograd.Param(tensor.New(features)),
+		Eps:   1e-5,
+	}
+}
+
+// Forward applies the normalisation.
+func (l *LayerNorm) Forward(x *autograd.Value) *autograd.Value {
+	return autograd.LayerNorm(x, l.Gamma, l.Beta, l.Eps)
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []Param {
+	return []Param{{Name: "gamma", V: l.Gamma}, {Name: "beta", V: l.Beta}}
+}
+
+// Dropout zeroes activations with probability P during training and is the
+// identity during inference.
+type Dropout struct {
+	P        float64
+	rng      *rand.Rand
+	training bool
+}
+
+// NewDropout returns a Dropout layer drawing masks from rng.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	return &Dropout{P: p, rng: rng, training: true}
+}
+
+// Forward applies dropout in training mode.
+func (d *Dropout) Forward(x *autograd.Value) *autograd.Value {
+	if !d.training || d.P <= 0 {
+		return x
+	}
+	mask := tensor.New(x.Data.Shape()...)
+	md := mask.Data()
+	for i := range md {
+		if d.rng.Float64() >= d.P {
+			md[i] = 1
+		}
+	}
+	return autograd.Dropout(x, mask, d.P)
+}
+
+// SetTraining implements Trainer.
+func (d *Dropout) SetTraining(t bool) { d.training = t }
+
+// Params implements Module (none).
+func (d *Dropout) Params() []Param { return nil }

@@ -1,0 +1,130 @@
+package optim
+
+import (
+	"math"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/tensor"
+)
+
+// AdamWConfig carries the AdamW hyper-parameters. The zero value is not
+// usable; start from DefaultAdamWConfig (the paper's Sec. IV-A settings).
+type AdamWConfig struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+}
+
+// DefaultAdamWConfig returns the configuration the paper trains with:
+// lr 1e-5, weight decay 1.0, β1 0.9, β2 0.999, ε 1e-8.
+func DefaultAdamWConfig() AdamWConfig {
+	return AdamWConfig{LR: 1e-5, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 1.0}
+}
+
+// AdamW implements Adam with decoupled weight decay (Loshchilov & Hutter),
+// the optimizer of Sec. IV-A.
+type AdamW struct {
+	cfg    AdamWConfig
+	params []*autograd.Value
+	m, v   []*tensor.Tensor
+	t      int
+}
+
+// NewAdamW returns an AdamW over params. Parameters whose gradients are nil
+// at Step time (e.g. frozen branches) are skipped that step.
+func NewAdamW(params []*autograd.Value, cfg AdamWConfig) *AdamW {
+	a := &AdamW{cfg: cfg, params: params}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Data.Shape()...)
+		a.v[i] = tensor.New(p.Data.Shape()...)
+	}
+	return a
+}
+
+// Step applies one AdamW update.
+func (a *AdamW) Step() {
+	a.t++
+	c := a.cfg
+	bc1 := 1 - math.Pow(c.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(c.Beta2, float64(a.t))
+	for i, p := range a.params {
+		if p.Grad == nil || !p.RequiresGrad() {
+			continue
+		}
+		pd := p.Data.Data()
+		gd := p.Grad.Data()
+		md := a.m[i].Data()
+		vd := a.v[i].Data()
+		for k := range pd {
+			g := gd[k]
+			md[k] = c.Beta1*md[k] + (1-c.Beta1)*g
+			vd[k] = c.Beta2*vd[k] + (1-c.Beta2)*g*g
+			mhat := md[k] / bc1
+			vhat := vd[k] / bc2
+			// Decoupled weight decay: shrink the parameter directly rather
+			// than folding decay into the gradient.
+			pd[k] -= c.LR * (mhat/(math.Sqrt(vhat)+c.Eps) + c.WeightDecay*pd[k])
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *AdamW) ZeroGrad() { zeroGrads(a.params) }
+
+// SetLR implements Optimizer.
+func (a *AdamW) SetLR(lr float64) { a.cfg.LR = lr }
+
+// LR implements Optimizer.
+func (a *AdamW) LR() float64 { return a.cfg.LR }
+
+// StepCount returns how many updates have been applied.
+func (a *AdamW) StepCount() int { return a.t }
+
+// SGD implements stochastic gradient descent with classical momentum; it is
+// the sanity baseline in the optimizer ablation benches.
+type SGD struct {
+	lr       float64
+	momentum float64
+	params   []*autograd.Value
+	vel      []*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum (0 disables momentum).
+func NewSGD(params []*autograd.Value, lr, momentum float64) *SGD {
+	s := &SGD{lr: lr, momentum: momentum, params: params}
+	s.vel = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		s.vel[i] = tensor.New(p.Data.Shape()...)
+	}
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if p.Grad == nil || !p.RequiresGrad() {
+			continue
+		}
+		pd := p.Data.Data()
+		gd := p.Grad.Data()
+		vd := s.vel[i].Data()
+		for k := range pd {
+			vd[k] = s.momentum*vd[k] - s.lr*gd[k]
+			pd[k] += vd[k]
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() { zeroGrads(s.params) }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }

@@ -1,0 +1,225 @@
+// Package oracle provides the LLM stand-in used for mission-specific KG
+// generation. The paper prompts GPT-4 for reasoning nodes, edges and error
+// corrections (Sec. III-B); this package answers the same three request
+// shapes deterministically from the embedded concept ontology, with
+// configurable error injection so the generation loop's error-detection
+// and correction machinery (Fig. 3) is genuinely exercised.
+//
+// The adaptation mechanism never consults the oracle after deployment —
+// that is the paper's central claim — so simulating the LLM here does not
+// weaken the reproduction of the continuous-learning experiments.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"edgekg/internal/concept"
+)
+
+// EdgeProposal names a proposed connection between a concept at the
+// current level and one at the next level.
+type EdgeProposal struct {
+	From, To string
+}
+
+// LLM is the request surface the generation loop needs. Implementations:
+// Sim (ontology-backed, this package) and scripted fakes in tests.
+type LLM interface {
+	// InitialNodes proposes the first reasoning level for a mission.
+	InitialNodes(mission string, count int) []string
+	// NextNodes proposes the next level's concepts given the current
+	// level. existing lists every concept already in the graph; a correct
+	// LLM avoids them, a faulty one may not.
+	NextNodes(mission string, current, existing []string, count int) []string
+	// ProposeEdges connects current-level concepts to next-level ones.
+	ProposeEdges(current, next []string) []EdgeProposal
+	// CorrectDuplicate proposes a replacement for a duplicated concept,
+	// given everything already used. Empty string means "no suggestion" —
+	// the loop will prune instead.
+	CorrectDuplicate(dup string, existing []string) string
+}
+
+// Config controls the simulated LLM.
+type Config struct {
+	// DupErrorRate is the probability that NextNodes re-emits an existing
+	// concept (the "Duplicated Concepts" error class).
+	DupErrorRate float64
+	// EdgeErrorRate is the probability that ProposeEdges emits an edge
+	// whose source is not in the current level (the "Invalid Edges" class).
+	EdgeErrorRate float64
+	// CorrectionErrorRate is the probability a correction introduces a new
+	// duplicate instead of fixing one ("the LLM might introduce new errors
+	// during correction").
+	CorrectionErrorRate float64
+	// EdgeProb is the base probability of proposing a legitimate edge for
+	// each related (current, next) pair; relatedness scales it.
+	EdgeProb float64
+}
+
+// DefaultConfig returns a mildly faulty oracle: errors occur but the
+// correction loop converges.
+func DefaultConfig() Config {
+	return Config{DupErrorRate: 0.05, EdgeErrorRate: 0.05, CorrectionErrorRate: 0.1, EdgeProb: 0.9}
+}
+
+// Sim is the ontology-backed simulated LLM.
+type Sim struct {
+	ont *concept.Ontology
+	rng *rand.Rand
+	cfg Config
+	// synthCount numbers invented abstract concepts when the ontology
+	// neighbourhood runs dry.
+	synthCount int
+}
+
+// NewSim returns a simulated LLM over the given ontology.
+func NewSim(ont *concept.Ontology, rng *rand.Rand, cfg Config) *Sim {
+	return &Sim{ont: ont, rng: rng, cfg: cfg}
+}
+
+var _ LLM = (*Sim)(nil)
+
+// InitialNodes returns the top-weighted profile concepts of the mission's
+// class, falling back to ontology-wide seeds for unknown missions.
+func (s *Sim) InitialNodes(mission string, count int) []string {
+	cls, ok := concept.ClassByName(mission)
+	if !ok {
+		// Unknown mission: seed from concepts whose name appears in the
+		// mission string, else the lexicographically first concepts.
+		var out []string
+		for _, c := range s.ont.Concepts() {
+			if len(out) >= count {
+				break
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	profile := s.ont.Profile(cls)
+	out := make([]string, 0, count)
+	for _, w := range profile {
+		if len(out) >= count {
+			break
+		}
+		out = append(out, w.Concept)
+	}
+	return out
+}
+
+// NextNodes expands the frontier to related concepts, injecting duplicate
+// errors at the configured rate.
+func (s *Sim) NextNodes(mission string, current, existing []string, count int) []string {
+	used := make(map[string]bool, len(existing))
+	for _, c := range existing {
+		used[c] = true
+	}
+	type cand struct {
+		name string
+		w    float64
+	}
+	best := make(map[string]float64)
+	for _, c := range current {
+		for _, r := range s.ont.Related(c) {
+			if used[r.Concept] {
+				continue
+			}
+			if r.Weight > best[r.Concept] {
+				best[r.Concept] = r.Weight
+			}
+		}
+	}
+	cands := make([]cand, 0, len(best))
+	for n, w := range best {
+		cands = append(cands, cand{n, w})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		return cands[i].name < cands[j].name
+	})
+
+	out := make([]string, 0, count)
+	for _, c := range cands {
+		if len(out) >= count {
+			break
+		}
+		out = append(out, c.name)
+	}
+	// Ontology ran dry: invent abstract follow-ups so deep KGs can still
+	// be requested (GPT-4 never runs out of words either).
+	for len(out) < count {
+		s.synthCount++
+		out = append(out, fmt.Sprintf("abstract-%s-%d", mission, s.synthCount))
+	}
+	// Error injection: replace entries with already-used concepts.
+	if len(existing) > 0 {
+		for i := range out {
+			if s.rng.Float64() < s.cfg.DupErrorRate {
+				out[i] = existing[s.rng.Intn(len(existing))]
+			}
+		}
+	}
+	return out
+}
+
+// ProposeEdges links current to next by relatedness, injecting invalid
+// edges at the configured rate.
+func (s *Sim) ProposeEdges(current, next []string) []EdgeProposal {
+	var out []EdgeProposal
+	for _, to := range next {
+		connected := false
+		for _, from := range current {
+			rel := s.ont.Relatedness(from, to)
+			p := s.cfg.EdgeProb * (0.3 + 0.7*rel)
+			if rel == 0 {
+				p = 0
+			}
+			if s.rng.Float64() < p {
+				out = append(out, EdgeProposal{From: from, To: to})
+				connected = true
+			}
+		}
+		if !connected && len(current) > 0 {
+			// Always give the node at least one proposed parent — pick the
+			// most related, or a deterministic fallback.
+			bestFrom, bestW := current[0], -1.0
+			for _, from := range current {
+				if w := s.ont.Relatedness(from, to); w > bestW {
+					bestFrom, bestW = from, w
+				}
+			}
+			out = append(out, EdgeProposal{From: bestFrom, To: to})
+		}
+	}
+	// Error injection: point some edges at a bogus source ("skipped
+	// level"), which resolution will flag as invalid.
+	for i := range out {
+		if s.rng.Float64() < s.cfg.EdgeErrorRate {
+			out[i].From = "level-skip:" + out[i].From
+		}
+	}
+	return out
+}
+
+// CorrectDuplicate proposes the strongest related concept not yet used;
+// with CorrectionErrorRate it misbehaves and returns another duplicate.
+func (s *Sim) CorrectDuplicate(dup string, existing []string) string {
+	if s.rng.Float64() < s.cfg.CorrectionErrorRate && len(existing) > 0 {
+		return existing[s.rng.Intn(len(existing))]
+	}
+	used := make(map[string]bool, len(existing))
+	for _, c := range existing {
+		used[c] = true
+	}
+	for _, r := range s.ont.Related(dup) {
+		if !used[r.Concept] {
+			return r.Concept
+		}
+	}
+	// Nothing related is free; invent a variant.
+	s.synthCount++
+	return fmt.Sprintf("%s-variant-%d", dup, s.synthCount)
+}

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgekg/internal/concept"
+)
+
+func cleanSim(seed int64) *Sim {
+	cfg := Config{EdgeProb: 0.9} // no error injection
+	return NewSim(concept.Builtin(), rand.New(rand.NewSource(seed)), cfg)
+}
+
+func TestInitialNodesComeFromProfile(t *testing.T) {
+	s := cleanSim(1)
+	nodes := s.InitialNodes("Stealing", 5)
+	if len(nodes) != 5 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	if nodes[0] != "stealing" {
+		t.Errorf("top concept = %q, want the class keyword first", nodes[0])
+	}
+	profile := map[string]bool{}
+	for _, w := range concept.Builtin().Profile(concept.Stealing) {
+		profile[w.Concept] = true
+	}
+	for _, n := range nodes {
+		if !profile[n] {
+			t.Errorf("initial node %q not in Stealing profile", n)
+		}
+	}
+}
+
+func TestInitialNodesUnknownMissionStillProduces(t *testing.T) {
+	s := cleanSim(2)
+	nodes := s.InitialNodes("SomethingElse", 4)
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes for unknown mission", len(nodes))
+	}
+}
+
+func TestNextNodesAvoidsExistingWithoutErrors(t *testing.T) {
+	s := cleanSim(3)
+	current := []string{"stealing", "sneaky", "theft"}
+	existing := append([]string{}, current...)
+	next := s.NextNodes("Stealing", current, existing, 5)
+	if len(next) != 5 {
+		t.Fatalf("got %d next nodes", len(next))
+	}
+	used := map[string]bool{}
+	for _, e := range existing {
+		used[e] = true
+	}
+	for _, n := range next {
+		if used[n] {
+			t.Errorf("clean oracle re-emitted existing concept %q", n)
+		}
+	}
+}
+
+func TestNextNodesInjectsDuplicates(t *testing.T) {
+	cfg := Config{DupErrorRate: 1.0, EdgeProb: 0.9}
+	s := NewSim(concept.Builtin(), rand.New(rand.NewSource(4)), cfg)
+	existing := []string{"stealing", "theft"}
+	next := s.NextNodes("Stealing", []string{"stealing"}, existing, 4)
+	for _, n := range next {
+		if n != "stealing" && n != "theft" {
+			t.Errorf("with rate 1.0 every node should be a duplicate, got %q", n)
+		}
+	}
+}
+
+func TestNextNodesSynthesizesWhenOntologyDry(t *testing.T) {
+	s := cleanSim(5)
+	// A frontier with no relations: invented abstract concepts fill in.
+	next := s.NextNodes("Stealing", []string{"no-such-concept"}, nil, 3)
+	if len(next) != 3 {
+		t.Fatalf("got %d", len(next))
+	}
+	for _, n := range next {
+		if !strings.HasPrefix(n, "abstract-") {
+			t.Errorf("expected synthetic concept, got %q", n)
+		}
+	}
+}
+
+func TestProposeEdgesConnectsEveryNextNode(t *testing.T) {
+	s := cleanSim(6)
+	current := []string{"stealing", "sneaky"}
+	next := []string{"theft", "hiding", "crime"}
+	props := s.ProposeEdges(current, next)
+	covered := map[string]bool{}
+	curSet := map[string]bool{"stealing": true, "sneaky": true}
+	for _, p := range props {
+		covered[p.To] = true
+		if !curSet[p.From] {
+			t.Errorf("clean oracle proposed edge from %q outside current level", p.From)
+		}
+	}
+	for _, n := range next {
+		if !covered[n] {
+			t.Errorf("next node %q has no proposed parent", n)
+		}
+	}
+}
+
+func TestProposeEdgesInjectsInvalid(t *testing.T) {
+	cfg := Config{EdgeErrorRate: 1.0, EdgeProb: 0.9}
+	s := NewSim(concept.Builtin(), rand.New(rand.NewSource(7)), cfg)
+	props := s.ProposeEdges([]string{"stealing"}, []string{"theft"})
+	if len(props) == 0 {
+		t.Fatal("no proposals")
+	}
+	for _, p := range props {
+		if !strings.HasPrefix(p.From, "level-skip:") {
+			t.Errorf("with rate 1.0 every edge should be corrupted, got %+v", p)
+		}
+	}
+}
+
+func TestCorrectDuplicateAvoidsExisting(t *testing.T) {
+	s := cleanSim(8)
+	existing := []string{"stealing", "theft", "sneaky"}
+	fix := s.CorrectDuplicate("theft", existing)
+	if fix == "" {
+		t.Fatal("no suggestion")
+	}
+	for _, e := range existing {
+		if fix == e {
+			t.Errorf("correction %q is itself a duplicate", fix)
+		}
+	}
+	// The fix should relate to the duplicated concept when possible.
+	if concept.Builtin().Relatedness("theft", fix) == 0 && !strings.Contains(fix, "variant") {
+		t.Errorf("correction %q unrelated to %q", fix, "theft")
+	}
+}
+
+func TestCorrectDuplicateCanMisbehave(t *testing.T) {
+	cfg := Config{CorrectionErrorRate: 1.0, EdgeProb: 0.9}
+	s := NewSim(concept.Builtin(), rand.New(rand.NewSource(9)), cfg)
+	existing := []string{"stealing", "theft"}
+	fix := s.CorrectDuplicate("theft", existing)
+	if fix != "stealing" && fix != "theft" {
+		t.Errorf("with rate 1.0 the correction should be another duplicate, got %q", fix)
+	}
+}
+
+func TestCorrectDuplicateInventsVariantWhenSaturated(t *testing.T) {
+	s := cleanSim(10)
+	// Exhaust every concept related to "theft".
+	existing := []string{"theft"}
+	for _, r := range concept.Builtin().Related("theft") {
+		existing = append(existing, r.Concept)
+	}
+	fix := s.CorrectDuplicate("theft", existing)
+	if !strings.Contains(fix, "variant") {
+		t.Errorf("saturated correction = %q, want invented variant", fix)
+	}
+}
+
+func TestDeterminismUnderSameSeed(t *testing.T) {
+	a := NewSim(concept.Builtin(), rand.New(rand.NewSource(11)), DefaultConfig())
+	b := NewSim(concept.Builtin(), rand.New(rand.NewSource(11)), DefaultConfig())
+	na := a.NextNodes("Robbery", []string{"robbery", "gun"}, []string{"robbery", "gun"}, 5)
+	nb := b.NextNodes("Robbery", []string{"robbery", "gun"}, []string{"robbery", "gun"}, 5)
+	if strings.Join(na, ",") != strings.Join(nb, ",") {
+		t.Errorf("same seed diverged: %v vs %v", na, nb)
+	}
+}

@@ -1,0 +1,140 @@
+// Package temporal implements the transformer-based short-term temporal
+// model T : R^{T×D} → R^D of Sec. III-C: a stack of encoder blocks over
+// the last T frame reasoning embeddings, returning the output at the final
+// position. The paper uses an inner dimensionality of 128 with 8 attention
+// heads; both are configurable.
+package temporal
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/nn"
+	"edgekg/internal/tensor"
+)
+
+// Config sizes the temporal model.
+type Config struct {
+	// InputDim is D, the concatenated multi-KG reasoning embedding width.
+	InputDim int
+	// InnerDim is the transformer model dimension (paper: 128).
+	InnerDim int
+	// Heads is the attention head count (paper: 8).
+	Heads int
+	// Layers is the number of encoder blocks.
+	Layers int
+	// FFDim is the feed-forward width; 0 defaults to 4×InnerDim.
+	FFDim int
+	// Window is T, the number of consecutive frame embeddings attended to.
+	Window int
+	// Dropout applies inside encoder blocks during training.
+	Dropout float64
+	// Causal restricts attention to past positions. The paper's model
+	// reads only the last output, so full attention is equivalent in
+	// effect; causal is kept for the ablation benches.
+	Causal bool
+}
+
+// DefaultConfig returns the paper's settings for a given input width.
+func DefaultConfig(inputDim int) Config {
+	return Config{InputDim: inputDim, InnerDim: 128, Heads: 8, Layers: 1, Window: 8}
+}
+
+// Model is the short-term temporal transformer.
+type Model struct {
+	cfg    Config
+	inProj *nn.Linear
+	blocks []*nn.EncoderLayer
+	norm   *nn.LayerNorm
+	out    *nn.Linear
+	pos    *tensor.Tensor
+}
+
+// New builds a temporal model.
+func New(rng *rand.Rand, cfg Config) (*Model, error) {
+	if cfg.InputDim < 1 || cfg.InnerDim < 1 || cfg.Window < 1 {
+		return nil, fmt.Errorf("temporal: invalid config %+v", cfg)
+	}
+	if cfg.Heads < 1 || cfg.InnerDim%cfg.Heads != 0 {
+		return nil, fmt.Errorf("temporal: inner dim %d not divisible by %d heads", cfg.InnerDim, cfg.Heads)
+	}
+	if cfg.Layers < 1 {
+		cfg.Layers = 1
+	}
+	ff := cfg.FFDim
+	if ff == 0 {
+		ff = 4 * cfg.InnerDim
+	}
+	m := &Model{
+		cfg:    cfg,
+		inProj: nn.NewLinear(rng, cfg.InputDim, cfg.InnerDim),
+		norm:   nn.NewLayerNorm(cfg.InnerDim),
+		out:    nn.NewLinear(rng, cfg.InnerDim, cfg.InputDim),
+		pos:    nn.PositionalEncoding(cfg.Window, cfg.InnerDim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.blocks = append(m.blocks, nn.NewEncoderLayer(rng, cfg.InnerDim, cfg.Heads, ff, cfg.Dropout, cfg.Causal))
+	}
+	return m, nil
+}
+
+// Window returns T, the model's attention window length.
+func (m *Model) Window() int { return m.cfg.Window }
+
+// InputDim returns D.
+func (m *Model) InputDim() int { return m.cfg.InputDim }
+
+// ForwardSeq processes one (T × D) window of frame embeddings and returns
+// the (1 × D) output at the last position — f′_t = T(F_t).
+func (m *Model) ForwardSeq(seq *autograd.Value) *autograd.Value {
+	t := seq.Data.Rows()
+	if t != m.cfg.Window {
+		panic(fmt.Sprintf("temporal: sequence length %d != window %d", t, m.cfg.Window))
+	}
+	if seq.Data.Cols() != m.cfg.InputDim {
+		panic(fmt.Sprintf("temporal: input dim %d != %d", seq.Data.Cols(), m.cfg.InputDim))
+	}
+	h := m.inProj.Forward(seq)
+	h = autograd.Add(h, autograd.Constant(m.pos))
+	for _, b := range m.blocks {
+		h = b.Forward(h)
+	}
+	h = m.norm.Forward(h)
+	last := autograd.SliceRows(h, t-1, t)
+	return m.out.Forward(last)
+}
+
+// ForwardBatch processes a batch of windows stacked row-wise as a
+// (batch*T × D) matrix and returns the (batch × D) last-position outputs.
+func (m *Model) ForwardBatch(windows *autograd.Value, batch int) *autograd.Value {
+	t := m.cfg.Window
+	if windows.Data.Rows() != batch*t {
+		panic(fmt.Sprintf("temporal: batch matrix has %d rows, want %d×%d", windows.Data.Rows(), batch, t))
+	}
+	outs := make([]*autograd.Value, batch)
+	for k := 0; k < batch; k++ {
+		seq := autograd.SliceRows(windows, k*t, (k+1)*t)
+		outs[k] = m.ForwardSeq(seq)
+	}
+	return autograd.ConcatRows(outs...)
+}
+
+// SetTraining toggles dropout inside the encoder blocks.
+func (m *Model) SetTraining(t bool) {
+	for _, b := range m.blocks {
+		b.SetTraining(t)
+	}
+}
+
+// Params implements nn.Module.
+func (m *Model) Params() []nn.Param {
+	var ps []nn.Param
+	ps = append(ps, nn.Prefix("inproj", m.inProj.Params())...)
+	for i, b := range m.blocks {
+		ps = append(ps, nn.Prefix(fmt.Sprintf("block%d", i), b.Params())...)
+	}
+	ps = append(ps, nn.Prefix("norm", m.norm.Params())...)
+	ps = append(ps, nn.Prefix("out", m.out.Params())...)
+	return ps
+}

@@ -1,0 +1,140 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b of two 2-D tensors.
+// a is (m×k), b is (k×n), the result is (m×n).
+func MatMul(a, b *Tensor) *Tensor {
+	a.must2D("MatMul")
+	b.must2D("MatMul")
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v · %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	// i-k-j loop order keeps the inner loop streaming over contiguous rows
+	// of b and out, which matters even at the small sizes used here.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	countOps(2 * m * n * k)
+	return out
+}
+
+// MatMulT1 returns aᵀ·b, where a is (k×m) and b is (k×n); result is (m×n).
+// It avoids materialising the transpose.
+func MatMulT1(a, b *Tensor) *Tensor {
+	a.must2D("MatMulT1")
+	b.must2D("MatMulT1")
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulT1 inner dim mismatch %v ᵀ· %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	countOps(2 * m * n * k)
+	return out
+}
+
+// MatMulT2 returns a·bᵀ, where a is (m×k) and b is (n×k); result is (m×n).
+// It avoids materialising the transpose.
+func MatMulT2(a, b *Tensor) *Tensor {
+	a.must2D("MatMulT2")
+	b.must2D("MatMulT2")
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulT2 inner dim mismatch %v · %v ᵀ", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	countOps(2 * m * n * k)
+	return out
+}
+
+// Transpose returns the transpose of a 2-D tensor as a new tensor.
+func Transpose(a *Tensor) *Tensor {
+	a.must2D("Transpose")
+	r, c := a.shape[0], a.shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.data[j*r+i] = a.data[i*c+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a·x, where a is (m×k) and x has
+// k elements; the result is a 1-D tensor of m elements.
+func MatVec(a, x *Tensor) *Tensor {
+	a.must2D("MatVec")
+	m, k := a.shape[0], a.shape[1]
+	if x.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVec dim mismatch %v · vec[%d]", a.shape, x.Size()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for p := 0; p < k; p++ {
+			s += row[p] * x.data[p]
+		}
+		out.data[i] = s
+	}
+	countOps(2 * m * k)
+	return out
+}
+
+// Outer returns the outer product x·yᵀ of two 1-D tensors as an
+// (len(x)×len(y)) matrix.
+func Outer(x, y *Tensor) *Tensor {
+	m, n := x.Size(), y.Size()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		xv := x.data[i]
+		row := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = xv * y.data[j]
+		}
+	}
+	countOps(m * n)
+	return out
+}

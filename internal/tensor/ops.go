@@ -1,0 +1,326 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "Add")
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// Sub returns a - b elementwise. Shapes must match.
+func Sub(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "Sub")
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product). Shapes must match.
+func Mul(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "Mul")
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v * b.data[i]
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// Div returns a / b elementwise. Shapes must match.
+func Div(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "Div")
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v / b.data[i]
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// AddInPlace adds b into a elementwise and returns a.
+func AddInPlace(a, b *Tensor) *Tensor {
+	a.mustSameShape(b, "AddInPlace")
+	for i := range a.data {
+		a.data[i] += b.data[i]
+	}
+	countOps(len(a.data))
+	return a
+}
+
+// AxpyInPlace computes a += alpha*b and returns a.
+func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
+	a.mustSameShape(b, "AxpyInPlace")
+	for i := range a.data {
+		a.data[i] += alpha * b.data[i]
+	}
+	countOps(2 * len(a.data))
+	return a
+}
+
+// Scale returns alpha * a.
+func Scale(a *Tensor, alpha float64) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = alpha * v
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// ScaleInPlace multiplies a by alpha in place and returns a.
+func ScaleInPlace(a *Tensor, alpha float64) *Tensor {
+	for i := range a.data {
+		a.data[i] *= alpha
+	}
+	countOps(len(a.data))
+	return a
+}
+
+// AddScalar returns a + alpha elementwise.
+func AddScalar(a *Tensor, alpha float64) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = v + alpha
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
+
+// AddRow returns m with row vector v added to every row. m must be 2-D and
+// len(v) must equal m's column count.
+func AddRow(m, v *Tensor) *Tensor {
+	m.must2D("AddRow")
+	if v.Size() != m.shape[1] {
+		panic(fmt.Sprintf("tensor: AddRow vector size %d != cols %d", v.Size(), m.shape[1]))
+	}
+	out := m.Clone()
+	r, c := m.shape[0], m.shape[1]
+	for i := 0; i < r; i++ {
+		row := out.data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			row[j] += v.data[j]
+		}
+	}
+	countOps(r * c)
+	return out
+}
+
+// MulRow returns m with every row multiplied elementwise by row vector v.
+func MulRow(m, v *Tensor) *Tensor {
+	m.must2D("MulRow")
+	if v.Size() != m.shape[1] {
+		panic(fmt.Sprintf("tensor: MulRow vector size %d != cols %d", v.Size(), m.shape[1]))
+	}
+	out := m.Clone()
+	r, c := m.shape[0], m.shape[1]
+	for i := 0; i < r; i++ {
+		row := out.data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			row[j] *= v.data[j]
+		}
+	}
+	countOps(r * c)
+	return out
+}
+
+// Map returns a new tensor with f applied to every element.
+func Map(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = f(v)
+	}
+	countOps(len(a.data))
+	return out
+}
+
+// Dot returns the inner product of two tensors of identical shape.
+func Dot(a, b *Tensor) float64 {
+	a.mustSameShape(b, "Dot")
+	s := 0.0
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	countOps(2 * len(a.data))
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a's elements.
+func Norm2(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += v * v
+	}
+	countOps(2 * len(a.data))
+	return math.Sqrt(s)
+}
+
+// L2Distance returns the Euclidean distance between two tensors of the same
+// shape. It is the metric Sec. III-D uses for the node convergence test.
+func L2Distance(a, b *Tensor) float64 {
+	a.mustSameShape(b, "L2Distance")
+	s := 0.0
+	for i, v := range a.data {
+		d := v - b.data[i]
+		s += d * d
+	}
+	countOps(3 * len(a.data))
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b, or 0
+// when either has zero norm.
+func CosineSimilarity(a, b *Tensor) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Normalize returns a scaled to unit Euclidean norm. A zero tensor is
+// returned unchanged.
+func Normalize(a *Tensor) *Tensor {
+	n := Norm2(a)
+	if n == 0 {
+		return a.Clone()
+	}
+	return Scale(a, 1/n)
+}
+
+// Concat concatenates 1-D tensors into one 1-D tensor.
+func Concat(ts ...*Tensor) *Tensor {
+	n := 0
+	for _, t := range ts {
+		n += t.Size()
+	}
+	out := New(n)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += t.Size()
+	}
+	return out
+}
+
+// ConcatCols horizontally concatenates 2-D tensors with equal row counts.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	rows := ts[0].Rows()
+	cols := 0
+	for _, t := range ts {
+		if t.Rows() != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", t.Rows(), rows))
+		}
+		cols += t.Cols()
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := 0
+		for _, t := range ts {
+			copy(out.data[i*cols+off:], t.Row(i))
+			off += t.Cols()
+		}
+	}
+	return out
+}
+
+// ConcatRows vertically concatenates 2-D tensors with equal column counts.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := ts[0].Cols()
+	rows := 0
+	for _, t := range ts {
+		if t.Cols() != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows col mismatch %d vs %d", t.Cols(), cols))
+		}
+		rows += t.Rows()
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += t.Size()
+	}
+	return out
+}
+
+// SliceRows returns rows [i, j) of a matrix as a copy.
+func SliceRows(m *Tensor, i, j int) *Tensor {
+	m.must2D("SliceRows")
+	if i < 0 || j > m.shape[0] || i > j {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %v", i, j, m.shape))
+	}
+	c := m.shape[1]
+	out := New(j-i, c)
+	copy(out.data, m.data[i*c:j*c])
+	return out
+}
+
+// Gather returns a matrix whose k-th row is m's rows[k]-th row.
+func Gather(m *Tensor, rows []int) *Tensor {
+	m.must2D("Gather")
+	c := m.shape[1]
+	out := New(len(rows), c)
+	for k, r := range rows {
+		if r < 0 || r >= m.shape[0] {
+			panic(fmt.Sprintf("tensor: Gather row %d out of range [0,%d)", r, m.shape[0]))
+		}
+		copy(out.data[k*c:(k+1)*c], m.Row(r))
+	}
+	return out
+}
+
+// ScatterAddRows adds src's k-th row into dst's rows[k]-th row. Rows may
+// repeat; contributions accumulate.
+func ScatterAddRows(dst *Tensor, rows []int, src *Tensor) {
+	dst.must2D("ScatterAddRows")
+	src.must2D("ScatterAddRows")
+	if src.Rows() != len(rows) || src.Cols() != dst.Cols() {
+		panic(fmt.Sprintf("tensor: ScatterAddRows src %v rows %d dst %v", src.shape, len(rows), dst.shape))
+	}
+	c := dst.shape[1]
+	for k, r := range rows {
+		if r < 0 || r >= dst.shape[0] {
+			panic(fmt.Sprintf("tensor: ScatterAddRows row %d out of range [0,%d)", r, dst.shape[0]))
+		}
+		drow := dst.data[r*c : (r+1)*c]
+		srow := src.data[k*c : (k+1)*c]
+		for j := 0; j < c; j++ {
+			drow[j] += srow[j]
+		}
+	}
+	countOps(len(rows) * c)
+}
+
+// AllClose reports whether a and b have the same shape and all elements
+// within tol of one another.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

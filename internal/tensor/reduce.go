@@ -1,0 +1,218 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	countOps(len(t.data))
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements; 0 for an empty tensor.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the first maximal element of a 1-D tensor.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// SumAxis0 returns the column sums of a matrix as a 1-D tensor of length
+// cols.
+func SumAxis0(m *Tensor) *Tensor {
+	m.must2D("SumAxis0")
+	r, c := m.shape[0], m.shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := m.data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			out.data[j] += row[j]
+		}
+	}
+	countOps(r * c)
+	return out
+}
+
+// SumAxis1 returns the row sums of a matrix as a 1-D tensor of length rows.
+func SumAxis1(m *Tensor) *Tensor {
+	m.must2D("SumAxis1")
+	r, c := m.shape[0], m.shape[1]
+	out := New(r)
+	for i := 0; i < r; i++ {
+		row := m.data[i*c : (i+1)*c]
+		s := 0.0
+		for j := 0; j < c; j++ {
+			s += row[j]
+		}
+		out.data[i] = s
+	}
+	countOps(r * c)
+	return out
+}
+
+// MeanAxis0 returns the column means of a matrix.
+func MeanAxis0(m *Tensor) *Tensor {
+	m.must2D("MeanAxis0")
+	if m.shape[0] == 0 {
+		return New(m.shape[1])
+	}
+	return ScaleInPlace(SumAxis0(m), 1/float64(m.shape[0]))
+}
+
+// VarAxis0 returns the column variances (biased, matching BatchNorm) of a
+// matrix.
+func VarAxis0(m *Tensor) *Tensor {
+	m.must2D("VarAxis0")
+	r, c := m.shape[0], m.shape[1]
+	if r == 0 {
+		return New(c)
+	}
+	mean := MeanAxis0(m)
+	out := New(c)
+	for i := 0; i < r; i++ {
+		row := m.data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			d := row[j] - mean.data[j]
+			out.data[j] += d * d
+		}
+	}
+	for j := 0; j < c; j++ {
+		out.data[j] /= float64(r)
+	}
+	countOps(3 * r * c)
+	return out
+}
+
+// ArgMaxRows returns, for each row of a matrix, the index of its maximal
+// column.
+func ArgMaxRows(m *Tensor) []int {
+	m.must2D("ArgMaxRows")
+	r, c := m.shape[0], m.shape[1]
+	if c == 0 {
+		panic("tensor: ArgMaxRows with zero columns")
+	}
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		row := m.data[i*c : (i+1)*c]
+		best, bi := row[0], 0
+		for j, v := range row[1:] {
+			if v > best {
+				best, bi = v, j+1
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// SoftmaxRows returns the row-wise softmax of a matrix, computed with the
+// usual max-shift for numerical stability.
+func SoftmaxRows(m *Tensor) *Tensor {
+	m.must2D("SoftmaxRows")
+	r, c := m.shape[0], m.shape[1]
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		row := m.data[i*c : (i+1)*c]
+		orow := out.data[i*c : (i+1)*c]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			s += e
+		}
+		inv := 1 / s
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	countOps(5 * r * c)
+	return out
+}
+
+// LogSumExpRows returns the row-wise log-sum-exp of a matrix as a 1-D
+// tensor.
+func LogSumExpRows(m *Tensor) *Tensor {
+	m.must2D("LogSumExpRows")
+	r, c := m.shape[0], m.shape[1]
+	out := New(r)
+	for i := 0; i < r; i++ {
+		row := m.data[i*c : (i+1)*c]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for _, v := range row {
+			s += math.Exp(v - mx)
+		}
+		out.data[i] = mx + math.Log(s)
+	}
+	countOps(4 * r * c)
+	return out
+}
+
+// CheckFinite panics with context if any element is NaN or ±Inf. It is a
+// debugging aid used by the training loops' assertion mode.
+func (t *Tensor) CheckFinite(context string) {
+	for i, v := range t.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic(fmt.Sprintf("tensor: non-finite value %v at flat index %d in %s (shape %v)", v, i, context, t.shape))
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package tensor implements dense row-major float64 tensors and the
+// numerical kernels the rest of the library is built on: elementwise
+// arithmetic, matrix multiplication, reductions, gather/scatter and
+// deterministic random initialisation.
+//
+// The package favours clarity over raw speed — model dimensions in this
+// system are small (GNN width 8, temporal width 128) — but the matmul
+// kernel is written cache-consciously and every op reports its cost to
+// internal/flops so the Table-I accounting reflects real operation counts.
+//
+// Shape errors are programming errors, not runtime conditions, so the
+// package panics on mismatched shapes (matching the behaviour of gonum and
+// of slice indexing itself). All exported constructors copy or own their
+// backing storage unless documented otherwise.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+
+	"edgekg/internal/flops"
+)
+
+// Tensor is a dense row-major tensor of float64 values.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. A tensor with no
+// dimensions is a scalar holding one element.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The tensor takes
+// ownership of data; the caller must not modify it afterwards.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (size %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Scalar returns a 0-dimensional tensor holding v.
+func Scalar(v float64) *Tensor {
+	return &Tensor{shape: []int{}, data: []float64{v}}
+}
+
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's shape. The returned slice is a copy.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: append([]int(nil), t.shape...), data: make([]float64, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape size %d to %v", len(t.data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// offset computes the linear index of a multi-dimensional index.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match rank %d", idx, len(t.shape)))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Rows returns the first dimension of a matrix. It panics if t is not 2-D.
+func (t *Tensor) Rows() int {
+	t.must2D("Rows")
+	return t.shape[0]
+}
+
+// Cols returns the second dimension of a matrix. It panics if t is not 2-D.
+func (t *Tensor) Cols() int {
+	t.must2D("Cols")
+	return t.shape[1]
+}
+
+func (t *Tensor) must2D(op string) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires a 2-D tensor, have shape %v", op, t.shape))
+	}
+}
+
+// Row returns row i of a matrix as a slice into t's backing storage.
+func (t *Tensor) Row(i int) []float64 {
+	t.must2D("Row")
+	c := t.shape[1]
+	if i < 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: row %d out of range for shape %v", i, t.shape))
+	}
+	return t.data[i*c : (i+1)*c]
+}
+
+// At2 returns element (i, j) of a matrix.
+func (t *Tensor) At2(i, j int) float64 {
+	t.must2D("At2")
+	return t.data[i*t.shape[1]+j]
+}
+
+// Set2 stores v at element (i, j) of a matrix.
+func (t *Tensor) Set2(i, j int, v float64) {
+	t.must2D("Set2")
+	t.data[i*t.shape[1]+j] = v
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element of t to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// CopyFrom copies o's elements into t. Shapes must match.
+func (t *Tensor) CopyFrom(o *Tensor) {
+	t.mustSameShape(o, "CopyFrom")
+	copy(t.data, o.data)
+}
+
+// String renders small tensors fully and large ones by shape summary.
+func (t *Tensor) String() string {
+	const maxElems = 64
+	if len(t.data) > maxElems {
+		return fmt.Sprintf("Tensor%v[%d elems]", t.shape, len(t.data))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.shape) == 2 {
+		b.WriteString("{\n")
+		for i := 0; i < t.shape[0]; i++ {
+			b.WriteString("  ")
+			for j := 0; j < t.shape[1]; j++ {
+				fmt.Fprintf(&b, "%8.4f ", t.At2(i, j))
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("}")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%v", t.data)
+	return b.String()
+}
+
+// countOps reports n floating point operations to the active flops counter.
+func countOps(n int) { flops.Add(int64(n)) }
