@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/core"
+	"edgekg/internal/dataset"
+	"edgekg/internal/experiments"
+	"edgekg/internal/flops"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+)
+
+// The micro-benchmark harness mirrors the hot-path benchmarks of
+// bench_test.go (GNN forward, frame scoring, train step, adaptation step)
+// and writes a machine-readable report so successive PRs accumulate a
+// perf trajectory that scripts can diff: ns/op, allocs/op, bytes/op and
+// measured FLOPs per operation for each path, plus the parallelism the
+// run had available.
+
+// benchResult is one benchmark's measurements.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	FLOPsPerOp  int64   `json:"flops_per_op"`
+}
+
+// benchReport is the BENCH_<n>.json schema.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Scale      string        `json:"scale"`
+	Results    []benchResult `json:"results"`
+}
+
+// runMicroBenches executes the hot-path benchmarks against env and writes
+// the JSON report to path.
+func runMicroBenches(env *experiments.Env, scale, path string) error {
+	det, _, err := env.BuildTrainedDetector(concept.Stealing, 1001)
+	if err != nil {
+		return fmt.Errorf("bench fixture: %w", err)
+	}
+
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers(),
+		Scale:      scale,
+	}
+
+	add := func(name string, fn func()) {
+		// FLOPs are measured on a single warm invocation; the timing loop
+		// runs without the meter so accounting does not skew ns/op.
+		ops, _ := flops.Count(fn)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		report.Results = append(report.Results, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			FLOPsPerOp:  ops,
+		})
+		fmt.Printf("%-18s %12.0f ns/op %8d allocs/op %10d B/op %12d FLOPs\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.AllocedBytesPerOp(), ops)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	det.SetTraining(false)
+	frames := tensor.New(8, env.Space.PixDim())
+	for i := 0; i < 8; i++ {
+		copy(frames.Row(i), env.Gen.Frame(rng, concept.Stealing).Data())
+	}
+	add("GNNForward", func() { det.EmbedFrames(frames) })
+
+	frame := env.Gen.Frame(rng, concept.Robbery).Reshape(1, env.Space.PixDim())
+	add("ScoreFrame", func() { det.ScoreVideo(frame) })
+
+	trainDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1002)
+	if err != nil {
+		return fmt.Errorf("train fixture: %w", err)
+	}
+	vids := env.Gen.TaskVideos(rng, concept.Stealing, 3, 3)
+	src, err := dataset.NewClipSource(vids, trainDet.Window(), 8)
+	if err != nil {
+		return fmt.Errorf("clip source: %w", err)
+	}
+	bsrc := src.WithLabelMap(dataset.BinaryLabelMap)
+	tr := core.NewTrainer(trainDet, core.DefaultTrainConfig())
+	add("TrainStep", func() { tr.Step(rng, bsrc) })
+
+	adaptDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1003)
+	if err != nil {
+		return fmt.Errorf("adapt fixture: %w", err)
+	}
+	adapter, err := core.NewAdapter(adaptDet, core.DefaultAdaptConfig(), rng)
+	if err != nil {
+		return fmt.Errorf("adapter: %w", err)
+	}
+	mon, err := core.NewMonitor(32, 16)
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
+	}
+	for i := 0; i < 32; i++ {
+		mon.Push(env.Gen.Frame(rng, concept.Stealing).Reshape(1, env.Space.PixDim()), 0.9)
+	}
+	for i := 0; i < 32; i++ {
+		mon.Push(env.Gen.Frame(rng, concept.Robbery).Reshape(1, env.Space.PixDim()), 0.2)
+	}
+	add("AdaptationStep", func() {
+		if _, err := adapter.Step(mon); err != nil {
+			panic(err)
+		}
+	})
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

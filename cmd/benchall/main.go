@@ -3,10 +3,17 @@
 // strong shift, Fig. 6's interpretable-retrieval trajectory, and Table I's
 // edge-vs-cloud cost comparison.
 //
+// It also runs the pipeline's hot-path micro benchmarks (GNN forward,
+// frame scoring, train step, adaptation step) and emits a machine-readable
+// JSON report (-json, default BENCH_1.json) recording ns/op, allocs/op,
+// bytes/op and FLOPs per operation, so successive PRs have a comparable
+// performance trajectory.
+//
 // Usage:
 //
 //	benchall -exp all -scale quick
 //	benchall -exp fig5b -scale full -csv out/
+//	benchall -exp bench -json BENCH_1.json
 package main
 
 import (
@@ -24,15 +31,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchall: ")
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig5a1 | fig5a2 | fig5b | fig6 | table1 | all")
-		scale  = flag.String("scale", "quick", "preset sizing: quick | full")
-		csvDir = flag.String("csv", "", "directory to also write CSV series into")
+		exp      = flag.String("exp", "all", "experiment: fig5a1 | fig5a2 | fig5b | fig6 | table1 | bench | all")
+		scale    = flag.String("scale", "quick", "preset sizing: quick | full")
+		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
+		jsonPath = flag.String("json", "BENCH_1.json", "micro-benchmark JSON report path (empty disables)")
 	)
 	flag.Parse()
 
-	valid := map[string]bool{"fig5a1": true, "fig5a2": true, "fig5b": true, "fig6": true, "table1": true, "all": true}
+	valid := map[string]bool{"fig5a1": true, "fig5a2": true, "fig5b": true, "fig6": true, "table1": true, "bench": true, "all": true}
 	if !valid[*exp] {
-		log.Fatalf("unknown experiment %q (want fig5a1|fig5a2|fig5b|fig6|table1|all)", *exp)
+		log.Fatalf("unknown experiment %q (want fig5a1|fig5a2|fig5b|fig6|table1|bench|all)", *exp)
 	}
 
 	var sc experiments.Scale
@@ -97,5 +105,16 @@ func main() {
 			log.Fatalf("table1: %v", err)
 		}
 		fmt.Println(res.Render())
+	}
+	// The micro benches are opt-in (not part of "all"): they build extra
+	// trained fixtures and overwrite the JSON trajectory file, which the
+	// figure-regeneration workflow should not do as a side effect.
+	if *exp == "bench" {
+		if *jsonPath == "" {
+			log.Fatal("bench: -json must name an output path")
+		}
+		if err := runMicroBenches(env, *scale, *jsonPath); err != nil {
+			log.Fatalf("bench: %v", err)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module edgekg
+
+go 1.24

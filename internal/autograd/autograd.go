@@ -33,8 +33,12 @@ type Value struct {
 
 	requiresGrad bool
 	parents      []*Value
-	backFn       func(grad *tensor.Tensor)
-	op           string
+	// parentsBack inlines parent storage for ops with ≤3 parents (the
+	// overwhelming majority), so building a tape node does not allocate a
+	// parent slice.
+	parentsBack [3]*Value
+	backFn      func(grad *tensor.Tensor)
+	op          string
 }
 
 // NewLeaf returns a leaf Value wrapping data. If requiresGrad is true the
@@ -104,7 +108,34 @@ func newOp(op string, data *tensor.Tensor, parents []*Value, back func(grad *ten
 	if !needs {
 		return &Value{Data: data, op: op}
 	}
-	return &Value{Data: data, requiresGrad: true, parents: parents, backFn: back, op: op}
+	v := &Value{Data: data, requiresGrad: true, backFn: back, op: op}
+	if len(parents) <= len(v.parentsBack) {
+		copy(v.parentsBack[:], parents)
+		v.parents = v.parentsBack[:len(parents)]
+	} else {
+		v.parents = parents
+	}
+	return v
+}
+
+// newOp3 is newOp for ops with up to three parents, taking them as direct
+// arguments (nil for absent) so hot call sites allocate no parent slice at
+// all. Non-nil parents must be packed first.
+func newOp3(op string, data *tensor.Tensor, a, b, c *Value, back func(grad *tensor.Tensor)) *Value {
+	needs := a != nil && a.requiresGrad || b != nil && b.requiresGrad || c != nil && c.requiresGrad
+	if !needs {
+		return &Value{Data: data, op: op}
+	}
+	v := &Value{Data: data, requiresGrad: true, backFn: back, op: op}
+	n := 0
+	for _, p := range [3]*Value{a, b, c} {
+		if p != nil {
+			v.parentsBack[n] = p
+			n++
+		}
+	}
+	v.parents = v.parentsBack[:n]
+	return v
 }
 
 // Backward runs reverse-mode differentiation from v, accumulating into the

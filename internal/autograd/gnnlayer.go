@@ -1,0 +1,225 @@
+package autograd
+
+import (
+	"math"
+
+	"edgekg/internal/tensor"
+)
+
+// The hierarchical GNN layer tail — EdgeMessageAggregate → BatchNorm → ELU
+// (eqs. 2–4 after the dense sub-layer) — fused into a single tape node per
+// mode. The composition is semantically identical to chaining the three
+// ops but allocates one output tensor, one Value and one closure instead
+// of three of each, and keeps every intermediate except the aggregate
+// pre-activation (needed by the BatchNorm backward) in pooled scratch.
+
+// EdgeAggNormActEval is the inference-mode tail, normalising with the
+// frozen running statistics. Gradients still flow into x (and gamma/beta
+// when trainable), which deployment-time token adaptation requires.
+func EdgeAggNormActEval(x, gamma, beta *Value, src, dst []int, inLevel []bool, runningMean, runningVar *tensor.Tensor, eps float64) *Value {
+	n := x.Data.Rows()
+	d := x.Data.Cols()
+	checkEdgeLists(n, src, dst, inLevel)
+	xd := x.Data.Data()
+
+	// The aggregate output and invStd live in pooled scratch for the
+	// forward only; the backward recomputes both on demand (one cheap
+	// edge pass plus d square roots) rather than pinning buffers to the
+	// graph for its whole lifetime. runningMean/runningVar are borrowed
+	// by the backward closure, matching BatchNormEval: a graph built in
+	// eval mode must run its backward before the statistics move again.
+	fws := tensor.NewWorkspace()
+	invStd := fws.Floats(d)
+	for j, v := range runningVar.Data() {
+		invStd[j] = 1 / math.Sqrt(v+eps)
+	}
+	tmp := fws.Floats(n * d)
+	edgeAggForward(xd, tmp, n, d, src, dst, inLevel)
+	out := tensor.New(n, d)
+	od := out.Data()
+	rm, gam, bet := runningMean.Data(), gamma.Data.Data(), beta.Data.Data()
+	for i := 0; i < n; i++ {
+		trow := tmp[i*d : (i+1)*d]
+		orow := od[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			xh := (trow[j] - rm[j]) * invStd[j]
+			pre := gam[j]*xh + bet[j]
+			if pre > 0 {
+				orow[j] = pre
+			} else {
+				orow[j] = math.Exp(pre) - 1
+			}
+		}
+	}
+	fws.Release()
+	return newOp3("edgeaggnormact.eval", out, x, gamma, beta, func(g *tensor.Tensor) {
+		ws := tensor.NewWorkspace()
+		binvStd := ws.Floats(d)
+		for j, v := range runningVar.Data() {
+			binvStd[j] = 1 / math.Sqrt(v+eps)
+		}
+		gpre := ws.Floats(n * d)
+		gd := g.Data()
+		// ELU backward from the stored output alone: out > 0 ⇔ pre > 0,
+		// and for pre ≤ 0, d out/d pre = exp(pre) = out + 1.
+		for i := range gpre {
+			if od[i] > 0 {
+				gpre[i] = gd[i]
+			} else {
+				gpre[i] = gd[i] * (od[i] + 1)
+			}
+		}
+		if gamma.requiresGrad {
+			btmp := ws.Floats(n * d)
+			edgeAggForward(xd, btmp, n, d, src, dst, inLevel)
+			gg := tensor.New(d)
+			ggd := gg.Data()
+			for i := 0; i < n; i++ {
+				trow := btmp[i*d : (i+1)*d]
+				prow := gpre[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					ggd[j] += prow[j] * (trow[j] - rm[j]) * binvStd[j]
+				}
+			}
+			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+		}
+		if beta.requiresGrad {
+			gb := tensor.New(d)
+			gbd := gb.Data()
+			for i := 0; i < n; i++ {
+				prow := gpre[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					gbd[j] += prow[j]
+				}
+			}
+			beta.accumulate(gb.Reshape(beta.Data.Shape()...))
+		}
+		if x.requiresGrad {
+			dtmp := ws.Floats(n * d)
+			for i := 0; i < n; i++ {
+				prow := gpre[i*d : (i+1)*d]
+				drow := dtmp[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					drow[j] = prow[j] * gam[j] * binvStd[j]
+				}
+			}
+			gx := tensor.New(n, d)
+			edgeAggBackward(xd, dtmp, gx.Data(), n, d, src, dst, inLevel)
+			x.accumulate(gx)
+		}
+		ws.Release()
+	})
+}
+
+// EdgeAggNormActTrain is the training-mode tail, normalising with batch
+// statistics. It returns the batch mean and biased variance so the caller
+// can maintain the running statistics for inference.
+func EdgeAggNormActTrain(x, gamma, beta *Value, src, dst []int, inLevel []bool, eps float64) (out *Value, batchMean, batchVar *tensor.Tensor) {
+	n := x.Data.Rows()
+	d := x.Data.Cols()
+	checkEdgeLists(n, src, dst, inLevel)
+	xd := x.Data.Data()
+
+	fws := tensor.NewWorkspace()
+	tmpT := fws.Tensor(n, d)
+	tmp := tmpT.Data()
+	edgeAggForward(xd, tmp, n, d, src, dst, inLevel)
+	mean := tensor.MeanAxis0(tmpT)
+	variance := tensor.VarAxis0(tmpT)
+	invStd := make([]float64, d)
+	for j, v := range variance.Data() {
+		invStd[j] = 1 / math.Sqrt(v+eps)
+	}
+	// xhat is retained for the backward pass (as in BatchNormTrain); the
+	// aggregate output itself is only needed within this forward.
+	xhat := make([]float64, n*d)
+	md := mean.Data()
+	for i := 0; i < n; i++ {
+		trow := tmp[i*d : (i+1)*d]
+		hrow := xhat[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			hrow[j] = (trow[j] - md[j]) * invStd[j]
+		}
+	}
+	fws.Release()
+	o := tensor.New(n, d)
+	od := o.Data()
+	gam, bet := gamma.Data.Data(), beta.Data.Data()
+	for i := 0; i < n; i++ {
+		hrow := xhat[i*d : (i+1)*d]
+		orow := od[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			pre := gam[j]*hrow[j] + bet[j]
+			if pre > 0 {
+				orow[j] = pre
+			} else {
+				orow[j] = math.Exp(pre) - 1
+			}
+		}
+	}
+	v := newOp3("edgeaggnormact", o, x, gamma, beta, func(g *tensor.Tensor) {
+		ws := tensor.NewWorkspace()
+		gpre := ws.Floats(n * d)
+		gd := g.Data()
+		for i := range gpre {
+			if od[i] > 0 {
+				gpre[i] = gd[i]
+			} else {
+				gpre[i] = gd[i] * (od[i] + 1)
+			}
+		}
+		if gamma.requiresGrad {
+			gg := tensor.New(d)
+			ggd := gg.Data()
+			for i := 0; i < n; i++ {
+				hrow := xhat[i*d : (i+1)*d]
+				prow := gpre[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					ggd[j] += prow[j] * hrow[j]
+				}
+			}
+			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+		}
+		if beta.requiresGrad {
+			gb := tensor.New(d)
+			gbd := gb.Data()
+			for i := 0; i < n; i++ {
+				prow := gpre[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					gbd[j] += prow[j]
+				}
+			}
+			beta.accumulate(gb.Reshape(beta.Data.Shape()...))
+		}
+		if x.requiresGrad {
+			// Batch-norm input gradient over the aggregate output:
+			// dtmp = (γ·invStd/n) · (n·gpre − Σgpre − x̂·Σ(gpre⊙x̂))
+			sumG := ws.Floats(d)
+			sumGH := ws.Floats(d)
+			for i := 0; i < n; i++ {
+				prow := gpre[i*d : (i+1)*d]
+				hrow := xhat[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					sumG[j] += prow[j]
+					sumGH[j] += prow[j] * hrow[j]
+				}
+			}
+			dtmp := ws.Floats(n * d)
+			rn := float64(n)
+			for i := 0; i < n; i++ {
+				prow := gpre[i*d : (i+1)*d]
+				hrow := xhat[i*d : (i+1)*d]
+				drow := dtmp[i*d : (i+1)*d]
+				for j := 0; j < d; j++ {
+					coef := gam[j] * invStd[j] / rn
+					drow[j] = coef * (rn*prow[j] - sumG[j] - hrow[j]*sumGH[j])
+				}
+			}
+			gx := tensor.New(n, d)
+			edgeAggBackward(xd, dtmp, gx.Data(), n, d, src, dst, inLevel)
+			x.accumulate(gx)
+		}
+		ws.Release()
+	})
+	return v, mean, variance
+}

@@ -3,6 +3,7 @@ package autograd
 import (
 	"fmt"
 
+	"edgekg/internal/flops"
 	"edgekg/internal/tensor"
 )
 
@@ -19,7 +20,7 @@ func EdgeMessage(x *Value, src, dst []int) *Value {
 	xs := tensor.Gather(x.Data, srcIdx)
 	xd := tensor.Gather(x.Data, dstIdx)
 	out := tensor.Mul(xs, xd)
-	return newOp("edgemessage", out, []*Value{x}, func(g *tensor.Tensor) {
+	return newOp3("edgemessage", out, x, nil, nil, func(g *tensor.Tensor) {
 		// d/dX_src = g ⊙ X_dst scattered to src rows; symmetric for dst.
 		gx := tensor.New(x.Data.Shape()...)
 		tensor.ScatterAddRows(gx, srcIdx, tensor.Mul(g, xd))
@@ -79,7 +80,7 @@ func EdgeAggregate(x, msgs *Value, dst []int, inLevel []bool) *Value {
 			copy(row, x.Data.Row(i))
 		}
 	}
-	return newOp("edgeaggregate", out, []*Value{x, msgs}, func(g *tensor.Tensor) {
+	return newOp3("edgeaggregate", out, x, msgs, nil, func(g *tensor.Tensor) {
 		if x.requiresGrad {
 			gx := tensor.New(n, d)
 			for i := 0; i < n; i++ {
@@ -106,6 +107,125 @@ func EdgeAggregate(x, msgs *Value, dst []int, inLevel []bool) *Value {
 	})
 }
 
+// EdgeMessageAggregate fuses EdgeMessage and EdgeAggregate (eqs. 2–3) into
+// one kernel: for every in-level node t with incoming edges it computes the
+// mean over edges e=(s,t) of the elementwise product X_s ⊙ X_t, and every
+// other node passes its embedding through unchanged. The fusion never
+// materialises the (|E|×D) message matrix or its gather inputs — it reads
+// node rows in place, accumulates products directly into the output, and
+// uses pooled workspace buffers for the per-node edge counts, which is
+// where the batched GNN forward previously spent most of its allocations.
+//
+// src, dst and inLevel are borrowed, not copied: the caller must not
+// mutate them for the lifetime of the computation graph (the GNN layout
+// cache owns them and they are immutable between rebinds).
+//
+// Forward results are bit-identical to the composed
+// EdgeAggregate(x, EdgeMessage(x, src, dst), dst, inLevel): edges are
+// accumulated in the same order and scaled by the same reciprocal.
+func EdgeMessageAggregate(x *Value, src, dst []int, inLevel []bool) *Value {
+	n := x.Data.Rows()
+	d := x.Data.Cols()
+	checkEdgeLists(n, src, dst, inLevel)
+	out := tensor.New(n, d)
+	edgeAggForward(x.Data.Data(), out.Data(), n, d, src, dst, inLevel)
+	xd := x.Data.Data()
+	return newOp3("edgemsgagg", out, x, nil, nil, func(g *tensor.Tensor) {
+		gx := tensor.New(n, d)
+		edgeAggBackward(xd, g.Data(), gx.Data(), n, d, src, dst, inLevel)
+		x.accumulate(gx)
+	})
+}
+
+// checkEdgeLists validates the index structure shared by the fused edge
+// kernels.
+func checkEdgeLists(n int, src, dst []int, inLevel []bool) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("autograd: edge kernel %d sources vs %d destinations", len(src), len(dst)))
+	}
+	if len(inLevel) != n {
+		panic(fmt.Sprintf("autograd: edge kernel inLevel length %d != %d nodes", len(inLevel), n))
+	}
+	for e := range dst {
+		if dst[e] < 0 || dst[e] >= n || src[e] < 0 || src[e] >= n {
+			panic(fmt.Sprintf("autograd: edge %d→%d out of range [0,%d)", src[e], dst[e], n))
+		}
+	}
+}
+
+// edgeAggForward computes the fused message/aggregate forward from xd into
+// od (both n×d row-major): in-level destinations receive the mean over
+// incoming edges of the elementwise source·destination product, everything
+// else passes through. od must start zeroed.
+func edgeAggForward(xd, od []float64, n, d int, src, dst []int, inLevel []bool) {
+	ws := tensor.NewWorkspace()
+	counts := ws.Floats(n)
+	for _, t := range dst {
+		counts[t]++
+	}
+	// Sum of products into in-level destination rows, in edge order.
+	for e, t := range dst {
+		if !inLevel[t] {
+			continue
+		}
+		s := src[e]
+		srow := xd[s*d : (s+1)*d]
+		trow := xd[t*d : (t+1)*d]
+		orow := od[t*d : (t+1)*d]
+		for j := 0; j < d; j++ {
+			orow[j] += srow[j] * trow[j]
+		}
+	}
+	// Scale aggregated rows to means; everything else passes through.
+	for i := 0; i < n; i++ {
+		row := od[i*d : (i+1)*d]
+		if inLevel[i] && counts[i] > 0 {
+			inv := 1 / counts[i]
+			for j := range row {
+				row[j] *= inv
+			}
+		} else {
+			copy(row, xd[i*d:(i+1)*d])
+		}
+	}
+	flops.Add(int64(2 * len(dst) * d))
+	ws.Release()
+}
+
+// edgeAggBackward accumulates the adjoint of edgeAggForward into gxd given
+// the upstream gradient gd (both n×d row-major). gxd must start zeroed.
+func edgeAggBackward(xd, gd, gxd []float64, n, d int, src, dst []int, inLevel []bool) {
+	ws := tensor.NewWorkspace()
+	counts := ws.Floats(n)
+	for _, t := range dst {
+		counts[t]++
+	}
+	for i := 0; i < n; i++ {
+		if !inLevel[i] || counts[i] == 0 {
+			copy(gxd[i*d:(i+1)*d], gd[i*d:(i+1)*d])
+		}
+	}
+	for e, t := range dst {
+		if !inLevel[t] || counts[t] == 0 {
+			continue
+		}
+		s := src[e]
+		inv := 1 / counts[t]
+		grow := gd[t*d : (t+1)*d]
+		srow := xd[s*d : (s+1)*d]
+		trow := xd[t*d : (t+1)*d]
+		gsrow := gxd[s*d : (s+1)*d]
+		gtrow := gxd[t*d : (t+1)*d]
+		for j := 0; j < d; j++ {
+			gm := grow[j] * inv
+			gsrow[j] += gm * trow[j]
+			gtrow[j] += gm * srow[j]
+		}
+	}
+	flops.Add(int64(5 * len(dst) * d))
+	ws.Release()
+}
+
 // RowsMask zeroes every row i of a matrix where keep[i] is false. It is
 // used to restrict losses to selected frames (the top-K pseudo-anomalies).
 func RowsMask(v *Value, keep []bool) *Value {
@@ -120,7 +240,7 @@ func RowsMask(v *Value, keep []bool) *Value {
 			copy(out.Row(i), v.Data.Row(i))
 		}
 	}
-	return newOp("rowsmask", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("rowsmask", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(r, c)
 		for i := 0; i < r; i++ {
 			if flags[i] {

@@ -18,7 +18,7 @@ func LogSoftmaxRows(v *Value) *Value {
 			orow[j] = row[j] - lse.Data()[i]
 		}
 	}
-	return newOp("logsoftmaxrows", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("logsoftmaxrows", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(r, c)
 		for i := 0; i < r; i++ {
 			grow, orow, drow := g.Row(i), out.Row(i), gv.Row(i)
@@ -56,7 +56,7 @@ func CrossEntropy(logits *Value, labels []int) *Value {
 	}
 	loss /= float64(r)
 	out := tensor.Scalar(loss)
-	return newOp("crossentropy", out, []*Value{logits}, func(g *tensor.Tensor) {
+	return newOp3("crossentropy", out, logits, nil, nil, func(g *tensor.Tensor) {
 		scale := g.Data()[0] / float64(r)
 		gl := tensor.New(r, c)
 		for i := 0; i < r; i++ {
@@ -83,7 +83,7 @@ func MSE(a, b *Value) *Value {
 	}
 	loss /= float64(n)
 	out := tensor.Scalar(loss)
-	return newOp("mse", out, []*Value{a, b}, func(g *tensor.Tensor) {
+	return newOp3("mse", out, a, b, nil, func(g *tensor.Tensor) {
 		scale := 2 * g.Data()[0] / float64(n)
 		gd := tensor.Scale(diff, scale)
 		if a.requiresGrad {
@@ -114,7 +114,7 @@ func BinaryScoreLoss(logits *Value, targets []float64) *Value {
 	}
 	loss /= float64(r)
 	out := tensor.Scalar(loss)
-	return newOp("binaryscoreloss", out, []*Value{logits}, func(g *tensor.Tensor) {
+	return newOp3("binaryscoreloss", out, logits, nil, nil, func(g *tensor.Tensor) {
 		// d/dlogit_j of pA = -(d p0/d logit_j); dp0/dlogit_j = p0*(δ0j - pj)
 		scale := g.Data()[0] * 2 / float64(r)
 		gl := tensor.New(r, c)
@@ -150,7 +150,7 @@ func SmoothnessPenalty(scores *Value) *Value {
 	}
 	loss /= float64(r - 1)
 	out := tensor.Scalar(loss)
-	return newOp("smoothness", out, []*Value{scores}, func(g *tensor.Tensor) {
+	return newOp3("smoothness", out, scores, nil, nil, func(g *tensor.Tensor) {
 		scale := 2 * g.Data()[0] / float64(r-1)
 		gv := tensor.New(scores.Data.Shape()...)
 		gd := gv.Data()
@@ -176,7 +176,7 @@ func SparsityPenalty(v *Value) *Value {
 	}
 	loss /= float64(n)
 	out := tensor.Scalar(loss)
-	return newOp("sparsity", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("sparsity", out, v, nil, nil, func(g *tensor.Tensor) {
 		scale := g.Data()[0] / float64(n)
 		gv := tensor.New(v.Data.Shape()...)
 		vd, gd := v.Data.Data(), gv.Data()

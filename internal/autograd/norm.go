@@ -16,12 +16,15 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 	mean := tensor.MeanAxis0(x.Data)
 	variance := tensor.VarAxis0(x.Data)
 
-	invStd := tensor.Map(variance, func(v float64) float64 { return 1 / math.Sqrt(v+eps) })
+	invStd := make([]float64, c)
+	for j, v := range variance.Data() {
+		invStd[j] = 1 / math.Sqrt(v+eps)
+	}
 	xhat := tensor.New(r, c)
 	for i := 0; i < r; i++ {
 		xrow, hrow := x.Data.Row(i), xhat.Row(i)
 		for j := 0; j < c; j++ {
-			hrow[j] = (xrow[j] - mean.Data()[j]) * invStd.Data()[j]
+			hrow[j] = (xrow[j] - mean.Data()[j]) * invStd[j]
 		}
 	}
 	o := tensor.New(r, c)
@@ -32,7 +35,7 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 		}
 	}
 
-	v := newOp("batchnorm", o, []*Value{x, gamma, beta}, func(g *tensor.Tensor) {
+	v := newOp3("batchnorm", o, x, gamma, beta, func(g *tensor.Tensor) {
 		if gamma.requiresGrad {
 			gg := tensor.New(c)
 			for i := 0; i < r; i++ {
@@ -63,7 +66,7 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 			for i := 0; i < r; i++ {
 				grow, hrow, xrow := g.Row(i), xhat.Row(i), gx.Row(i)
 				for j := 0; j < c; j++ {
-					coef := gamma.Data.Data()[j] * invStd.Data()[j] / rn
+					coef := gamma.Data.Data()[j] * invStd[j] / rn
 					xrow[j] = coef * (rn*grow[j] - sumG.Data()[j] - hrow[j]*sumGH.Data()[j])
 				}
 			}
@@ -80,22 +83,25 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 // token embeddings.
 func BatchNormEval(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor, eps float64) *Value {
 	r, c := x.Data.Rows(), x.Data.Cols()
-	invStd := tensor.Map(runningVar, func(v float64) float64 { return 1 / math.Sqrt(v+eps) })
+	invStd := make([]float64, c)
+	for j, v := range runningVar.Data() {
+		invStd[j] = 1 / math.Sqrt(v+eps)
+	}
 	o := tensor.New(r, c)
 	for i := 0; i < r; i++ {
 		xrow, orow := x.Data.Row(i), o.Row(i)
 		for j := 0; j < c; j++ {
-			xh := (xrow[j] - runningMean.Data()[j]) * invStd.Data()[j]
+			xh := (xrow[j] - runningMean.Data()[j]) * invStd[j]
 			orow[j] = gamma.Data.Data()[j]*xh + beta.Data.Data()[j]
 		}
 	}
-	return newOp("batchnorm.eval", o, []*Value{x, gamma, beta}, func(g *tensor.Tensor) {
+	return newOp3("batchnorm.eval", o, x, gamma, beta, func(g *tensor.Tensor) {
 		if gamma.requiresGrad {
 			gg := tensor.New(c)
 			for i := 0; i < r; i++ {
 				xrow, grow := x.Data.Row(i), g.Row(i)
 				for j := 0; j < c; j++ {
-					xh := (xrow[j] - runningMean.Data()[j]) * invStd.Data()[j]
+					xh := (xrow[j] - runningMean.Data()[j]) * invStd[j]
 					gg.Data()[j] += grow[j] * xh
 				}
 			}
@@ -109,7 +115,7 @@ func BatchNormEval(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor
 			for i := 0; i < r; i++ {
 				grow, xrow := g.Row(i), gx.Row(i)
 				for j := 0; j < c; j++ {
-					xrow[j] = grow[j] * gamma.Data.Data()[j] * invStd.Data()[j]
+					xrow[j] = grow[j] * gamma.Data.Data()[j] * invStd[j]
 				}
 			}
 			x.accumulate(gx)
@@ -151,7 +157,7 @@ func LayerNorm(x, gamma, beta *Value, eps float64) *Value {
 			orow[j] = gamma.Data.Data()[j]*hrow[j] + beta.Data.Data()[j]
 		}
 	}
-	return newOp("layernorm", o, []*Value{x, gamma, beta}, func(g *tensor.Tensor) {
+	return newOp3("layernorm", o, x, gamma, beta, func(g *tensor.Tensor) {
 		if gamma.requiresGrad {
 			gg := tensor.New(c)
 			for i := 0; i < r; i++ {

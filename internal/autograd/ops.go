@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"edgekg/internal/flops"
 	"edgekg/internal/tensor"
 )
 
 // Add returns a + b elementwise.
 func Add(a, b *Value) *Value {
 	out := tensor.Add(a.Data, b.Data)
-	return newOp("add", out, []*Value{a, b}, func(g *tensor.Tensor) {
+	return newOp3("add", out, a, b, nil, func(g *tensor.Tensor) {
 		if a.requiresGrad {
 			a.accumulate(g)
 		}
@@ -23,7 +24,7 @@ func Add(a, b *Value) *Value {
 // Sub returns a - b elementwise.
 func Sub(a, b *Value) *Value {
 	out := tensor.Sub(a.Data, b.Data)
-	return newOp("sub", out, []*Value{a, b}, func(g *tensor.Tensor) {
+	return newOp3("sub", out, a, b, nil, func(g *tensor.Tensor) {
 		if a.requiresGrad {
 			a.accumulate(g)
 		}
@@ -37,7 +38,7 @@ func Sub(a, b *Value) *Value {
 // hierarchical message passing layer (eq. 2) is built from.
 func Mul(a, b *Value) *Value {
 	out := tensor.Mul(a.Data, b.Data)
-	return newOp("mul", out, []*Value{a, b}, func(g *tensor.Tensor) {
+	return newOp3("mul", out, a, b, nil, func(g *tensor.Tensor) {
 		if a.requiresGrad {
 			a.accumulate(tensor.Mul(g, b.Data))
 		}
@@ -50,7 +51,7 @@ func Mul(a, b *Value) *Value {
 // Scale returns alpha * a.
 func Scale(a *Value, alpha float64) *Value {
 	out := tensor.Scale(a.Data, alpha)
-	return newOp("scale", out, []*Value{a}, func(g *tensor.Tensor) {
+	return newOp3("scale", out, a, nil, nil, func(g *tensor.Tensor) {
 		a.accumulate(tensor.Scale(g, alpha))
 	})
 }
@@ -58,7 +59,7 @@ func Scale(a *Value, alpha float64) *Value {
 // AddScalar returns a + alpha elementwise.
 func AddScalar(a *Value, alpha float64) *Value {
 	out := tensor.AddScalar(a.Data, alpha)
-	return newOp("addscalar", out, []*Value{a}, func(g *tensor.Tensor) {
+	return newOp3("addscalar", out, a, nil, nil, func(g *tensor.Tensor) {
 		a.accumulate(g)
 	})
 }
@@ -69,7 +70,7 @@ func Neg(a *Value) *Value { return Scale(a, -1) }
 // MatMul returns the matrix product a·b.
 func MatMul(a, b *Value) *Value {
 	out := tensor.MatMul(a.Data, b.Data)
-	return newOp("matmul", out, []*Value{a, b}, func(g *tensor.Tensor) {
+	return newOp3("matmul", out, a, b, nil, func(g *tensor.Tensor) {
 		if a.requiresGrad {
 			a.accumulate(tensor.MatMulT2(g, b.Data)) // dA = G·Bᵀ
 		}
@@ -82,7 +83,7 @@ func MatMul(a, b *Value) *Value {
 // MatMulT2 returns a·bᵀ. Attention scores use it as Q·Kᵀ.
 func MatMulT2(a, b *Value) *Value {
 	out := tensor.MatMulT2(a.Data, b.Data)
-	return newOp("matmulT2", out, []*Value{a, b}, func(g *tensor.Tensor) {
+	return newOp3("matmulT2", out, a, b, nil, func(g *tensor.Tensor) {
 		if a.requiresGrad {
 			a.accumulate(tensor.MatMul(g, b.Data)) // dA = G·B
 		}
@@ -92,11 +93,43 @@ func MatMulT2(a, b *Value) *Value {
 	})
 }
 
+// Affine returns x·W + b with the 1-D bias b broadcast over rows — the
+// dense sub-layer (eq. 1) fused into one graph node. It is MatMul+AddRow
+// without the intermediate op: the bias is added in place into the matmul
+// output, saving a full matrix clone and a tape node per dense layer.
+func Affine(x, w, b *Value) *Value {
+	out := tensor.MatMul(x.Data, w.Data)
+	r, c := out.Rows(), out.Cols()
+	if b.Data.Size() != c {
+		panic(fmt.Sprintf("autograd: Affine bias size %d != cols %d", b.Data.Size(), c))
+	}
+	bd := b.Data.Data()
+	od := out.Data()
+	for i := 0; i < r; i++ {
+		row := od[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			row[j] += bd[j]
+		}
+	}
+	flops.Add(int64(r * c))
+	return newOp3("affine", out, x, w, b, func(g *tensor.Tensor) {
+		if x.requiresGrad {
+			x.accumulate(tensor.MatMulT2(g, w.Data)) // dX = G·Wᵀ
+		}
+		if w.requiresGrad {
+			w.accumulate(tensor.MatMulT1(x.Data, g)) // dW = Xᵀ·G
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.SumAxis0(g).Reshape(b.Data.Shape()...))
+		}
+	})
+}
+
 // AddRow broadcasts the 1-D bias b over every row of matrix m — the "+ b"
 // of the dense sub-layer (eq. 1) and decision head (eq. 5).
 func AddRow(m, b *Value) *Value {
 	out := tensor.AddRow(m.Data, b.Data)
-	return newOp("addrow", out, []*Value{m, b}, func(g *tensor.Tensor) {
+	return newOp3("addrow", out, m, b, nil, func(g *tensor.Tensor) {
 		if m.requiresGrad {
 			m.accumulate(g)
 		}
@@ -111,11 +144,17 @@ func AddRow(m, b *Value) *Value {
 // scatter-add adjoint, which is how gradients reach only the selected
 // token embeddings during adaptive learning.
 func Gather(m *Value, rows []int) *Value {
-	idx := append([]int(nil), rows...)
-	out := tensor.Gather(m.Data, idx)
-	return newOp("gather", out, []*Value{m}, func(g *tensor.Tensor) {
+	return GatherRows(m, append([]int(nil), rows...))
+}
+
+// GatherRows is Gather for an index slice the caller guarantees stays
+// immutable for the lifetime of the computation graph (e.g. the GNN
+// layout's cached row lists); it borrows rows instead of copying them.
+func GatherRows(m *Value, rows []int) *Value {
+	out := tensor.Gather(m.Data, rows)
+	return newOp3("gather", out, m, nil, nil, func(g *tensor.Tensor) {
 		gm := tensor.New(m.Data.Shape()...)
-		tensor.ScatterAddRows(gm, idx, g)
+		tensor.ScatterAddRows(gm, rows, g)
 		m.accumulate(gm)
 	})
 }
@@ -163,7 +202,7 @@ func ConcatRows(vs ...*Value) *Value {
 // splits its projections per head with it.
 func SliceCols(m *Value, from, to int) *Value {
 	out := sliceColsTensor(m.Data, from, to)
-	return newOp("slicecols", out, []*Value{m}, func(g *tensor.Tensor) {
+	return newOp3("slicecols", out, m, nil, nil, func(g *tensor.Tensor) {
 		gm := tensor.New(m.Data.Shape()...)
 		r := gm.Rows()
 		for i := 0; i < r; i++ {
@@ -176,7 +215,7 @@ func SliceCols(m *Value, from, to int) *Value {
 // SliceRows returns rows [from, to) of a matrix.
 func SliceRows(m *Value, from, to int) *Value {
 	out := tensor.SliceRows(m.Data, from, to)
-	return newOp("slicerows", out, []*Value{m}, func(g *tensor.Tensor) {
+	return newOp3("slicerows", out, m, nil, nil, func(g *tensor.Tensor) {
 		gm := tensor.New(m.Data.Shape()...)
 		c := gm.Cols()
 		copy(gm.Data()[from*c:to*c], g.Data())
@@ -200,7 +239,7 @@ func sliceColsTensor(m *tensor.Tensor, from, to int) *tensor.Tensor {
 func Reshape(v *Value, shape ...int) *Value {
 	orig := v.Data.Shape()
 	out := v.Data.Clone().Reshape(shape...)
-	return newOp("reshape", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("reshape", out, v, nil, nil, func(g *tensor.Tensor) {
 		v.accumulate(g.Clone().Reshape(orig...))
 	})
 }
@@ -208,7 +247,7 @@ func Reshape(v *Value, shape ...int) *Value {
 // Sum reduces v to a scalar.
 func Sum(v *Value) *Value {
 	out := tensor.Scalar(v.Data.Sum())
-	return newOp("sum", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("sum", out, v, nil, nil, func(g *tensor.Tensor) {
 		v.accumulate(tensor.Full(g.Data()[0], v.Data.Shape()...))
 	})
 }
@@ -220,7 +259,7 @@ func Mean(v *Value) *Value {
 		return Constant(tensor.Scalar(0))
 	}
 	out := tensor.Scalar(v.Data.Sum() / float64(n))
-	return newOp("mean", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("mean", out, v, nil, nil, func(g *tensor.Tensor) {
 		v.accumulate(tensor.Full(g.Data()[0]/float64(n), v.Data.Shape()...))
 	})
 }
@@ -230,7 +269,7 @@ func Mean(v *Value) *Value {
 func MeanRows(v *Value) *Value {
 	r := v.Data.Rows()
 	out := tensor.MeanAxis0(v.Data).Reshape(1, v.Data.Cols())
-	return newOp("meanrows", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("meanrows", out, v, nil, nil, func(g *tensor.Tensor) {
 		gm := tensor.New(v.Data.Shape()...)
 		inv := 1.0 / float64(r)
 		grow := g.Data()
@@ -253,7 +292,7 @@ func ELU(v *Value) *Value {
 		}
 		return math.Exp(x) - 1
 	})
-	return newOp("elu", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("elu", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(v.Data.Shape()...)
 		vd, od, gd, dst := v.Data.Data(), out.Data(), g.Data(), gv.Data()
 		for i := range vd {
@@ -275,7 +314,7 @@ func ReLU(v *Value) *Value {
 		}
 		return 0
 	})
-	return newOp("relu", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("relu", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(v.Data.Shape()...)
 		vd, gd, dst := v.Data.Data(), g.Data(), gv.Data()
 		for i := range vd {
@@ -290,7 +329,7 @@ func ReLU(v *Value) *Value {
 // Tanh applies tanh elementwise.
 func Tanh(v *Value) *Value {
 	out := tensor.Map(v.Data, math.Tanh)
-	return newOp("tanh", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("tanh", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(v.Data.Shape()...)
 		od, gd, dst := out.Data(), g.Data(), gv.Data()
 		for i := range od {
@@ -303,7 +342,7 @@ func Tanh(v *Value) *Value {
 // Sigmoid applies the logistic function elementwise.
 func Sigmoid(v *Value) *Value {
 	out := tensor.Map(v.Data, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	return newOp("sigmoid", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("sigmoid", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(v.Data.Shape()...)
 		od, gd, dst := out.Data(), g.Data(), gv.Data()
 		for i := range od {
@@ -320,7 +359,7 @@ func GELU(v *Value) *Value {
 	out := tensor.Map(v.Data, func(x float64) float64 {
 		return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
 	})
-	return newOp("gelu", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("gelu", out, v, nil, nil, func(g *tensor.Tensor) {
 		gv := tensor.New(v.Data.Shape()...)
 		vd, gd, dst := v.Data.Data(), g.Data(), gv.Data()
 		for i := range vd {
@@ -337,7 +376,7 @@ func GELU(v *Value) *Value {
 // and the decision head (eq. 5) both use it.
 func SoftmaxRows(v *Value) *Value {
 	out := tensor.SoftmaxRows(v.Data)
-	return newOp("softmaxrows", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("softmaxrows", out, v, nil, nil, func(g *tensor.Tensor) {
 		r, c := out.Rows(), out.Cols()
 		gv := tensor.New(r, c)
 		for i := 0; i < r; i++ {
@@ -364,7 +403,7 @@ func Dropout(v *Value, mask *tensor.Tensor, p float64) *Value {
 	keep := 1 - p
 	scaled := tensor.Scale(mask, 1/keep)
 	out := tensor.Mul(v.Data, scaled)
-	return newOp("dropout", out, []*Value{v}, func(g *tensor.Tensor) {
+	return newOp3("dropout", out, v, nil, nil, func(g *tensor.Tensor) {
 		v.accumulate(tensor.Mul(g, scaled))
 	})
 }

@@ -19,6 +19,7 @@ import (
 	"edgekg/internal/gnn"
 	"edgekg/internal/kg"
 	"edgekg/internal/nn"
+	"edgekg/internal/parallel"
 	"edgekg/internal/temporal"
 	"edgekg/internal/tensor"
 )
@@ -133,15 +134,23 @@ func (d *Detector) Window() int { return d.temp.Window() }
 // returning the concatenated per-frame reasoning embeddings f_t
 // (rows × ReasoningDim). Gradients flow into the token banks (and GNN
 // weights when unfrozen).
+//
+// The per-mission GNN forwards run concurrently on the shared worker pool
+// (one task per KG): the models share only the read-only semantic input,
+// each builds its own slice of the computation graph, and the deferred
+// Backward remains single-threaded, so the result — values and gradients —
+// is identical to the sequential loop.
 func (d *Detector) EmbedFrames(pix *tensor.Tensor) *autograd.Value {
 	sem := autograd.Constant(d.space.EncodeImageBatch(pix))
+	if len(d.gnns) == 1 {
+		return d.gnns[0].Forward(sem)
+	}
 	outs := make([]*autograd.Value, len(d.gnns))
-	for i, m := range d.gnns {
-		outs[i] = m.Forward(sem)
-	}
-	if len(outs) == 1 {
-		return outs[0]
-	}
+	parallel.For(len(d.gnns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outs[i] = d.gnns[i].Forward(sem)
+		}
+	})
 	return autograd.ConcatCols(outs...)
 }
 
@@ -167,6 +176,12 @@ func (d *Detector) ForwardClip(clip *tensor.Tensor, batch int) *autograd.Value {
 // per-frame anomaly scores pA. The first window−1 frames are scored with
 // a left-padded window (first frame repeated), matching a causal stream
 // warm-up.
+//
+// Frame windows are scored concurrently on the shared worker pool: in
+// inference mode the temporal model and head are read-only (running
+// statistics frozen, dropout inert), every window writes only its own
+// scores slot, and each score is computed exactly as in the sequential
+// loop, so the output is deterministic at any worker count.
 func (d *Detector) ScoreVideo(frames *tensor.Tensor) []float64 {
 	d.SetTraining(false)
 	n := frames.Rows()
@@ -177,20 +192,22 @@ func (d *Detector) ScoreVideo(frames *tensor.Tensor) []float64 {
 	if d.cfg.ScoreTemperature > 0 {
 		invT = 1 / d.cfg.ScoreTemperature
 	}
-	for i := 0; i < n; i++ {
-		win := tensor.New(t, emb.Cols())
-		for k := 0; k < t; k++ {
-			src := i - (t - 1) + k
-			if src < 0 {
-				src = 0
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			win := tensor.New(t, emb.Cols())
+			for k := 0; k < t; k++ {
+				src := i - (t - 1) + k
+				if src < 0 {
+					src = 0
+				}
+				copy(win.Row(k), emb.Row(src))
 			}
-			copy(win.Row(k), emb.Row(src))
+			out := d.temp.ForwardSeq(autograd.Constant(win))
+			logits := autograd.Scale(d.head.Logits(out), invT)
+			probs := autograd.SoftmaxRows(logits)
+			scores[i] = 1 - probs.Data.At2(0, 0)
 		}
-		out := d.temp.ForwardSeq(autograd.Constant(win))
-		logits := autograd.Scale(d.head.Logits(out), invT)
-		probs := autograd.SoftmaxRows(logits)
-		scores[i] = 1 - probs.Data.At2(0, 0)
-	}
+	})
 	return scores
 }
 

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/kg"
+	"edgekg/internal/kggen"
+	"edgekg/internal/oracle"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+)
+
+// multiKGRig builds a detector over two mission KGs so the per-KG task
+// parallelism in EmbedFrames actually fans out.
+func multiKGRig(t *testing.T) (*testRig, *Detector) {
+	t.Helper()
+	r := newRig(t, "Stealing", 7)
+	rng := rand.New(rand.NewSource(8))
+	llm := oracle.NewSim(concept.Builtin(), rng, oracle.Config{EdgeProb: 0.9})
+	opts := kggen.Options{Depth: 2, InitialFanout: 4, Fanout: 3, MaxCorrectionIters: 3}
+	g2, _, err := kggen.Generate(llm, "Robbery", opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(rng, r.space, []*kg.Graph{r.graph, g2}, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, det
+}
+
+// TestScoreVideoDeterministicAcrossWorkers pins the concurrency contract
+// of the deployment scoring path: the scores must be bit-identical no
+// matter how many pool workers participate. Under -race this test also
+// exercises the concurrent window scoring for data races even on
+// single-CPU machines.
+func TestScoreVideoDeterministicAcrossWorkers(t *testing.T) {
+	r, det := multiKGRig(t)
+	rng := rand.New(rand.NewSource(9))
+	frames := tensor.New(24, r.space.PixDim())
+	for i := 0; i < frames.Rows(); i++ {
+		copy(frames.Row(i), r.gen.Frame(rng, concept.Robbery).Data())
+	}
+
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	want := det.ScoreVideo(frames)
+	for _, w := range []int{2, 4, 8} {
+		parallel.SetWorkers(w)
+		got := det.ScoreVideo(frames)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: score[%d] = %v, sequential %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEmbedFramesDeterministicAcrossWorkers checks the per-KG fan-out in
+// EmbedFrames (values and token gradients) against the sequential result.
+func TestEmbedFramesDeterministicAcrossWorkers(t *testing.T) {
+	r, det := multiKGRig(t)
+	rng := rand.New(rand.NewSource(10))
+	frames := tensor.New(6, r.space.PixDim())
+	for i := 0; i < frames.Rows(); i++ {
+		copy(frames.Row(i), r.gen.Frame(rng, concept.Stealing).Data())
+	}
+	det.SetTraining(false)
+
+	run := func(workers int) (*tensor.Tensor, []*tensor.Tensor) {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		for _, p := range det.TokenParams() {
+			p.V.ZeroGrad()
+		}
+		out := det.EmbedFrames(frames)
+		out.Backward()
+		var grads []*tensor.Tensor
+		for _, p := range det.TokenParams() {
+			if p.V.Grad != nil {
+				grads = append(grads, p.V.Grad.Clone())
+			} else {
+				grads = append(grads, nil)
+			}
+		}
+		return out.Data.Clone(), grads
+	}
+
+	wantOut, wantGrads := run(1)
+	for _, w := range []int{2, 4} {
+		gotOut, gotGrads := run(w)
+		if !tensor.AllClose(gotOut, wantOut, 0) {
+			t.Fatalf("workers=%d: embeddings diverge from sequential", w)
+		}
+		if len(gotGrads) != len(wantGrads) {
+			t.Fatalf("workers=%d: gradient count %d vs %d", w, len(gotGrads), len(wantGrads))
+		}
+		for i := range wantGrads {
+			switch {
+			case wantGrads[i] == nil && gotGrads[i] == nil:
+			case wantGrads[i] == nil || gotGrads[i] == nil:
+				t.Fatalf("workers=%d: grad %d nil mismatch", w, i)
+			case !tensor.AllClose(gotGrads[i], wantGrads[i], 0):
+				t.Fatalf("workers=%d: token grad %d diverges from sequential", w, i)
+			}
+		}
+	}
+}
+
+// TestScoreVideoFinite guards the parallel path against uninitialised
+// window scratch: every score must be a valid probability.
+func TestScoreVideoFinite(t *testing.T) {
+	r, det := multiKGRig(t)
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(11))
+	frames := tensor.New(10, r.space.PixDim())
+	for i := 0; i < frames.Rows(); i++ {
+		copy(frames.Row(i), r.gen.Frame(rng, concept.Explosion).Data())
+	}
+	for i, s := range det.ScoreVideo(frames) {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			t.Fatalf("score[%d] = %v out of [0,1]", i, s)
+		}
+	}
+}

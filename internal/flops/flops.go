@@ -6,33 +6,77 @@
 // the cost tables. Counting is active only while a Counter is installed via
 // SetActive, so the steady-state overhead of an idle counter is one atomic
 // pointer load per tensor op.
+//
+// Counter is internally sharded across cache-line-padded cells: the tensor
+// kernels run on the internal/parallel worker pool, and a single shared
+// atomic would serialise every concurrent kernel on the accounting line.
+// Each report picks a shard with a per-goroutine cheap random source
+// (math/rand/v2's global functions lock-free fast path), so concurrent
+// writers spread across lines; reads sum the shards and remain exact
+// (integer addition commutes).
 package flops
 
-import "sync/atomic"
+import (
+	randv2 "math/rand/v2"
+	"sync/atomic"
+)
+
+// numShards is the shard count — a power of two so shard selection is a
+// mask, sized to comfortably exceed the core counts of edge-class devices.
+const numShards = 16
+
+// shard is one padded counting cell. The trailing pad keeps adjacent
+// shards on distinct 128-byte line pairs (two 64-bit counters + 112 bytes
+// = 128), avoiding false sharing between concurrent kernels.
+type shard struct {
+	ops   atomic.Int64
+	bytes atomic.Int64
+	_     [112]byte
+}
 
 // Counter accumulates floating point operations and bytes moved. The zero
 // value is ready to use. Counter is safe for concurrent use.
 type Counter struct {
-	ops   atomic.Int64
-	bytes atomic.Int64
+	shards [numShards]shard
+}
+
+// shardIndex picks a shard for the calling goroutine. rand/v2's global
+// Uint64 reads per-thread state without locking, so concurrent reporters
+// scatter across shards instead of contending on one line.
+func shardIndex() int {
+	return int(randv2.Uint64() & (numShards - 1))
 }
 
 // AddOps records n floating point operations.
-func (c *Counter) AddOps(n int64) { c.ops.Add(n) }
+func (c *Counter) AddOps(n int64) { c.shards[shardIndex()].ops.Add(n) }
 
 // AddBytes records n bytes of memory traffic.
-func (c *Counter) AddBytes(n int64) { c.bytes.Add(n) }
+func (c *Counter) AddBytes(n int64) { c.shards[shardIndex()].bytes.Add(n) }
 
 // Ops returns the accumulated floating point operation count.
-func (c *Counter) Ops() int64 { return c.ops.Load() }
+func (c *Counter) Ops() int64 {
+	var s int64
+	for i := range c.shards {
+		s += c.shards[i].ops.Load()
+	}
+	return s
+}
 
 // Bytes returns the accumulated byte-traffic count.
-func (c *Counter) Bytes() int64 { return c.bytes.Load() }
+func (c *Counter) Bytes() int64 {
+	var s int64
+	for i := range c.shards {
+		s += c.shards[i].bytes.Load()
+	}
+	return s
+}
 
 // Reset zeroes the counter.
 func (c *Counter) Reset() {
-	c.ops.Store(0)
-	c.bytes.Store(0)
+	for i := range c.shards {
+		c.shards[i].ops.Store(0)
+		c.shards[i].bytes.Store(0)
+	}
 }
 
 var active atomic.Pointer[Counter]
@@ -52,14 +96,14 @@ func Active() *Counter { return active.Load() }
 // Add reports n floating point operations to the active counter, if any.
 func Add(n int64) {
 	if c := active.Load(); c != nil {
-		c.ops.Add(n)
+		c.AddOps(n)
 	}
 }
 
 // AddBytes reports n bytes of traffic to the active counter, if any.
 func AddBytes(n int64) {
 	if c := active.Load(); c != nil {
-		c.bytes.Add(n)
+		c.AddBytes(n)
 	}
 }
 

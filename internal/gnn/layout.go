@@ -8,6 +8,7 @@ package gnn
 
 import (
 	"fmt"
+	"sync"
 
 	"edgekg/internal/kg"
 )
@@ -24,6 +25,65 @@ type layout struct {
 	groups []edgeGroup
 	// sensorIdx and embIdx locate the terminals in the node ordering.
 	sensorIdx, embIdx int
+
+	// reasonIDs lists the reasoning-node ids in node order, and featRow
+	// maps each node index to its row in the batched node-embedding
+	// matrix (MeanRowsBatch over the banks of reasonIDs), or -1 for
+	// non-reasoning nodes. Both feed AssembleBatch unchanged every
+	// forward, so they are built once per layout.
+	reasonIDs []kg.NodeID
+	featRow   []int
+
+	// repMu guards reps, the per-batch-size cache of replicated index
+	// structures. The graph is immutable between rebinds (Rebind builds a
+	// fresh layout), so cached entries never go stale; caching removes the
+	// O(batch·|E|) slice rebuild from every forward.
+	repMu sync.Mutex
+	reps  map[int]*replicated
+}
+
+// replicated holds the batch-offset index lists for one batch size: per
+// group src/dst/inLevel plus the embedding-terminal row of every sample.
+// The slices are shared with the autograd graph and must not be mutated.
+type replicated struct {
+	groups  []edgeGroup
+	embRows []int
+}
+
+// maxReplicatedCache bounds the per-layout cache of replicated index
+// structures. Training and adaptation reuse a handful of batch sizes, but
+// deployment scores videos of arbitrary length (batch = frame count), and
+// an unbounded map would retain an O(b·|E|) structure per distinct length.
+const maxReplicatedCache = 8
+
+// replicated returns (building and caching on first use) the index
+// structure for a batch of b stacked graph copies.
+func (lo *layout) replicated(b int) *replicated {
+	lo.repMu.Lock()
+	defer lo.repMu.Unlock()
+	if r, ok := lo.reps[b]; ok {
+		return r
+	}
+	if len(lo.reps) >= maxReplicatedCache {
+		// Arbitrary-length one-off batches (video scoring) would otherwise
+		// pin an entry forever; resetting is cheap and the recurring sizes
+		// repopulate within one step.
+		lo.reps = nil
+	}
+	v := lo.numNodes()
+	r := &replicated{groups: make([]edgeGroup, len(lo.groups)), embRows: make([]int, b)}
+	for gi, g := range lo.groups {
+		src, dst, inLevel := g.replicate(b, v)
+		r.groups[gi] = edgeGroup{src: src, dst: dst, inLevel: inLevel}
+	}
+	for k := 0; k < b; k++ {
+		r.embRows[k] = k*v + lo.embIdx
+	}
+	if lo.reps == nil {
+		lo.reps = make(map[int]*replicated)
+	}
+	lo.reps[b] = r
+	return r
 }
 
 type edgeGroup struct {
@@ -47,6 +107,15 @@ func buildLayout(g *kg.Graph) (*layout, error) {
 	}
 	lo.sensorIdx = lo.index[g.SensorNode().ID]
 	lo.embIdx = lo.index[g.EmbeddingTerminal().ID]
+	lo.featRow = make([]int, len(lo.nodes))
+	for i, n := range lo.nodes {
+		if n.Kind == kg.Reasoning {
+			lo.featRow[i] = len(lo.reasonIDs)
+			lo.reasonIDs = append(lo.reasonIDs, n.ID)
+		} else {
+			lo.featRow[i] = -1
+		}
+	}
 
 	depth := g.Depth()
 	lo.groups = make([]edgeGroup, depth+1)

@@ -8,7 +8,6 @@ import (
 	"edgekg/internal/embed"
 	"edgekg/internal/kg"
 	"edgekg/internal/nn"
-	"edgekg/internal/tensor"
 )
 
 // Model is the hierarchical GNN over one mission-specific KG. For a KG of
@@ -22,6 +21,13 @@ type Model struct {
 	layers []*layer
 	lo     *layout
 	width  int
+
+	// bankCache holds the token banks in m.lo.reasonIDs order, rebuilt
+	// whenever the token bank set (bankGen) or the layout changes. The
+	// cached slice is shared with live computation graphs and never
+	// mutated in place.
+	bankCache []*autograd.Value
+	bankGen   uint64
 }
 
 // layer is one hierarchical GNN layer: φ_l (dense), M_l/A_l (messages and
@@ -101,7 +107,22 @@ func (m *Model) Rebind() error {
 	}
 	m.lo = lo
 	m.tokens.SyncWith(m.graph, m.space)
+	m.bankCache = nil
 	return nil
+}
+
+// orderedBanks returns the token banks in layout order, cached across
+// forwards until the bank set or layout changes.
+func (m *Model) orderedBanks() []*autograd.Value {
+	if m.bankCache == nil || m.bankGen != m.tokens.Gen() {
+		banks := make([]*autograd.Value, len(m.lo.reasonIDs))
+		for i, id := range m.lo.reasonIDs {
+			banks[i] = m.tokens.Bank(id)
+		}
+		m.bankCache = banks
+		m.bankGen = m.tokens.Gen()
+	}
+	return m.bankCache
 }
 
 // Forward reasons over a batch of already-image-encoded frames
@@ -112,58 +133,42 @@ func (m *Model) Forward(frames *autograd.Value) *autograd.Value {
 	if frames.Data.Cols() != m.space.Dim() {
 		panic(fmt.Sprintf("gnn: frame dim %d != semantic dim %d", frames.Data.Cols(), m.space.Dim()))
 	}
-	v := m.lo.numNodes()
 
-	// Assemble the batched node-feature matrix (b*v × dim): each graph
-	// copy stacks its sensor row (that sample's frame embedding), the
-	// shared reasoning-node features (token-bank means) and a zero row for
-	// the embedding terminal.
-	nodeRows := make([]*autograd.Value, v)
-	for i, n := range m.lo.nodes {
-		switch n.Kind {
-		case kg.Reasoning:
-			nodeRows[i] = m.tokens.NodeEmbedding(n.ID)
-		case kg.Sensor, kg.EmbeddingNode:
-			nodeRows[i] = nil // filled per sample below
-		}
-	}
-	// The embedding terminal starts at the multiplicative identity: with
+	// Assemble the batched node-feature matrix (b*v × dim) in two ops:
+	// one batched mean over every reasoning node's token bank, one
+	// scatter stamping each graph copy with its sensor row (that sample's
+	// frame embedding) and the shared reasoning-node features. The
+	// embedding terminal starts at the multiplicative identity: with
 	// product messages (eq. 2) a zero row would absorb every incoming
 	// message, so ones let the final aggregation carry the upstream
 	// reasoning embeddings through unchanged.
-	ones := autograd.Constant(tensor.Ones(1, m.space.Dim()))
-	perSample := make([]*autograd.Value, 0, b*v)
-	for k := 0; k < b; k++ {
-		sensor := autograd.SliceRows(frames, k, k+1)
-		for i := range nodeRows {
-			switch {
-			case i == m.lo.sensorIdx:
-				perSample = append(perSample, sensor)
-			case nodeRows[i] != nil:
-				perSample = append(perSample, nodeRows[i])
-			default:
-				perSample = append(perSample, ones)
-			}
-		}
+	var feats *autograd.Value
+	if len(m.lo.reasonIDs) > 0 {
+		feats = autograd.MeanRowsBatch(m.orderedBanks())
 	}
-	x := autograd.ConcatRows(perSample...)
+	x := autograd.AssembleBatch(frames, feats, m.lo.featRow, m.lo.sensorIdx, 1)
 
+	rep := m.lo.replicated(b)
 	for _, ly := range m.layers {
 		x = ly.dense.Forward(x)
 		if ly.group >= 0 {
-			src, dst, inLevel := m.lo.groups[ly.group].replicate(b, v)
-			msgs := autograd.EdgeMessage(x, src, dst)
-			x = autograd.EdgeAggregate(x, msgs, dst, inLevel)
+			// Message passing, BatchNorm and ELU run as one fused tape
+			// node over the layer's edge group.
+			rg := rep.groups[ly.group]
+			if ly.bn.Training() {
+				out, mean, variance := autograd.EdgeAggNormActTrain(x, ly.bn.Gamma, ly.bn.Beta, rg.src, rg.dst, rg.inLevel, ly.bn.Eps)
+				ly.bn.UpdateRunning(mean, variance)
+				x = out
+			} else {
+				x = autograd.EdgeAggNormActEval(x, ly.bn.Gamma, ly.bn.Beta, rg.src, rg.dst, rg.inLevel, ly.bn.RunningMean, ly.bn.RunningVar, ly.bn.Eps)
+			}
+		} else {
+			x = autograd.ELU(ly.bn.Forward(x))
 		}
-		x = autograd.ELU(ly.bn.Forward(x))
 	}
 
 	// Extract the embedding-terminal row of every sample.
-	embRows := make([]int, b)
-	for k := 0; k < b; k++ {
-		embRows[k] = k*v + m.lo.embIdx
-	}
-	return autograd.Gather(x, embRows)
+	return autograd.GatherRows(x, rep.embRows)
 }
 
 // SetTraining switches the BatchNorm layers between batch and running

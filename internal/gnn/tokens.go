@@ -20,6 +20,9 @@ import (
 type TokenBank struct {
 	dim   int
 	banks map[kg.NodeID]*autograd.Value
+	// gen counts structural mutations (Install/Remove/SyncWith), letting
+	// callers cache bank lookups and invalidate them cheaply.
+	gen uint64
 }
 
 // NewTokenBank builds a bank for every reasoning node of g, initialising
@@ -86,10 +89,18 @@ func (tb *TokenBank) Install(id kg.NodeID, init *tensor.Tensor) {
 		panic(fmt.Sprintf("gnn: Install shape %v, want (k × %d)", init.Shape(), tb.dim))
 	}
 	tb.banks[id] = autograd.Param(init)
+	tb.gen++
 }
 
 // Remove drops a pruned node's bank.
-func (tb *TokenBank) Remove(id kg.NodeID) { delete(tb.banks, id) }
+func (tb *TokenBank) Remove(id kg.NodeID) {
+	delete(tb.banks, id)
+	tb.gen++
+}
+
+// Gen returns the structural-mutation generation; it changes whenever the
+// bank set changes, so cached Bank lookups can be invalidated.
+func (tb *TokenBank) Gen() uint64 { return tb.gen }
 
 // SyncWith reconciles the bank set with the graph after structural
 // mutation: banks for pruned nodes are dropped, new reasoning nodes get
@@ -111,6 +122,7 @@ func (tb *TokenBank) SyncWith(g *kg.Graph, space *embed.Space) {
 			delete(tb.banks, id)
 		}
 	}
+	tb.gen++
 }
 
 // Params implements nn.Module: one named parameter per node, sorted by id

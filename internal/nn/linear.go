@@ -27,9 +27,10 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	}
 }
 
-// Forward applies the layer to a (batch × in) input.
+// Forward applies the layer to a (batch × in) input as one fused
+// matmul+bias graph node.
 func (l *Linear) Forward(x *autograd.Value) *autograd.Value {
-	return autograd.AddRow(autograd.MatMul(x, l.W), l.B)
+	return autograd.Affine(x, l.W, l.B)
 }
 
 // In returns the input dimensionality.

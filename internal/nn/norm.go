@@ -45,12 +45,19 @@ func NewBatchNorm1d(features int) *BatchNorm1d {
 func (b *BatchNorm1d) Forward(x *autograd.Value) *autograd.Value {
 	if b.training {
 		out, mean, variance := autograd.BatchNormTrain(x, b.Gamma, b.Beta, b.Eps)
-		m := b.Momentum
-		tensor.AxpyInPlace(tensor.ScaleInPlace(b.RunningMean, 1-m), m, mean)
-		tensor.AxpyInPlace(tensor.ScaleInPlace(b.RunningVar, 1-m), m, variance)
+		b.UpdateRunning(mean, variance)
 		return out
 	}
 	return autograd.BatchNormEval(x, b.Gamma, b.Beta, b.RunningMean, b.RunningVar, b.Eps)
+}
+
+// UpdateRunning folds one batch's statistics into the running mean and
+// variance: running = (1-momentum)·running + momentum·batch. Fused layers
+// that compute batch statistics outside Forward report them through here.
+func (b *BatchNorm1d) UpdateRunning(mean, variance *tensor.Tensor) {
+	m := b.Momentum
+	tensor.AxpyInPlace(tensor.ScaleInPlace(b.RunningMean, 1-m), m, mean)
+	tensor.AxpyInPlace(tensor.ScaleInPlace(b.RunningVar, 1-m), m, variance)
 }
 
 // SetTraining implements Trainer.

@@ -1,0 +1,185 @@
+// Package parallel provides the shared worker pool the numerical kernels
+// and the detector pipeline run on. It exposes one primitive, For, which
+// splits a half-open index range across the pool, plus Do for running a
+// small fixed set of independent tasks.
+//
+// Design notes:
+//
+//   - The pool is process-wide and sized from GOMAXPROCS by default; the
+//     EDGEKG_WORKERS environment variable (or SetWorkers) overrides it.
+//     Workers(1) disables parallelism entirely and every call runs inline
+//     on the caller's goroutine.
+//
+//   - The submitting goroutine always participates in its own job, claiming
+//     chunks from the same atomic cursor as the pool workers. Pool workers
+//     are pure accelerators: a job can always be finished by its caller
+//     alone, so nested For calls (a parallel kernel invoked from inside a
+//     parallel pipeline stage) cannot deadlock no matter how busy the pool
+//     is. Job hand-off to the pool is non-blocking for the same reason.
+//
+//   - Chunk claiming is dynamic (atomic fetch-add over chunk indices), so
+//     ranges with skewed per-index cost still balance, but each chunk is at
+//     least `grain` indices so tiny inputs never pay goroutine overhead.
+//     Callers pick grain so a chunk amortises scheduling (~1µs) over real
+//     work.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured parallelism width (not the pool goroutine
+// count: the caller of For counts as one worker).
+var workers atomic.Int32
+
+func init() {
+	w := runtime.GOMAXPROCS(0)
+	if s := os.Getenv("EDGEKG_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			w = n
+		}
+	}
+	workers.Store(int32(w))
+}
+
+// Workers returns the configured parallelism width (≥1).
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the parallelism width and returns the previous value.
+// n < 1 is clamped to 1 (fully sequential). It is safe for concurrent use;
+// tests use it to pin determinism checks to a known width.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(workers.Swap(int32(n)))
+}
+
+// job is one For invocation: a range split into chunks claimed by an
+// atomic cursor shared between the caller and any pool workers that join.
+type job struct {
+	fn     func(lo, hi int)
+	n      int
+	chunk  int
+	chunks int32
+	next   atomic.Int32
+	done   atomic.Int32
+	fin    chan struct{}
+}
+
+// run claims and executes chunks until the cursor is exhausted. The
+// goroutine that finishes the last chunk closes fin.
+func (j *job) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= int(j.chunks) {
+			return
+		}
+		lo := c * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		if j.done.Add(1) == j.chunks {
+			close(j.fin)
+		}
+	}
+}
+
+var (
+	queue = make(chan *job, 256)
+
+	poolMu   sync.Mutex
+	poolSize int
+)
+
+// ensurePool grows the worker pool to at least target goroutines. Workers
+// block on the queue when idle; they are never torn down (the pool is
+// process-wide and at most ~GOMAXPROCS goroutines).
+func ensurePool(target int) {
+	if target <= 0 {
+		return
+	}
+	poolMu.Lock()
+	for poolSize < target {
+		poolSize++
+		go func() {
+			for j := range queue {
+				j.run()
+			}
+		}()
+	}
+	poolMu.Unlock()
+}
+
+// For executes fn over subranges covering [0, n), potentially in parallel.
+// Each call fn(lo, hi) receives a non-empty half-open subrange; subranges
+// are disjoint and cover [0, n) exactly. grain is the minimum subrange
+// size (≥1): inputs of n ≤ grain — and any call when Workers() == 1 — run
+// inline as fn(0, n) with no synchronisation.
+//
+// fn must be safe to call concurrently on disjoint ranges. For returns
+// only after every subrange has completed.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if w <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	// Aim for a few chunks per worker so dynamic claiming can balance
+	// skewed costs, without dropping below the requested grain.
+	chunk := (n + 4*w - 1) / (4 * w)
+	if chunk < grain {
+		chunk = grain
+	}
+	chunks := (n + chunk - 1) / chunk
+	if chunks == 1 {
+		fn(0, n)
+		return
+	}
+	j := &job{fn: fn, n: n, chunk: chunk, chunks: int32(chunks), fin: make(chan struct{})}
+	helpers := w - 1
+	if helpers > chunks-1 {
+		helpers = chunks - 1
+	}
+	ensurePool(helpers)
+offer:
+	for i := 0; i < helpers; i++ {
+		select {
+		case queue <- j:
+		default:
+			// Pool backlogged; the caller covers the remainder.
+			break offer
+		}
+	}
+	j.run()
+	<-j.fin
+}
+
+// Do runs the given functions, potentially concurrently, and returns when
+// all have completed. It is For over the task list with grain 1.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	For(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}

@@ -1,6 +1,40 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"edgekg/internal/parallel"
+)
+
+// Parallelism cutoffs. Kernels run on the shared worker pool only above
+// these sizes: the models in this system are mostly tiny (GNN width 8), and
+// for small operands the fork/join handshake costs more than the kernel.
+// Work below the cutoff runs inline on the caller's goroutine, so results
+// are identical either way — every parallel kernel decomposes over output
+// rows (or disjoint flat ranges), each element is written by exactly one
+// worker with the same accumulation order as the sequential loop, and
+// outputs are bit-for-bit independent of the worker count.
+const (
+	// matmulParallelFlops is the minimum 2·m·n·k cost before a matmul
+	// family kernel fans out.
+	matmulParallelFlops = 1 << 16
+	// elemwiseParallelLen is the minimum element count before an
+	// elementwise or row-reduction kernel fans out.
+	elemwiseParallelLen = 1 << 14
+)
+
+// matmulGrain returns the minimum output rows per chunk so each chunk
+// carries at least ~matmulParallelFlops/2 of work.
+func matmulGrain(rowFlops int) int {
+	if rowFlops <= 0 {
+		return 1
+	}
+	g := matmulParallelFlops / (2 * rowFlops)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // MatMul returns the matrix product a·b of two 2-D tensors.
 // a is (m×k), b is (k×n), the result is (m×n).
@@ -14,20 +48,28 @@ func MatMul(a, b *Tensor) *Tensor {
 	n := b.shape[1]
 	out := New(m, n)
 	// i-k-j loop order keeps the inner loop streaming over contiguous rows
-	// of b and out, which matters even at the small sizes used here.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	// of b and out, which matters even at the small sizes used here. Each
+	// worker owns a disjoint range of output rows.
+	worker := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
+	}
+	if 2*m*n*k >= matmulParallelFlops {
+		parallel.For(m, matmulGrain(2*n*k), worker)
+	} else {
+		worker(0, m)
 	}
 	countOps(2 * m * n * k)
 	return out
@@ -44,19 +86,28 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[1]
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	// Workers own disjoint ranges of output rows (columns of a); the p
+	// loop stays outermost so b's rows stream once per worker.
+	worker := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			arow := a.data[p*m : (p+1)*m]
+			brow := b.data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.data[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
+	}
+	if 2*m*n*k >= matmulParallelFlops {
+		parallel.For(m, matmulGrain(2*n*k), worker)
+	} else {
+		worker(0, m)
 	}
 	countOps(2 * m * n * k)
 	return out
@@ -73,32 +124,62 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[0]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
+	worker := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
+	}
+	if 2*m*n*k >= matmulParallelFlops {
+		parallel.For(m, matmulGrain(2*n*k), worker)
+	} else {
+		worker(0, m)
 	}
 	countOps(2 * m * n * k)
 	return out
 }
 
-// Transpose returns the transpose of a 2-D tensor as a new tensor.
+// transposeBlock is the tile edge of the blocked transpose; 32×32 float64
+// tiles (8 KiB read + 8 KiB write) sit comfortably in L1.
+const transposeBlock = 32
+
+// Transpose returns the transpose of a 2-D tensor as a new tensor. The
+// copy is tiled so both the row-major read and the column-major write stay
+// within cache-resident blocks, and its cost is reported to the ledger
+// like the rest of the matmul family — as byte traffic, since a transpose
+// performs no floating-point arithmetic and counting elements as FLOPs
+// would skew the cross-PR FLOP trajectory.
 func Transpose(a *Tensor) *Tensor {
 	a.must2D("Transpose")
 	r, c := a.shape[0], a.shape[1]
 	out := New(c, r)
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			out.data[j*r+i] = a.data[i*c+j]
+	for ii := 0; ii < r; ii += transposeBlock {
+		iEnd := ii + transposeBlock
+		if iEnd > r {
+			iEnd = r
+		}
+		for jj := 0; jj < c; jj += transposeBlock {
+			jEnd := jj + transposeBlock
+			if jEnd > c {
+				jEnd = c
+			}
+			for i := ii; i < iEnd; i++ {
+				arow := a.data[i*c : (i+1)*c]
+				for j := jj; j < jEnd; j++ {
+					out.data[j*r+i] = arow[j]
+				}
+			}
 		}
 	}
+	countBytes(16 * r * c) // 8 bytes read + 8 written per element
 	return out
 }
 
@@ -111,13 +192,20 @@ func MatVec(a, x *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec dim mismatch %v · vec[%d]", a.shape, x.Size()))
 	}
 	out := New(m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*k : (i+1)*k]
-		s := 0.0
-		for p := 0; p < k; p++ {
-			s += row[p] * x.data[p]
+	worker := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*k : (i+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += row[p] * x.data[p]
+			}
+			out.data[i] = s
 		}
-		out.data[i] = s
+	}
+	if 2*m*k >= matmulParallelFlops {
+		parallel.For(m, matmulGrain(2*k), worker)
+	} else {
+		worker(0, m)
 	}
 	countOps(2 * m * k)
 	return out

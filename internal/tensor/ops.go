@@ -3,15 +3,32 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"edgekg/internal/parallel"
 )
+
+// forElems runs worker over disjoint subranges covering [0, n), fanning
+// out to the shared pool only when the element count clears the
+// elementwise cutoff. Each flat index is written by exactly one worker, so
+// results are bit-identical to the sequential loop.
+func forElems(n int, worker func(lo, hi int)) {
+	if n >= elemwiseParallelLen {
+		parallel.For(n, elemwiseParallelLen/2, worker)
+	} else {
+		worker(0, n)
+	}
+}
 
 // Add returns a + b elementwise. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Add")
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = v + b.data[i]
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, bd, od := a.data, b.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] + bd[i]
+		}
+	})
 	countOps(len(a.data))
 	return out
 }
@@ -20,9 +37,12 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Sub")
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = v - b.data[i]
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, bd, od := a.data, b.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] - bd[i]
+		}
+	})
 	countOps(len(a.data))
 	return out
 }
@@ -31,9 +51,12 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Mul")
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = v * b.data[i]
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, bd, od := a.data, b.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] * bd[i]
+		}
+	})
 	countOps(len(a.data))
 	return out
 }
@@ -42,9 +65,12 @@ func Mul(a, b *Tensor) *Tensor {
 func Div(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Div")
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = v / b.data[i]
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, bd, od := a.data, b.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] / bd[i]
+		}
+	})
 	countOps(len(a.data))
 	return out
 }
@@ -52,9 +78,12 @@ func Div(a, b *Tensor) *Tensor {
 // AddInPlace adds b into a elementwise and returns a.
 func AddInPlace(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "AddInPlace")
-	for i := range a.data {
-		a.data[i] += b.data[i]
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, bd := a.data, b.data
+		for i := lo; i < hi; i++ {
+			ad[i] += bd[i]
+		}
+	})
 	countOps(len(a.data))
 	return a
 }
@@ -62,9 +91,12 @@ func AddInPlace(a, b *Tensor) *Tensor {
 // AxpyInPlace computes a += alpha*b and returns a.
 func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 	a.mustSameShape(b, "AxpyInPlace")
-	for i := range a.data {
-		a.data[i] += alpha * b.data[i]
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, bd := a.data, b.data
+		for i := lo; i < hi; i++ {
+			ad[i] += alpha * bd[i]
+		}
+	})
 	countOps(2 * len(a.data))
 	return a
 }
@@ -72,18 +104,24 @@ func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 // Scale returns alpha * a.
 func Scale(a *Tensor, alpha float64) *Tensor {
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = alpha * v
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, od := a.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = alpha * ad[i]
+		}
+	})
 	countOps(len(a.data))
 	return out
 }
 
 // ScaleInPlace multiplies a by alpha in place and returns a.
 func ScaleInPlace(a *Tensor, alpha float64) *Tensor {
-	for i := range a.data {
-		a.data[i] *= alpha
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad := a.data
+		for i := lo; i < hi; i++ {
+			ad[i] *= alpha
+		}
+	})
 	countOps(len(a.data))
 	return a
 }
@@ -91,9 +129,12 @@ func ScaleInPlace(a *Tensor, alpha float64) *Tensor {
 // AddScalar returns a + alpha elementwise.
 func AddScalar(a *Tensor, alpha float64) *Tensor {
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = v + alpha
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, od := a.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] + alpha
+		}
+	})
 	countOps(len(a.data))
 	return out
 }
@@ -138,12 +179,16 @@ func MulRow(m, v *Tensor) *Tensor {
 	return out
 }
 
-// Map returns a new tensor with f applied to every element.
+// Map returns a new tensor with f applied to every element. f may be
+// invoked concurrently for large tensors and must be a pure function.
 func Map(a *Tensor, f func(float64) float64) *Tensor {
 	out := New(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = f(v)
-	}
+	forElems(len(a.data), func(lo, hi int) {
+		ad, od := a.data, out.data
+		for i := lo; i < hi; i++ {
+			od[i] = f(ad[i])
+		}
+	})
 	countOps(len(a.data))
 	return out
 }

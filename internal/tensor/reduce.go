@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"edgekg/internal/parallel"
 )
 
 // Sum returns the sum of all elements.
@@ -86,16 +88,34 @@ func SumAxis1(m *Tensor) *Tensor {
 	m.must2D("SumAxis1")
 	r, c := m.shape[0], m.shape[1]
 	out := New(r)
-	for i := 0; i < r; i++ {
-		row := m.data[i*c : (i+1)*c]
-		s := 0.0
-		for j := 0; j < c; j++ {
-			s += row[j]
+	forRows(r, c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*c : (i+1)*c]
+			s := 0.0
+			for j := 0; j < c; j++ {
+				s += row[j]
+			}
+			out.data[i] = s
 		}
-		out.data[i] = s
-	}
+	})
 	countOps(r * c)
 	return out
+}
+
+// forRows runs worker over disjoint row ranges of an (r×c) matrix, fanning
+// out when the matrix clears the elementwise cutoff. Each row is handled
+// by exactly one worker with the sequential per-row accumulation order, so
+// results are bit-identical to the sequential loop.
+func forRows(r, c int, worker func(lo, hi int)) {
+	if r*c >= elemwiseParallelLen && r > 1 {
+		grain := elemwiseParallelLen / (2 * c)
+		if grain < 1 {
+			grain = 1
+		}
+		parallel.For(r, grain, worker)
+	} else {
+		worker(0, r)
+	}
 }
 
 // MeanAxis0 returns the column means of a matrix.
@@ -159,26 +179,28 @@ func SoftmaxRows(m *Tensor) *Tensor {
 	m.must2D("SoftmaxRows")
 	r, c := m.shape[0], m.shape[1]
 	out := New(r, c)
-	for i := 0; i < r; i++ {
-		row := m.data[i*c : (i+1)*c]
-		orow := out.data[i*c : (i+1)*c]
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
+	forRows(r, c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*c : (i+1)*c]
+			orow := out.data[i*c : (i+1)*c]
+			mx := row[0]
+			for _, v := range row[1:] {
+				if v > mx {
+					mx = v
+				}
+			}
+			s := 0.0
+			for j, v := range row {
+				e := math.Exp(v - mx)
+				orow[j] = e
+				s += e
+			}
+			inv := 1 / s
+			for j := range orow {
+				orow[j] *= inv
 			}
 		}
-		s := 0.0
-		for j, v := range row {
-			e := math.Exp(v - mx)
-			orow[j] = e
-			s += e
-		}
-		inv := 1 / s
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
+	})
 	countOps(5 * r * c)
 	return out
 }
@@ -189,20 +211,22 @@ func LogSumExpRows(m *Tensor) *Tensor {
 	m.must2D("LogSumExpRows")
 	r, c := m.shape[0], m.shape[1]
 	out := New(r)
-	for i := 0; i < r; i++ {
-		row := m.data[i*c : (i+1)*c]
-		mx := row[0]
-		for _, v := range row[1:] {
-			if v > mx {
-				mx = v
+	forRows(r, c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*c : (i+1)*c]
+			mx := row[0]
+			for _, v := range row[1:] {
+				if v > mx {
+					mx = v
+				}
 			}
+			s := 0.0
+			for _, v := range row {
+				s += math.Exp(v - mx)
+			}
+			out.data[i] = mx + math.Log(s)
 		}
-		s := 0.0
-		for _, v := range row {
-			s += math.Exp(v - mx)
-		}
-		out.data[i] = mx + math.Log(s)
-	}
+	})
 	countOps(4 * r * c)
 	return out
 }

@@ -25,13 +25,30 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float64
+	// shapeBack inlines the shape storage for tensors of rank ≤ 2 (all of
+	// them, in this codebase), so constructing a tensor costs two heap
+	// allocations (struct + data) instead of three.
+	shapeBack [2]int
+}
+
+// setShape stores a copy of shape, using the inline backing array when the
+// rank allows.
+func (t *Tensor) setShape(shape []int) {
+	if len(shape) <= len(t.shapeBack) {
+		t.shape = t.shapeBack[:len(shape)]
+		copy(t.shape, shape)
+	} else {
+		t.shape = append([]int(nil), shape...)
+	}
 }
 
 // New returns a zero-filled tensor with the given shape. A tensor with no
 // dimensions is a scalar holding one element.
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+	t := &Tensor{data: make([]float64, n)}
+	t.setShape(shape)
+	return t
 }
 
 // FromSlice wraps data in a tensor with the given shape. The tensor takes
@@ -41,7 +58,9 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 	if len(data) != n {
 		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (size %d)", len(data), shape, n))
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: data}
+	t := &Tensor{data: data}
+	t.setShape(shape)
+	return t
 }
 
 // Full returns a tensor with every element set to v.
@@ -58,7 +77,9 @@ func Ones(shape ...int) *Tensor { return Full(1, shape...) }
 
 // Scalar returns a 0-dimensional tensor holding v.
 func Scalar(v float64) *Tensor {
-	return &Tensor{shape: []int{}, data: []float64{v}}
+	t := &Tensor{data: []float64{v}}
+	t.shape = t.shapeBack[:0]
+	return t
 }
 
 func checkShape(shape []int) int {
@@ -89,7 +110,8 @@ func (t *Tensor) Data() []float64 { return t.data }
 
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
-	c := &Tensor{shape: append([]int(nil), t.shape...), data: make([]float64, len(t.data))}
+	c := &Tensor{data: make([]float64, len(t.data))}
+	c.setShape(t.shape)
 	copy(c.data, t.data)
 	return c
 }
@@ -100,7 +122,9 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if n != len(t.data) {
 		panic(fmt.Sprintf("tensor: cannot reshape size %d to %v", len(t.data), shape))
 	}
-	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	r := &Tensor{data: t.data}
+	r.setShape(shape)
+	return r
 }
 
 // SameShape reports whether t and o have identical shapes.
@@ -225,3 +249,6 @@ func (t *Tensor) String() string {
 
 // countOps reports n floating point operations to the active flops counter.
 func countOps(n int) { flops.Add(int64(n)) }
+
+// countBytes reports n bytes of memory traffic to the active flops counter.
+func countBytes(n int) { flops.AddBytes(int64(n)) }

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer pooling. The hot paths of the GNN forward/backward and the
+// fused graph kernels need short-lived float64 buffers (edge counts,
+// assembly templates, backward intermediates) on every call; allocating
+// them fresh dominated the allocation profile of BenchmarkGNNForward.
+// Buffers are pooled in power-of-two size classes and handed out through a
+// Workspace, which tracks everything it lent so one Release returns the
+// lot. The pools traffic in *[]float64 and the Workspace retains those
+// pointers, so a full lend/release cycle allocates nothing.
+
+// Size classes cover 2^5 .. 2^22 elements. Requests outside the range are
+// allocated directly and dropped on Release (they are rare and huge, and
+// pinning them in a pool would hold memory hostage).
+const (
+	minClassBits = 5
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var (
+	floatPools [numClasses]sync.Pool
+	wsPool     = sync.Pool{New: func() any { return &Workspace{} }}
+)
+
+// classFor returns the pool class index for a request of n elements, or -1
+// when the request falls outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b < minClassBits {
+		b = minClassBits
+	}
+	if b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+func getFloats(n int) *[]float64 {
+	c := classFor(n)
+	if c < 0 {
+		s := make([]float64, n)
+		return &s
+	}
+	if v := floatPools[c].Get(); v != nil {
+		p := v.(*[]float64)
+		s := (*p)[:n]
+		for i := range s {
+			s[i] = 0
+		}
+		*p = s
+		return p
+	}
+	s := make([]float64, n, 1<<(c+minClassBits))
+	return &s
+}
+
+func putFloats(p *[]float64) {
+	if c := classFor(cap(*p)); c >= 0 && cap(*p) == 1<<(c+minClassBits) {
+		floatPools[c].Put(p)
+	}
+}
+
+// Workspace lends pooled scratch buffers and tensors. Everything obtained
+// from a Workspace is valid only until its Release; retaining a buffer or
+// tensor past Release (or returning one to a caller) is a use-after-free
+// class bug — copy the data out instead. Workspaces themselves are pooled:
+// the steady-state cost of NewWorkspace + Release is zero allocations.
+//
+// A Workspace is not safe for concurrent use; give each goroutine its own.
+type Workspace struct {
+	floats  []*[]float64
+	tensors []*Tensor
+}
+
+// NewWorkspace returns a workspace from the pool.
+func NewWorkspace() *Workspace {
+	return wsPool.Get().(*Workspace)
+}
+
+// Floats lends a zeroed []float64 of length n.
+func (w *Workspace) Floats(n int) []float64 {
+	p := getFloats(n)
+	w.floats = append(w.floats, p)
+	return *p
+}
+
+// Tensor lends a zeroed tensor with pooled backing storage.
+func (w *Workspace) Tensor(shape ...int) *Tensor {
+	n := checkShape(shape)
+	t := &Tensor{data: w.Floats(n)}
+	t.setShape(shape)
+	w.tensors = append(w.tensors, t)
+	return t
+}
+
+// Release returns every lent buffer (and the workspace itself) to the
+// pools. The workspace must not be used afterwards.
+func (w *Workspace) Release() {
+	for i, p := range w.floats {
+		putFloats(p)
+		w.floats[i] = nil
+	}
+	for i, t := range w.tensors {
+		t.data = nil
+		w.tensors[i] = nil
+	}
+	w.floats = w.floats[:0]
+	w.tensors = w.tensors[:0]
+	wsPool.Put(w)
+}
