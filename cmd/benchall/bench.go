@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"edgekg/internal/autograd"
 	"edgekg/internal/concept"
 	"edgekg/internal/core"
 	"edgekg/internal/dataset"
@@ -44,8 +45,10 @@ type benchReport struct {
 }
 
 // runMicroBenches executes the hot-path benchmarks against env and writes
-// the JSON report to path.
-func runMicroBenches(env *experiments.Env, scale, path string) error {
+// the JSON report to path. In smoke mode every benchmark body runs exactly
+// once with no timing loop — CI uses it to keep the bench code compiling
+// and executing without paying for stable measurements.
+func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error {
 	det, _, err := env.BuildTrainedDetector(concept.Stealing, 1001)
 	if err != nil {
 		return fmt.Errorf("bench fixture: %w", err)
@@ -62,6 +65,11 @@ func runMicroBenches(env *experiments.Env, scale, path string) error {
 		// FLOPs are measured on a single warm invocation; the timing loop
 		// runs without the meter so accounting does not skew ns/op.
 		ops, _ := flops.Count(fn)
+		if smoke {
+			report.Results = append(report.Results, benchResult{Name: name, Iterations: 1, FLOPsPerOp: ops})
+			fmt.Printf("%-20s smoke ok %12d FLOPs\n", name, ops)
+			return
+		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -76,7 +84,7 @@ func runMicroBenches(env *experiments.Env, scale, path string) error {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			FLOPsPerOp:  ops,
 		})
-		fmt.Printf("%-18s %12.0f ns/op %8d allocs/op %10d B/op %12d FLOPs\n",
+		fmt.Printf("%-20s %12.0f ns/op %8d allocs/op %10d B/op %12d FLOPs\n",
 			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.AllocedBytesPerOp(), ops)
 	}
 
@@ -90,6 +98,18 @@ func runMicroBenches(env *experiments.Env, scale, path string) error {
 
 	frame := env.Gen.Frame(rng, concept.Robbery).Reshape(1, env.Space.PixDim())
 	add("ScoreFrame", func() { det.ScoreVideo(frame) })
+
+	// The batched temporal pass in isolation: 8 windows through one tape,
+	// the granularity ScoreVideo and TrainStep see per clip.
+	const winBatch = 8
+	wins := tensor.RandN(rng, 1, winBatch*det.Window(), det.ReasoningDim())
+	add("TemporalForwardBatch", func() { det.Temporal().ForwardBatch(autograd.Constant(wins), winBatch) })
+
+	video := tensor.New(24, env.Space.PixDim())
+	for i := 0; i < video.Rows(); i++ {
+		copy(video.Row(i), env.Gen.Frame(rng, concept.Robbery).Data())
+	}
+	add("ScoreVideo24", func() { det.ScoreVideo(video) })
 
 	trainDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1002)
 	if err != nil {

@@ -1,0 +1,287 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"edgekg/internal/flops"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+)
+
+// This file holds the fused attention ops of the batched temporal path.
+// The short-term temporal transformer (Sec. III-C) used to run one window
+// at a time: per head, the attention core was five tape nodes (SliceCols ×3,
+// MatMulT2, Scale, SoftmaxRows, MatMul) plus a ConcatCols, repeated per
+// window. BatchedAttention collapses the whole (batch × heads) grid into a
+// single tape node with one backward closure. The block-diagonal window
+// mask is structural rather than materialised: scores for window b are
+// computed only against window b's own keys, so a query can never attend
+// into another window — the compact (batch·heads·T × T) score layout IS the
+// block-diagonal mask, without ever allocating the (batch·T × batch·T)
+// matrix it represents.
+//
+// Every loop mirrors the accumulation order of the composed reference ops
+// (MatMulT2 → Scale → +mask → SoftmaxRows → MatMul), so the fused forward
+// and backward are bit-identical to the per-window sequential model; the
+// equivalence tests in internal/temporal pin this.
+
+// attnDims validates the (batch·T × heads·dk) geometry shared by the
+// batched attention ops and returns T and dk.
+func attnDims(op string, rows, cols, batch, heads int) (t, dk int) {
+	if batch < 1 {
+		panic(fmt.Sprintf("autograd: %s batch %d must be ≥ 1", op, batch))
+	}
+	if heads < 1 || cols%heads != 0 {
+		panic(fmt.Sprintf("autograd: %s width %d not divisible by %d heads", op, cols, heads))
+	}
+	if rows%batch != 0 {
+		panic(fmt.Sprintf("autograd: %s rows %d not divisible by batch %d", op, rows, batch))
+	}
+	t = rows / batch
+	if t < 1 {
+		panic(fmt.Sprintf("autograd: %s empty windows (rows %d, batch %d)", op, rows, batch))
+	}
+	return t, cols / heads
+}
+
+// BatchedAttention applies scaled dot-product self-attention independently
+// to every window of a batch, all heads at once, as one graph node. q, k
+// and v are (batch·T × dim) matrices whose k-th block of T rows is window
+// k's projection; dim = heads·dk. The result has the same shape: row
+// b·T+i, columns [h·dk, (h+1)·dk) hold head h's context for query i of
+// window b. When causal is true, query i attends only to positions ≤ i of
+// its own window.
+//
+// Attention is block-diagonal over windows by construction — scores are
+// only ever computed within a window's own T×T block — and the (window,
+// head) blocks are independent, so both passes fan out over the shared
+// worker pool; each block owns a disjoint region of every output and
+// gradient matrix with the sequential accumulation order, keeping results
+// bit-identical at any worker count.
+func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bool) *Value {
+	rows, dim := q.Data.Rows(), q.Data.Cols()
+	if !k.Data.SameShape(q.Data) || !v.Data.SameShape(q.Data) {
+		panic(fmt.Sprintf("autograd: BatchedAttention shapes q%v k%v v%v differ", q.Shape(), k.Shape(), v.Shape()))
+	}
+	t, dk := attnDims("BatchedAttention", rows, dim, batch, heads)
+	nb := batch * heads
+	needsGrad := q.requiresGrad || k.requiresGrad || v.requiresGrad
+
+	// Attention weights, stored compactly as nb stacked T×T blocks: block
+	// idx = b·heads + h starts at row idx·T. The backward pass re-reads
+	// them; inference-only calls borrow pooled scratch instead.
+	var attn *tensor.Tensor
+	var ws *tensor.Workspace
+	if needsGrad {
+		attn = tensor.New(nb*t, t)
+	} else {
+		ws = tensor.NewWorkspace()
+		attn = ws.Tensor(nb*t, t)
+	}
+
+	out := tensor.New(rows, dim)
+	qd, kd, vd, od, ad := q.Data.Data(), k.Data.Data(), v.Data.Data(), out.Data(), attn.Data()
+
+	// One block ≈ 4·T²·dk + 5·T² flops; pick the chunk grain so a chunk
+	// amortises the pool handshake over ~2¹⁶ flop-equivalents.
+	blockCost := 4*t*t*dk + 5*t*t
+	grain := 1
+	if blockCost > 0 && (1<<16)/blockCost > 1 {
+		grain = (1 << 16) / blockCost
+	}
+
+	forward := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			b, h := idx/heads, idx%heads
+			rowOff, colOff := b*t, h*dk
+			for i := 0; i < t; i++ {
+				jm := t
+				if causal {
+					jm = i + 1
+				}
+				qrow := qd[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
+				arow := ad[(idx*t+i)*t : (idx*t+i)*t+t]
+				// Scores: (Q·Kᵀ)·scale, the composed MatMulT2+Scale order.
+				for j := 0; j < jm; j++ {
+					krow := kd[(rowOff+j)*dim+colOff : (rowOff+j)*dim+colOff+dk]
+					s := 0.0
+					for p := 0; p < dk; p++ {
+						s += qrow[p] * krow[p]
+					}
+					arow[j] = s * scale
+				}
+				// Row softmax over the unmasked prefix. The reference path
+				// adds −1e9 to masked scores; after the max shift those
+				// exponentials underflow to exactly 0, so skipping them
+				// entirely yields the same floats.
+				mx := arow[0]
+				for _, s := range arow[1:jm] {
+					if s > mx {
+						mx = s
+					}
+				}
+				sum := 0.0
+				for j := 0; j < jm; j++ {
+					e := math.Exp(arow[j] - mx)
+					arow[j] = e
+					sum += e
+				}
+				inv := 1 / sum
+				for j := 0; j < jm; j++ {
+					arow[j] *= inv
+				}
+				// Context: attn·V with the reference MatMul's i-p-j order
+				// and zero skip.
+				orow := od[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
+				for p := 0; p < jm; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					vrow := vd[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
+					for j := 0; j < dk; j++ {
+						orow[j] += av * vrow[j]
+					}
+				}
+			}
+		}
+	}
+	parallel.For(nb, grain, forward)
+	flops.Add(int64(nb * blockCost))
+	if !needsGrad {
+		ws.Release()
+		return &Value{Data: out, op: "batchedattention"}
+	}
+
+	return newOp3("batchedattention", out, q, k, v, func(g *tensor.Tensor) {
+		gd := g.Data()
+		var gq, gk, gv *tensor.Tensor
+		if q.requiresGrad {
+			gq = tensor.New(rows, dim)
+		}
+		if k.requiresGrad {
+			gk = tensor.New(rows, dim)
+		}
+		if v.requiresGrad {
+			gv = tensor.New(rows, dim)
+		}
+		parallel.For(nb, grain, func(lo, hi int) {
+			bws := tensor.NewWorkspace()
+			da := bws.Floats(t)
+			for idx := lo; idx < hi; idx++ {
+				b, h := idx/heads, idx%heads
+				rowOff, colOff := b*t, h*dk
+				for i := 0; i < t; i++ {
+					jm := t
+					if causal {
+						jm = i + 1
+					}
+					arow := ad[(idx*t+i)*t : (idx*t+i)*t+t]
+					grow := gd[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
+					// dAttn[i][p] = G_i·V_p ; dV_p += attn[i][p]·G_i.
+					for p := 0; p < jm; p++ {
+						vrow := vd[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
+						s := 0.0
+						for j := 0; j < dk; j++ {
+							s += grow[j] * vrow[j]
+						}
+						da[p] = s
+						if av := arow[p]; av != 0 && gv != nil {
+							gvrow := gv.Data()[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
+							for j := 0; j < dk; j++ {
+								gvrow[j] += av * grow[j]
+							}
+						}
+					}
+					if gq == nil && gk == nil {
+						continue
+					}
+					// Softmax backward, then the Scale adjoint, then the
+					// score-matmul adjoints dQ = dS·K and dK = dSᵀ·Q.
+					dot := 0.0
+					for p := 0; p < jm; p++ {
+						dot += arow[p] * da[p]
+					}
+					qrow := qd[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
+					for p := 0; p < jm; p++ {
+						ds := arow[p] * (da[p] - dot) * scale
+						if ds == 0 {
+							continue
+						}
+						if gq != nil {
+							krow := kd[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
+							gqrow := gq.Data()[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
+							for j := 0; j < dk; j++ {
+								gqrow[j] += ds * krow[j]
+							}
+						}
+						if gk != nil {
+							gkrow := gk.Data()[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
+							for j := 0; j < dk; j++ {
+								gkrow[j] += ds * qrow[j]
+							}
+						}
+					}
+				}
+			}
+			bws.Release()
+		})
+		// dA + dV + softmax adjoint + dQ + dK, mirroring what the composed
+		// backward graph would have reported to the ledger.
+		flops.Add(int64(nb * (8*t*t*dk + 3*t*t)))
+		if gq != nil {
+			q.accumulate(gq)
+		}
+		if gk != nil {
+			k.accumulate(gk)
+		}
+		if gv != nil {
+			v.accumulate(gv)
+		}
+	})
+}
+
+// MaskedSoftmaxRows applies a row-wise softmax to x + mask as a single
+// graph node — the Add(scores, mask) + SoftmaxRows pair of causal attention
+// fused, with the same floats. mask is additive (0 keeps, −1e9 blocks) and
+// constant: no gradient flows into it, and the input adjoint is exactly the
+// softmax backward. A nil mask degenerates to SoftmaxRows.
+func MaskedSoftmaxRows(x *Value, mask *tensor.Tensor) *Value {
+	if mask != nil && !x.Data.SameShape(mask) {
+		panic(fmt.Sprintf("autograd: MaskedSoftmaxRows mask shape %v != input %v", mask.Shape(), x.Shape()))
+	}
+	shifted := x.Data
+	if mask != nil {
+		shifted = tensor.Add(x.Data, mask)
+	}
+	out := tensor.SoftmaxRows(shifted)
+	return newOp3("maskedsoftmaxrows", out, x, nil, nil, func(g *tensor.Tensor) {
+		x.accumulate(softmaxRowsBackward(out, g))
+	})
+}
+
+// AddTiled adds a (T × c) tile to every T-row block of a (batch·T × c)
+// matrix: out row i is x row i plus tile row i mod T. It is how the batched
+// temporal forward applies the positional encoding to every window in one
+// node instead of one Add per window; the adjoint passes straight through
+// to x (the tile is constant).
+func AddTiled(x *Value, tile *tensor.Tensor) *Value {
+	r, c := x.Data.Rows(), x.Data.Cols()
+	t := tile.Rows()
+	if tile.Cols() != c || t < 1 || r%t != 0 {
+		panic(fmt.Sprintf("autograd: AddTiled tile %v does not tile input %v", tile.Shape(), x.Shape()))
+	}
+	out := tensor.New(r, c)
+	od, xd, td := out.Data(), x.Data.Data(), tile.Data()
+	for i := 0; i < r; i++ {
+		orow, xrow, trow := od[i*c:(i+1)*c], xd[i*c:(i+1)*c], td[(i%t)*c:(i%t+1)*c]
+		for j := 0; j < c; j++ {
+			orow[j] = xrow[j] + trow[j]
+		}
+	}
+	flops.Add(int64(r * c))
+	return newOp3("addtiled", out, x, nil, nil, func(g *tensor.Tensor) {
+		x.accumulate(g)
+	})
+}

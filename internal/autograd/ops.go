@@ -377,20 +377,27 @@ func GELU(v *Value) *Value {
 func SoftmaxRows(v *Value) *Value {
 	out := tensor.SoftmaxRows(v.Data)
 	return newOp3("softmaxrows", out, v, nil, nil, func(g *tensor.Tensor) {
-		r, c := out.Rows(), out.Cols()
-		gv := tensor.New(r, c)
-		for i := 0; i < r; i++ {
-			orow, grow, drow := out.Row(i), g.Row(i), gv.Row(i)
-			dot := 0.0
-			for j := 0; j < c; j++ {
-				dot += orow[j] * grow[j]
-			}
-			for j := 0; j < c; j++ {
-				drow[j] = orow[j] * (grow[j] - dot)
-			}
-		}
-		v.accumulate(gv)
+		v.accumulate(softmaxRowsBackward(out, g))
 	})
+}
+
+// softmaxRowsBackward returns the row-softmax adjoint
+// dx[i][j] = out[i][j]·(g[i][j] − Σ_k out[i][k]·g[i][k]), shared by
+// SoftmaxRows and MaskedSoftmaxRows.
+func softmaxRowsBackward(out, g *tensor.Tensor) *tensor.Tensor {
+	r, c := out.Rows(), out.Cols()
+	gv := tensor.New(r, c)
+	for i := 0; i < r; i++ {
+		orow, grow, drow := out.Row(i), g.Row(i), gv.Row(i)
+		dot := 0.0
+		for j := 0; j < c; j++ {
+			dot += orow[j] * grow[j]
+		}
+		for j := 0; j < c; j++ {
+			drow[j] = orow[j] * (grow[j] - dot)
+		}
+	}
+	return gv
 }
 
 // Dropout zeroes elements with probability p and scales survivors by

@@ -405,16 +405,17 @@ func (a *Adapter) forwardFrames(batch *tensor.Tensor) *autograd.Value {
 	emb := a.det.EmbedFrames(batch)
 	t := a.det.Window()
 	b := batch.Rows()
-	outs := make([]*autograd.Value, b)
+	// One Gather replicates each frame's embedding into a static T-row
+	// window; the scatter-add backward sums each frame's gradient over its
+	// T copies, exactly as the per-window SliceRows/ConcatRows graph did.
+	rows := make([]int, b*t)
 	for k := 0; k < b; k++ {
-		row := autograd.SliceRows(emb, k, k+1)
-		win := make([]*autograd.Value, t)
-		for i := range win {
-			win[i] = row
+		for i := 0; i < t; i++ {
+			rows[k*t+i] = k
 		}
-		outs[k] = a.det.Temporal().ForwardSeq(autograd.ConcatRows(win...))
 	}
-	return a.det.Head().Logits(autograd.ConcatRows(outs...))
+	wins := autograd.GatherRows(emb, rows)
+	return a.det.Head().Logits(a.det.Temporal().ForwardBatch(wins, b))
 }
 
 func stackFrames(frames []*tensor.Tensor) *tensor.Tensor {

@@ -164,12 +164,18 @@ func (d *Detector) ForwardClip(clip *tensor.Tensor, batch int) *autograd.Value {
 		panic(fmt.Sprintf("core: clip has %d rows, want window+batch-1 = %d", clip.Rows(), t+batch-1))
 	}
 	emb := d.EmbedFrames(clip) // (t+batch-1 × D)
-	outs := make([]*autograd.Value, batch)
+	// One Gather stacks every overlapping window row-wise; its scatter-add
+	// backward accumulates each frame's gradient over all windows it
+	// appears in, exactly as the per-window SliceRows graph did. The
+	// stacked matrix then makes a single batched temporal pass.
+	rows := make([]int, batch*t)
 	for k := 0; k < batch; k++ {
-		win := autograd.SliceRows(emb, k, k+t)
-		outs[k] = d.temp.ForwardSeq(win)
+		for i := 0; i < t; i++ {
+			rows[k*t+i] = k + i
+		}
 	}
-	return d.head.Logits(autograd.ConcatRows(outs...))
+	wins := autograd.GatherRows(emb, rows)
+	return d.head.Logits(d.temp.ForwardBatch(wins, batch))
 }
 
 // ScoreVideo scores every frame of a video in inference mode, returning
@@ -177,37 +183,56 @@ func (d *Detector) ForwardClip(clip *tensor.Tensor, batch int) *autograd.Value {
 // a left-padded window (first frame repeated), matching a causal stream
 // warm-up.
 //
-// Frame windows are scored concurrently on the shared worker pool: in
-// inference mode the temporal model and head are read-only (running
-// statistics frozen, dropout inert), every window writes only its own
-// scores slot, and each score is computed exactly as in the sequential
-// loop, so the output is deterministic at any worker count.
+// Frame windows are scored in batched temporal passes: the window matrix
+// is assembled concurrently on the shared worker pool (each task fills
+// disjoint rows), and the batched attention/matmul kernels fan out over
+// the same pool inside each ForwardBatch call. Long videos are processed
+// in fixed-size window chunks so the temporal stage's stacked windows,
+// attention weights and activations stay bounded by the chunk size (the
+// per-frame embedding matrix remains O(video length) — EmbedFrames runs
+// over the whole video first). Each window's block is computed exactly as
+// in the sequential per-window loop — and identically at any chunking —
+// so the output is deterministic at any worker count.
 func (d *Detector) ScoreVideo(frames *tensor.Tensor) []float64 {
 	d.SetTraining(false)
 	n := frames.Rows()
+	if n == 0 {
+		return nil
+	}
 	t := d.temp.Window()
 	emb := d.EmbedFrames(frames).Data // inference: raw data is fine
-	scores := make([]float64, n)
 	invT := 1.0
 	if d.cfg.ScoreTemperature > 0 {
 		invT = 1 / d.cfg.ScoreTemperature
 	}
-	parallel.For(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			win := tensor.New(t, emb.Cols())
-			for k := 0; k < t; k++ {
-				src := i - (t - 1) + k
-				if src < 0 {
-					src = 0
-				}
-				copy(win.Row(k), emb.Row(src))
-			}
-			out := d.temp.ForwardSeq(autograd.Constant(win))
-			logits := autograd.Scale(d.head.Logits(out), invT)
-			probs := autograd.SoftmaxRows(logits)
-			scores[i] = 1 - probs.Data.At2(0, 0)
+	// 256 windows ≈ a few MB of stacked activations at the paper's model
+	// shape — large enough to amortise the batched pass, small enough for
+	// edge memory budgets.
+	const chunk = 256
+	scores := make([]float64, n)
+	for base := 0; base < n; base += chunk {
+		b := n - base
+		if b > chunk {
+			b = chunk
 		}
-	})
+		wins := tensor.New(b*t, emb.Cols())
+		parallel.For(b, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for k := 0; k < t; k++ {
+					src := base + i - (t - 1) + k
+					if src < 0 {
+						src = 0
+					}
+					copy(wins.Row(i*t+k), emb.Row(src))
+				}
+			}
+		})
+		out := d.temp.ForwardBatch(autograd.Constant(wins), b)
+		probs := autograd.SoftmaxRows(autograd.Scale(d.head.Logits(out), invT))
+		for i := 0; i < b; i++ {
+			scores[base+i] = 1 - probs.Data.At2(i, 0)
+		}
+	}
 	return scores
 }
 

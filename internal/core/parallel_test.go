@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"edgekg/internal/autograd"
 	"edgekg/internal/concept"
 	"edgekg/internal/kg"
 	"edgekg/internal/kggen"
@@ -124,6 +125,45 @@ func TestScoreVideoFinite(t *testing.T) {
 	for i, s := range det.ScoreVideo(frames) {
 		if math.IsNaN(s) || s < 0 || s > 1 {
 			t.Fatalf("score[%d] = %v out of [0,1]", i, s)
+		}
+	}
+}
+
+// TestScoreVideoChunkingSeamless scores a video longer than ScoreVideo's
+// internal window-chunk size and pins every frame — in particular those
+// whose windows straddle the chunk boundary — to the per-window sequential
+// reference, so the bounded-memory chunking cannot shift window assembly.
+func TestScoreVideoChunkingSeamless(t *testing.T) {
+	r := newRig(t, "Stealing", 11)
+	rng := rand.New(rand.NewSource(12))
+	const n = 300 // > one 256-window chunk
+	frames := tensor.New(n, r.space.PixDim())
+	for i := 0; i < n; i++ {
+		copy(frames.Row(i), r.gen.Frame(rng, concept.Robbery).Data())
+	}
+	got := r.det.ScoreVideo(frames)
+	if len(got) != n {
+		t.Fatalf("got %d scores, want %d", len(got), n)
+	}
+
+	r.det.SetTraining(false)
+	tw := r.det.Window()
+	emb := r.det.EmbedFrames(frames).Data
+	invT := 1 / r.det.ScoreTemperature()
+	for _, i := range []int{0, 127, 255, 256, 257, n - 1} {
+		win := tensor.New(tw, emb.Cols())
+		for k := 0; k < tw; k++ {
+			src := i - (tw - 1) + k
+			if src < 0 {
+				src = 0
+			}
+			copy(win.Row(k), emb.Row(src))
+		}
+		out := r.det.Temporal().ForwardSeq(autograd.Constant(win))
+		probs := autograd.SoftmaxRows(autograd.Scale(r.det.Head().Logits(out), invT))
+		want := 1 - probs.Data.At2(0, 0)
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("score[%d] = %v, sequential reference %v", i, got[i], want)
 		}
 	}
 }

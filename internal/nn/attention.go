@@ -40,7 +40,9 @@ func NewMultiHeadAttention(rng *rand.Rand, dim, heads int, causal bool) *MultiHe
 	}
 }
 
-// Forward applies self-attention to a (T × dim) sequence.
+// Forward applies self-attention to a (T × dim) sequence. This per-head
+// composed-op path is the sequential reference model the fused batched
+// path (ForwardBatch) is pinned against by the equivalence tests.
 func (a *MultiHeadAttention) Forward(x *autograd.Value) *autograd.Value {
 	t := x.Data.Rows()
 	q := a.Wq.Forward(x)
@@ -60,13 +62,25 @@ func (a *MultiHeadAttention) Forward(x *autograd.Value) *autograd.Value {
 		kh := autograd.SliceCols(k, lo, hi)
 		vh := autograd.SliceCols(v, lo, hi)
 		scores := autograd.Scale(autograd.MatMulT2(qh, kh), scale)
-		if mask != nil {
-			scores = autograd.Add(scores, autograd.Constant(mask))
-		}
-		attn := autograd.SoftmaxRows(scores)
+		attn := autograd.MaskedSoftmaxRows(scores, mask)
 		outs[h] = autograd.MatMul(attn, vh)
 	}
 	return a.Wo.Forward(autograd.ConcatCols(outs...))
+}
+
+// ForwardBatch applies self-attention independently to every T-row window
+// of a (batch·T × dim) matrix in one tape pass. The projections run over
+// the whole stacked matrix as single fused affine nodes, and the attention
+// core is one autograd.BatchedAttention node whose block-diagonal window
+// structure guarantees window k never attends into window j. Output row
+// b·T+i equals row i of Forward applied to window b alone.
+func (a *MultiHeadAttention) ForwardBatch(x *autograd.Value, batch int) *autograd.Value {
+	q := a.Wq.Forward(x)
+	k := a.Wk.Forward(x)
+	v := a.Wv.Forward(x)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	ctx := autograd.BatchedAttention(q, k, v, batch, a.heads, scale, a.causal)
+	return a.Wo.Forward(ctx)
 }
 
 // causalMask returns a (t×t) additive mask with -1e9 above the diagonal.
@@ -118,6 +132,20 @@ func NewEncoderLayer(rng *rand.Rand, dim, heads, ffDim int, dropout float64, cau
 // Forward applies the block to a (T × dim) sequence.
 func (e *EncoderLayer) Forward(x *autograd.Value) *autograd.Value {
 	h := autograd.Add(x, e.Drop.Forward(e.Attn.Forward(e.LN1.Forward(x))))
+	ff := e.FF2.Forward(autograd.GELU(e.FF1.Forward(e.LN2.Forward(h))))
+	return autograd.Add(h, e.Drop.Forward(ff))
+}
+
+// ForwardBatch applies the block to a batch of windows stacked as a
+// (batch·T × dim) matrix in one tape pass. LayerNorm, the feed-forward
+// and the residual adds are row-wise, so running them over the stacked
+// matrix is already the batched form — one tape node each for the whole
+// batch; only attention needs the window-aware fused path. In training
+// mode the dropout mask is drawn over the stacked matrix at once, so at
+// Dropout > 0 the batched and sequential passes consume the shared RNG
+// differently (they remain identically distributed).
+func (e *EncoderLayer) ForwardBatch(x *autograd.Value, batch int) *autograd.Value {
+	h := autograd.Add(x, e.Drop.Forward(e.Attn.ForwardBatch(e.LN1.Forward(x), batch)))
 	ff := e.FF2.Forward(autograd.GELU(e.FF1.Forward(e.LN2.Forward(h))))
 	return autograd.Add(h, e.Drop.Forward(ff))
 }

@@ -1,0 +1,225 @@
+package temporal
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+)
+
+// batchConfig builds a config sized so every tested head count divides the
+// inner dimension.
+func batchConfig(heads int, causal bool) Config {
+	return Config{InputDim: 6, InnerDim: 16, Heads: heads, Layers: 2, Window: 4, Causal: causal}
+}
+
+// seqReference runs the per-window sequential model over a stacked window
+// matrix — the reference ForwardBatch is pinned to.
+func seqReference(m *Model, windows *tensor.Tensor, batch int) *tensor.Tensor {
+	t := m.Window()
+	outs := make([]*tensor.Tensor, batch)
+	for k := 0; k < batch; k++ {
+		outs[k] = m.ForwardSeq(autograd.Constant(tensor.SliceRows(windows, k*t, (k+1)*t))).Data
+	}
+	return tensor.ConcatRows(outs...)
+}
+
+// TestForwardBatchEquivalence pins the one-tape batched forward to the
+// sequential per-window model across batch sizes, head counts, mask modes
+// and train/eval mode (dropout is 0, so train mode differs only in the
+// layers' mode flags — exactly the paper's configuration).
+func TestForwardBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, heads := range []int{1, 8} {
+		for _, causal := range []bool{false, true} {
+			m, err := New(rng, batchConfig(heads, causal))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, training := range []bool{false, true} {
+				m.SetTraining(training)
+				for _, batch := range []int{1, 2, 5} {
+					name := fmt.Sprintf("heads=%d causal=%v training=%v batch=%d", heads, causal, training, batch)
+					windows := tensor.RandN(rng, 1, batch*m.Window(), 6)
+					got := m.ForwardBatch(autograd.Constant(windows), batch)
+					if got.Data.Rows() != batch || got.Data.Cols() != 6 {
+						t.Fatalf("%s: output shape %v, want (%d,6)", name, got.Shape(), batch)
+					}
+					want := seqReference(m, windows, batch)
+					if !tensor.AllClose(got.Data, want, 1e-12) {
+						t.Errorf("%s: batched output diverges from sequential model", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchGradEquivalence checks that one batched backward pass
+// produces the same input and parameter gradients as the per-window
+// sequential passes summed.
+func TestForwardBatchGradEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, causal := range []bool{false, true} {
+		m, err := New(rng, batchConfig(2, causal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetTraining(false)
+		const batch = 3
+		data := tensor.RandN(rng, 1, batch*m.Window(), 6)
+
+		wb := autograd.Param(data.Clone())
+		autograd.Sum(m.ForwardBatch(wb, batch)).Backward()
+		grads := map[string]*tensor.Tensor{"windows": wb.Grad.Clone()}
+		for _, p := range m.Params() {
+			grads[p.Name] = p.V.Grad.Clone()
+			p.V.ZeroGrad()
+		}
+
+		ws := autograd.Param(data.Clone())
+		tw := m.Window()
+		for k := 0; k < batch; k++ {
+			autograd.Sum(m.ForwardSeq(autograd.SliceRows(ws, k*tw, (k+1)*tw))).Backward()
+		}
+		if !tensor.AllClose(grads["windows"], ws.Grad, 1e-9) {
+			t.Errorf("causal=%v: window gradient diverges", causal)
+		}
+		for _, p := range m.Params() {
+			if !tensor.AllClose(grads[p.Name], p.V.Grad, 1e-9) {
+				t.Errorf("causal=%v: param %s gradient diverges", causal, p.Name)
+			}
+			p.V.ZeroGrad()
+		}
+	}
+}
+
+// TestCrossWindowIsolation perturbs one window of a batch and asserts
+// every other window's batched output is bit-unchanged — a direct probe
+// for block-diagonal mask bugs: any leakage across window boundaries
+// changes other windows' floats.
+func TestCrossWindowIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, causal := range []bool{false, true} {
+		m, err := New(rng, batchConfig(8, causal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetTraining(false)
+		const batch = 5
+		tw := m.Window()
+		base := tensor.RandN(rng, 1, batch*tw, 6)
+		for _, workers := range []int{1, 4} {
+			prev := parallel.SetWorkers(workers)
+			before := m.ForwardBatch(autograd.Constant(base), batch)
+			for k := 0; k < batch; k++ {
+				bumped := base.Clone()
+				for i := 0; i < tw; i++ {
+					row := bumped.Row(k*tw + i)
+					for j := range row {
+						row[j] += 3
+					}
+				}
+				after := m.ForwardBatch(autograd.Constant(bumped), batch)
+				for b := 0; b < batch; b++ {
+					same := tensor.AllClose(
+						tensor.SliceRows(after.Data, b, b+1),
+						tensor.SliceRows(before.Data, b, b+1), 0)
+					if b == k && same {
+						t.Errorf("causal=%v workers=%d: perturbing window %d did not change its own output", causal, workers, k)
+					}
+					if b != k && !same {
+						t.Errorf("causal=%v workers=%d: perturbing window %d leaked into window %d", causal, workers, k, b)
+					}
+				}
+			}
+			parallel.SetWorkers(prev)
+		}
+	}
+}
+
+// TestForwardBatchWorkerDeterminism pins forward values and gradients of
+// the batched temporal pass to be bit-identical whether the pool runs
+// sequentially or with 4 workers (EDGEKG_WORKERS ∈ {1, 4} via its
+// programmatic equivalent, parallel.SetWorkers).
+func TestForwardBatchWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	m, err := New(rng, batchConfig(8, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTraining(false)
+	const batch = 6
+	data := tensor.RandN(rng, 1, batch*m.Window(), 6)
+	run := func() (*tensor.Tensor, *tensor.Tensor) {
+		for _, p := range m.Params() {
+			p.V.ZeroGrad()
+		}
+		w := autograd.Param(data.Clone())
+		out := m.ForwardBatch(w, batch)
+		autograd.Sum(out).Backward()
+		return out.Data, w.Grad
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	wantOut, wantGrad := run()
+	parallel.SetWorkers(4)
+	gotOut, gotGrad := run()
+	if !tensor.AllClose(gotOut, wantOut, 0) {
+		t.Error("batched forward not bit-identical across worker counts")
+	}
+	if !tensor.AllClose(gotGrad, wantGrad, 0) {
+		t.Error("batched backward not bit-identical across worker counts")
+	}
+}
+
+// TestGradCheckThroughForwardBatch verifies the full batched tape —
+// projection, AddTiled, fused attention, LayerNorm, Gather — against
+// finite differences.
+func TestGradCheckThroughForwardBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	m, err := New(rng, Config{InputDim: 6, InnerDim: 8, Heads: 2, Layers: 1, Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTraining(false)
+	windows := autograd.Param(tensor.RandN(rng, 0.5, 2*3, 6))
+	f := func() *autograd.Value { return autograd.Mean(m.ForwardBatch(windows, 2)) }
+	if err := autograd.GradCheck(f, []*autograd.Value{windows}, 1e-6, 1e-4); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForwardBatchValidation checks the batch guard and that the row
+// mismatch panic reports the expected row count as a product, not a
+// formula.
+func TestForwardBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	m, err := New(rng, batchConfig(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := func(f func()) (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		f()
+		return ""
+	}
+	if msg := recovered(func() { m.ForwardBatch(autograd.Constant(tensor.New(4, 6)), 0) }); !strings.Contains(msg, "batch 0 must be ≥ 1") {
+		t.Errorf("batch=0 panic = %q, want batch validation", msg)
+	}
+	msg := recovered(func() { m.ForwardBatch(autograd.Constant(tensor.New(9, 6)), 2) })
+	if !strings.Contains(msg, "want 8 (batch 2 × window 4)") {
+		t.Errorf("row mismatch panic = %q, want product form", msg)
+	}
+	if msg := recovered(func() { m.ForwardBatch(autograd.Constant(tensor.New(8, 5)), 2) }); !strings.Contains(msg, "input dim") {
+		t.Errorf("dim mismatch panic = %q, want input dim validation", msg)
+	}
+}

@@ -107,17 +107,38 @@ func (m *Model) ForwardSeq(seq *autograd.Value) *autograd.Value {
 
 // ForwardBatch processes a batch of windows stacked row-wise as a
 // (batch*T × D) matrix and returns the (batch × D) last-position outputs.
+//
+// The whole batch runs through one tape: a single input projection over
+// the stacked matrix, one AddTiled node for the positional encoding, the
+// encoder blocks' batched forward (whose BatchedAttention core is
+// block-diagonal over windows, so window k never attends into window j),
+// one final LayerNorm, and a single Gather of the last position of every
+// window. Row k equals ForwardSeq applied to window k alone — pinned by
+// the equivalence and isolation tests — while the tape cost is O(depth)
+// nodes instead of O(batch·depth).
 func (m *Model) ForwardBatch(windows *autograd.Value, batch int) *autograd.Value {
 	t := m.cfg.Window
+	if batch < 1 {
+		panic(fmt.Sprintf("temporal: batch %d must be ≥ 1", batch))
+	}
 	if windows.Data.Rows() != batch*t {
-		panic(fmt.Sprintf("temporal: batch matrix has %d rows, want %d×%d", windows.Data.Rows(), batch, t))
+		panic(fmt.Sprintf("temporal: batch matrix has %d rows, want %d (batch %d × window %d)",
+			windows.Data.Rows(), batch*t, batch, t))
 	}
-	outs := make([]*autograd.Value, batch)
-	for k := 0; k < batch; k++ {
-		seq := autograd.SliceRows(windows, k*t, (k+1)*t)
-		outs[k] = m.ForwardSeq(seq)
+	if windows.Data.Cols() != m.cfg.InputDim {
+		panic(fmt.Sprintf("temporal: input dim %d != %d", windows.Data.Cols(), m.cfg.InputDim))
 	}
-	return autograd.ConcatRows(outs...)
+	h := m.inProj.Forward(windows)
+	h = autograd.AddTiled(h, m.pos)
+	for _, b := range m.blocks {
+		h = b.ForwardBatch(h, batch)
+	}
+	h = m.norm.Forward(h)
+	last := make([]int, batch)
+	for k := range last {
+		last[k] = (k+1)*t - 1
+	}
+	return m.out.Forward(autograd.GatherRows(h, last))
 }
 
 // SetTraining toggles dropout inside the encoder blocks.
