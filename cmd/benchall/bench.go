@@ -124,26 +124,74 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 	tr := core.NewTrainer(trainDet, core.DefaultTrainConfig())
 	add("TrainStep", func() { tr.Step(rng, bsrc) })
 
+	// The 4-clip microbatch pair: the sequential-accumulation reference
+	// versus the data-parallel sharded step, same semantics (equivalence
+	// suite: ≤1e-12), different execution. Separate fixtures so neither
+	// bench trains the other's detector.
+	const microK = 4
+	mbCfg := core.DefaultTrainConfig()
+	mbCfg.Microbatch = microK
+	seqDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1004)
+	if err != nil {
+		return fmt.Errorf("seq microbatch fixture: %w", err)
+	}
+	trSeq := core.NewTrainer(seqDet, mbCfg)
+	add("TrainStepSeqAccum", func() { trSeq.StepSequential(rng, bsrc) })
+
+	parDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1005)
+	if err != nil {
+		return fmt.Errorf("parallel microbatch fixture: %w", err)
+	}
+	trPar := core.NewTrainer(parDet, mbCfg)
+	add("TrainStepParallel", func() { trPar.Step(rng, bsrc) })
+
+	primedMonitor := func() (*core.Monitor, error) {
+		mon, err := core.NewMonitor(32, 16)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 32; i++ {
+			mon.Push(env.Gen.Frame(rng, concept.Stealing).Reshape(1, env.Space.PixDim()), 0.9)
+		}
+		for i := 0; i < 32; i++ {
+			mon.Push(env.Gen.Frame(rng, concept.Robbery).Reshape(1, env.Space.PixDim()), 0.2)
+		}
+		return mon, nil
+	}
 	adaptDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1003)
 	if err != nil {
 		return fmt.Errorf("adapt fixture: %w", err)
 	}
-	adapter, err := core.NewAdapter(adaptDet, core.DefaultAdaptConfig(), rng)
+	acfg := core.DefaultAdaptConfig()
+	acfg.Shards = 1 // single-tape baseline, the pre-data-parallel path
+	adapter, err := core.NewAdapter(adaptDet, acfg, rng)
 	if err != nil {
 		return fmt.Errorf("adapter: %w", err)
 	}
-	mon, err := core.NewMonitor(32, 16)
+	mon, err := primedMonitor()
 	if err != nil {
 		return fmt.Errorf("monitor: %w", err)
 	}
-	for i := 0; i < 32; i++ {
-		mon.Push(env.Gen.Frame(rng, concept.Stealing).Reshape(1, env.Space.PixDim()), 0.9)
-	}
-	for i := 0; i < 32; i++ {
-		mon.Push(env.Gen.Frame(rng, concept.Robbery).Reshape(1, env.Space.PixDim()), 0.2)
-	}
 	add("AdaptationStep", func() {
 		if _, err := adapter.Step(mon); err != nil {
+			panic(err)
+		}
+	})
+
+	adaptParDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1003)
+	if err != nil {
+		return fmt.Errorf("parallel adapt fixture: %w", err)
+	}
+	adapterPar, err := core.NewAdapter(adaptParDet, core.DefaultAdaptConfig(), rng)
+	if err != nil {
+		return fmt.Errorf("parallel adapter: %w", err)
+	}
+	monPar, err := primedMonitor()
+	if err != nil {
+		return fmt.Errorf("parallel monitor: %w", err)
+	}
+	add("AdaptationStepParallel", func() {
+		if _, err := adapterPar.Step(monPar); err != nil {
 			panic(err)
 		}
 	})

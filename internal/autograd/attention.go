@@ -154,7 +154,7 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 		return &Value{Data: out, op: "batchedattention"}
 	}
 
-	return newOp3("batchedattention", out, q, k, v, func(g *tensor.Tensor) {
+	return newOp3("batchedattention", out, q, k, v, func(bp *Backprop, g *tensor.Tensor) {
 		gd := g.Data()
 		var gq, gk, gv *tensor.Tensor
 		if q.requiresGrad {
@@ -231,13 +231,13 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 		// backward graph would have reported to the ledger.
 		flops.Add(int64(nb * (8*t*t*dk + 3*t*t)))
 		if gq != nil {
-			q.accumulate(gq)
+			bp.accumulate(q, gq)
 		}
 		if gk != nil {
-			k.accumulate(gk)
+			bp.accumulate(k, gk)
 		}
 		if gv != nil {
-			v.accumulate(gv)
+			bp.accumulate(v, gv)
 		}
 	})
 }
@@ -256,8 +256,8 @@ func MaskedSoftmaxRows(x *Value, mask *tensor.Tensor) *Value {
 		shifted = tensor.Add(x.Data, mask)
 	}
 	out := tensor.SoftmaxRows(shifted)
-	return newOp3("maskedsoftmaxrows", out, x, nil, nil, func(g *tensor.Tensor) {
-		x.accumulate(softmaxRowsBackward(out, g))
+	return newOp3("maskedsoftmaxrows", out, x, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
+		bp.accumulate(x, softmaxRowsBackward(out, g))
 	})
 }
 
@@ -281,7 +281,7 @@ func AddTiled(x *Value, tile *tensor.Tensor) *Value {
 		}
 	}
 	flops.Add(int64(r * c))
-	return newOp3("addtiled", out, x, nil, nil, func(g *tensor.Tensor) {
-		x.accumulate(g)
+	return newOp3("addtiled", out, x, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
+		bp.accumulate(x, g)
 	})
 }

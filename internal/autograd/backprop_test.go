@@ -1,0 +1,192 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"edgekg/internal/tensor"
+)
+
+// shardLoss builds a small two-layer scalar loss over shared parameters:
+// sum(tanh(x·W + b)). Each call builds a fresh tape, which is exactly the
+// data-parallel shard contract — shared leaves, private interior nodes.
+func shardLoss(x *tensor.Tensor, w, b *Value) *Value {
+	return Sum(Tanh(Affine(Constant(x), w, b)))
+}
+
+// TestBackwardIntoRoutesLeafGrads pins the sink contract: BackwardInto
+// must deliver exactly the gradients Backward would, into the sink instead
+// of the leaves' Grad fields, leaving the shared leaves untouched.
+func TestBackwardIntoRoutesLeafGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Param(tensor.RandN(rng, 1, 3, 4))
+	b := Param(tensor.RandN(rng, 1, 4))
+	x := tensor.RandN(rng, 1, 5, 3)
+
+	shardLoss(x, w, b).Backward()
+	wantW, wantB := w.Grad.Clone(), b.Grad.Clone()
+	w.ZeroGrad()
+	b.ZeroGrad()
+
+	sink := make(GradSink)
+	shardLoss(x, w, b).BackwardInto(sink)
+	if w.Grad != nil || b.Grad != nil {
+		t.Fatal("BackwardInto wrote to a shared leaf's Grad field")
+	}
+	if !tensor.AllClose(sink.Grad(w), wantW, 0) {
+		t.Error("sink W gradient differs from Backward")
+	}
+	if !tensor.AllClose(sink.Grad(b), wantB, 0) {
+		t.Error("sink b gradient differs from Backward")
+	}
+}
+
+// TestBackwardIntoAccumulatesAcrossCalls checks that one sink accumulates
+// over multiple backward passes exactly as a Grad field would.
+func TestBackwardIntoAccumulatesAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := Param(tensor.RandN(rng, 1, 2, 3))
+	b := Param(tensor.RandN(rng, 1, 3))
+	x1 := tensor.RandN(rng, 1, 4, 2)
+	x2 := tensor.RandN(rng, 1, 4, 2)
+
+	shardLoss(x1, w, b).Backward()
+	shardLoss(x2, w, b).Backward()
+	want := w.Grad.Clone()
+	w.ZeroGrad()
+	b.ZeroGrad()
+
+	sink := make(GradSink)
+	shardLoss(x1, w, b).BackwardInto(sink)
+	shardLoss(x2, w, b).BackwardInto(sink)
+	if !tensor.AllClose(sink.Grad(w), want, 0) {
+		t.Error("sink accumulation differs from Grad-field accumulation")
+	}
+}
+
+// TestBackwardIntoConcurrentShards runs many concurrent backward passes
+// over shared parameter leaves, each with its own tape and sink — the
+// data-parallel training contract. Under -race this is the shard-safety
+// proof; the value check pins every shard's sink to its sequential
+// reference.
+func TestBackwardIntoConcurrentShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := Param(tensor.RandN(rng, 1, 4, 6))
+	b := Param(tensor.RandN(rng, 1, 6))
+	const shards = 8
+	inputs := make([]*tensor.Tensor, shards)
+	want := make([]*tensor.Tensor, shards)
+	for s := range inputs {
+		inputs[s] = tensor.RandN(rng, 1, 3, 4)
+		sink := make(GradSink)
+		shardLoss(inputs[s], w, b).BackwardInto(sink)
+		want[s] = sink.Grad(w)
+	}
+
+	sinks := make([]GradSink, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sink := make(GradSink)
+			shardLoss(inputs[s], w, b).BackwardInto(sink)
+			sinks[s] = sink
+		}(s)
+	}
+	wg.Wait()
+	if w.Grad != nil || b.Grad != nil {
+		t.Fatal("concurrent shard backward touched shared Grad fields")
+	}
+	for s := range sinks {
+		if !tensor.AllClose(sinks[s].Grad(w), want[s], 0) {
+			t.Errorf("shard %d sink differs from its sequential reference", s)
+		}
+	}
+}
+
+// TestReduceSinksTreeOrder pins the reduction to the fixed pairwise tree
+// ((s0+s1)+(s2+s3)) — bit-exact, independent of anything but sink order —
+// and checks scaling and the nil-Grad behaviour for untouched parameters.
+func TestReduceSinksTreeOrder(t *testing.T) {
+	p := Param(tensor.New(2))
+	frozen := Param(tensor.New(2))
+	g := func(a, b float64) *tensor.Tensor {
+		m := tensor.New(2)
+		m.Data()[0], m.Data()[1] = a, b
+		return m
+	}
+	sinks := []GradSink{
+		{p: g(1, 0.1)},
+		{p: g(2, 0.2)},
+		{p: g(3, 0.3)},
+		{p: g(4, 0.4)},
+	}
+	ReduceSinks([]*Value{p, frozen}, sinks, 0.25)
+	w0 := ((1.0 + 2.0) + (3.0 + 4.0)) * 0.25
+	w1 := ((0.1 + 0.2) + (0.3 + 0.4)) * 0.25
+	if p.Grad == nil || p.Grad.Data()[0] != w0 || p.Grad.Data()[1] != w1 {
+		t.Fatalf("reduced grad = %v, want [%v %v]", p.Grad, w0, w1)
+	}
+	if frozen.Grad != nil {
+		t.Error("parameter absent from every sink received a gradient")
+	}
+
+	// Three shards: ((s0+s1)+s2), bit-exact.
+	p.ZeroGrad()
+	ReduceSinks([]*Value{p}, []GradSink{{p: g(1, 0)}, {p: g(2, 0)}, {p: g(3, 0)}}, 1)
+	if p.Grad.Data()[0] != (1.0+2.0)+3.0 {
+		t.Errorf("3-shard reduce = %v", p.Grad.Data()[0])
+	}
+}
+
+// TestShardReduceGradCheck drives finite differences through the full
+// shard path: two shard tapes over shared parameters, BackwardInto
+// per-shard sinks, tree-reduce with 1/K averaging — the analytic gradient
+// of the mean shard loss must match central differences.
+func TestShardReduceGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := Param(tensor.RandN(rng, 0.5, 3, 3))
+	b := Param(tensor.RandN(rng, 0.5, 3))
+	xs := []*tensor.Tensor{
+		tensor.RandN(rng, 1, 2, 3),
+		tensor.RandN(rng, 1, 2, 3),
+	}
+	meanLoss := func() float64 {
+		total := 0.0
+		for _, x := range xs {
+			total += shardLoss(x, w, b).Scalar()
+		}
+		return total / float64(len(xs))
+	}
+
+	sinks := make([]GradSink, len(xs))
+	for s, x := range xs {
+		sinks[s] = make(GradSink)
+		shardLoss(x, w, b).BackwardInto(sinks[s])
+	}
+	w.ZeroGrad()
+	b.ZeroGrad()
+	ReduceSinks([]*Value{w, b}, sinks, 1/float64(len(xs)))
+
+	const eps, tol = 1e-6, 1e-7
+	for _, p := range []*Value{w, b} {
+		data := p.Data.Data()
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + eps
+			plus := meanLoss()
+			data[i] = orig - eps
+			minus := meanLoss()
+			data[i] = orig
+			numeric := (plus - minus) / (2 * eps)
+			got := p.Grad.Data()[i]
+			denom := math.Max(1, math.Max(math.Abs(numeric), math.Abs(got)))
+			if math.Abs(numeric-got)/denom > tol {
+				t.Fatalf("param elem %d: analytic %g vs numeric %g", i, got, numeric)
+			}
+		}
+	}
+}

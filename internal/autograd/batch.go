@@ -41,7 +41,7 @@ func MeanRowsBatch(banks []*Value) *Value {
 			orow[j] *= inv
 		}
 	}
-	return newOp("meanrowsbatch", out, banks, func(g *tensor.Tensor) {
+	return newOp("meanrowsbatch", out, banks, func(bp *Backprop, g *tensor.Tensor) {
 		gd := g.Data()
 		for i, b := range banks {
 			if !b.requiresGrad {
@@ -61,7 +61,7 @@ func MeanRowsBatch(banks []*Value) *Value {
 					row[j] = grow[j] * inv
 				}
 			}
-			b.accumulate(gb)
+			bp.accumulate(b, gb)
 		}
 	})
 }
@@ -136,7 +136,7 @@ func AssembleBatch(frames, feats *Value, featRow []int, frameRow int, fill float
 	}
 	ws.Release()
 
-	return newOp3("assemblebatch", out, frames, feats, nil, func(g *tensor.Tensor) {
+	return newOp3("assemblebatch", out, frames, feats, nil, func(bp *Backprop, g *tensor.Tensor) {
 		gd := g.Data()
 		if frames.requiresGrad {
 			gf := tensor.New(b, d)
@@ -144,7 +144,7 @@ func AssembleBatch(frames, feats *Value, featRow []int, frameRow int, fill float
 			for k := 0; k < b; k++ {
 				copy(gfd[k*d:(k+1)*d], gd[(k*v+frameRow)*d:(k*v+frameRow+1)*d])
 			}
-			frames.accumulate(gf)
+			bp.accumulate(frames, gf)
 		}
 		if feats != nil && feats.requiresGrad {
 			gt := tensor.New(featRows, d)
@@ -161,7 +161,7 @@ func AssembleBatch(frames, feats *Value, featRow []int, frameRow int, fill float
 					}
 				}
 			}
-			feats.accumulate(gt)
+			bp.accumulate(feats, gt)
 		}
 	})
 }

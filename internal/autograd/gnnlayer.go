@@ -52,7 +52,7 @@ func EdgeAggNormActEval(x, gamma, beta *Value, src, dst []int, inLevel []bool, r
 		}
 	}
 	fws.Release()
-	return newOp3("edgeaggnormact.eval", out, x, gamma, beta, func(g *tensor.Tensor) {
+	return newOp3("edgeaggnormact.eval", out, x, gamma, beta, func(bp *Backprop, g *tensor.Tensor) {
 		ws := tensor.NewWorkspace()
 		binvStd := ws.Floats(d)
 		for j, v := range runningVar.Data() {
@@ -81,7 +81,7 @@ func EdgeAggNormActEval(x, gamma, beta *Value, src, dst []int, inLevel []bool, r
 					ggd[j] += prow[j] * (trow[j] - rm[j]) * binvStd[j]
 				}
 			}
-			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+			bp.accumulate(gamma, gg.Reshape(gamma.Data.Shape()...))
 		}
 		if beta.requiresGrad {
 			gb := tensor.New(d)
@@ -92,7 +92,7 @@ func EdgeAggNormActEval(x, gamma, beta *Value, src, dst []int, inLevel []bool, r
 					gbd[j] += prow[j]
 				}
 			}
-			beta.accumulate(gb.Reshape(beta.Data.Shape()...))
+			bp.accumulate(beta, gb.Reshape(beta.Data.Shape()...))
 		}
 		if x.requiresGrad {
 			dtmp := ws.Floats(n * d)
@@ -105,7 +105,7 @@ func EdgeAggNormActEval(x, gamma, beta *Value, src, dst []int, inLevel []bool, r
 			}
 			gx := tensor.New(n, d)
 			edgeAggBackward(xd, dtmp, gx.Data(), n, d, src, dst, inLevel)
-			x.accumulate(gx)
+			bp.accumulate(x, gx)
 		}
 		ws.Release()
 	})
@@ -157,7 +157,7 @@ func EdgeAggNormActTrain(x, gamma, beta *Value, src, dst []int, inLevel []bool, 
 			}
 		}
 	}
-	v := newOp3("edgeaggnormact", o, x, gamma, beta, func(g *tensor.Tensor) {
+	v := newOp3("edgeaggnormact", o, x, gamma, beta, func(bp *Backprop, g *tensor.Tensor) {
 		ws := tensor.NewWorkspace()
 		gpre := ws.Floats(n * d)
 		gd := g.Data()
@@ -178,7 +178,7 @@ func EdgeAggNormActTrain(x, gamma, beta *Value, src, dst []int, inLevel []bool, 
 					ggd[j] += prow[j] * hrow[j]
 				}
 			}
-			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+			bp.accumulate(gamma, gg.Reshape(gamma.Data.Shape()...))
 		}
 		if beta.requiresGrad {
 			gb := tensor.New(d)
@@ -189,7 +189,7 @@ func EdgeAggNormActTrain(x, gamma, beta *Value, src, dst []int, inLevel []bool, 
 					gbd[j] += prow[j]
 				}
 			}
-			beta.accumulate(gb.Reshape(beta.Data.Shape()...))
+			bp.accumulate(beta, gb.Reshape(beta.Data.Shape()...))
 		}
 		if x.requiresGrad {
 			// Batch-norm input gradient over the aggregate output:
@@ -217,7 +217,7 @@ func EdgeAggNormActTrain(x, gamma, beta *Value, src, dst []int, inLevel []bool, 
 			}
 			gx := tensor.New(n, d)
 			edgeAggBackward(xd, dtmp, gx.Data(), n, d, src, dst, inLevel)
-			x.accumulate(gx)
+			bp.accumulate(x, gx)
 		}
 		ws.Release()
 	})

@@ -20,12 +20,12 @@ func EdgeMessage(x *Value, src, dst []int) *Value {
 	xs := tensor.Gather(x.Data, srcIdx)
 	xd := tensor.Gather(x.Data, dstIdx)
 	out := tensor.Mul(xs, xd)
-	return newOp3("edgemessage", out, x, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("edgemessage", out, x, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		// d/dX_src = g ⊙ X_dst scattered to src rows; symmetric for dst.
 		gx := tensor.New(x.Data.Shape()...)
 		tensor.ScatterAddRows(gx, srcIdx, tensor.Mul(g, xd))
 		tensor.ScatterAddRows(gx, dstIdx, tensor.Mul(g, xs))
-		x.accumulate(gx)
+		bp.accumulate(x, gx)
 	})
 }
 
@@ -80,7 +80,7 @@ func EdgeAggregate(x, msgs *Value, dst []int, inLevel []bool) *Value {
 			copy(row, x.Data.Row(i))
 		}
 	}
-	return newOp3("edgeaggregate", out, x, msgs, nil, func(g *tensor.Tensor) {
+	return newOp3("edgeaggregate", out, x, msgs, nil, func(bp *Backprop, g *tensor.Tensor) {
 		if x.requiresGrad {
 			gx := tensor.New(n, d)
 			for i := 0; i < n; i++ {
@@ -88,7 +88,7 @@ func EdgeAggregate(x, msgs *Value, dst []int, inLevel []bool) *Value {
 					copy(gx.Row(i), g.Row(i))
 				}
 			}
-			x.accumulate(gx)
+			bp.accumulate(x, gx)
 		}
 		if msgs.requiresGrad {
 			gm := tensor.New(len(dstIdx), d)
@@ -102,7 +102,7 @@ func EdgeAggregate(x, msgs *Value, dst []int, inLevel []bool) *Value {
 					mrow[j] = grow[j] * inv
 				}
 			}
-			msgs.accumulate(gm)
+			bp.accumulate(msgs, gm)
 		}
 	})
 }
@@ -130,10 +130,10 @@ func EdgeMessageAggregate(x *Value, src, dst []int, inLevel []bool) *Value {
 	out := tensor.New(n, d)
 	edgeAggForward(x.Data.Data(), out.Data(), n, d, src, dst, inLevel)
 	xd := x.Data.Data()
-	return newOp3("edgemsgagg", out, x, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("edgemsgagg", out, x, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		gx := tensor.New(n, d)
 		edgeAggBackward(xd, g.Data(), gx.Data(), n, d, src, dst, inLevel)
-		x.accumulate(gx)
+		bp.accumulate(x, gx)
 	})
 }
 
@@ -240,13 +240,13 @@ func RowsMask(v *Value, keep []bool) *Value {
 			copy(out.Row(i), v.Data.Row(i))
 		}
 	}
-	return newOp3("rowsmask", out, v, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("rowsmask", out, v, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		gv := tensor.New(r, c)
 		for i := 0; i < r; i++ {
 			if flags[i] {
 				copy(gv.Row(i), g.Row(i))
 			}
 		}
-		v.accumulate(gv)
+		bp.accumulate(v, gv)
 	})
 }

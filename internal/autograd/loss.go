@@ -18,7 +18,7 @@ func LogSoftmaxRows(v *Value) *Value {
 			orow[j] = row[j] - lse.Data()[i]
 		}
 	}
-	return newOp3("logsoftmaxrows", out, v, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("logsoftmaxrows", out, v, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		gv := tensor.New(r, c)
 		for i := 0; i < r; i++ {
 			grow, orow, drow := g.Row(i), out.Row(i), gv.Row(i)
@@ -30,7 +30,7 @@ func LogSoftmaxRows(v *Value) *Value {
 				drow[j] = grow[j] - math.Exp(orow[j])*gsum
 			}
 		}
-		v.accumulate(gv)
+		bp.accumulate(v, gv)
 	})
 }
 
@@ -56,7 +56,7 @@ func CrossEntropy(logits *Value, labels []int) *Value {
 	}
 	loss /= float64(r)
 	out := tensor.Scalar(loss)
-	return newOp3("crossentropy", out, logits, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("crossentropy", out, logits, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		scale := g.Data()[0] / float64(r)
 		gl := tensor.New(r, c)
 		for i := 0; i < r; i++ {
@@ -66,7 +66,7 @@ func CrossEntropy(logits *Value, labels []int) *Value {
 			}
 			grow[labels[i]] -= scale
 		}
-		logits.accumulate(gl)
+		bp.accumulate(logits, gl)
 	})
 }
 
@@ -83,14 +83,14 @@ func MSE(a, b *Value) *Value {
 	}
 	loss /= float64(n)
 	out := tensor.Scalar(loss)
-	return newOp3("mse", out, a, b, nil, func(g *tensor.Tensor) {
+	return newOp3("mse", out, a, b, nil, func(bp *Backprop, g *tensor.Tensor) {
 		scale := 2 * g.Data()[0] / float64(n)
 		gd := tensor.Scale(diff, scale)
 		if a.requiresGrad {
-			a.accumulate(gd)
+			bp.accumulate(a, gd)
 		}
 		if b.requiresGrad {
-			b.accumulate(tensor.Neg(gd))
+			bp.accumulate(b, tensor.Neg(gd))
 		}
 	})
 }
@@ -114,7 +114,7 @@ func BinaryScoreLoss(logits *Value, targets []float64) *Value {
 	}
 	loss /= float64(r)
 	out := tensor.Scalar(loss)
-	return newOp3("binaryscoreloss", out, logits, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("binaryscoreloss", out, logits, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		// d/dlogit_j of pA = -(d p0/d logit_j); dp0/dlogit_j = p0*(δ0j - pj)
 		scale := g.Data()[0] * 2 / float64(r)
 		gl := tensor.New(r, c)
@@ -131,7 +131,7 @@ func BinaryScoreLoss(logits *Value, targets []float64) *Value {
 				grow[j] = coef * (-p0 * (delta - prow[j]))
 			}
 		}
-		logits.accumulate(gl)
+		bp.accumulate(logits, gl)
 	})
 }
 
@@ -150,7 +150,7 @@ func SmoothnessPenalty(scores *Value) *Value {
 	}
 	loss /= float64(r - 1)
 	out := tensor.Scalar(loss)
-	return newOp3("smoothness", out, scores, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("smoothness", out, scores, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		scale := 2 * g.Data()[0] / float64(r-1)
 		gv := tensor.New(scores.Data.Shape()...)
 		gd := gv.Data()
@@ -159,7 +159,7 @@ func SmoothnessPenalty(scores *Value) *Value {
 			gd[i] += scale * diff
 			gd[i-1] -= scale * diff
 		}
-		scores.accumulate(gv)
+		bp.accumulate(scores, gv)
 	})
 }
 
@@ -176,7 +176,7 @@ func SparsityPenalty(v *Value) *Value {
 	}
 	loss /= float64(n)
 	out := tensor.Scalar(loss)
-	return newOp3("sparsity", out, v, nil, nil, func(g *tensor.Tensor) {
+	return newOp3("sparsity", out, v, nil, nil, func(bp *Backprop, g *tensor.Tensor) {
 		scale := g.Data()[0] / float64(n)
 		gv := tensor.New(v.Data.Shape()...)
 		vd, gd := v.Data.Data(), gv.Data()
@@ -188,6 +188,6 @@ func SparsityPenalty(v *Value) *Value {
 				gd[i] = -scale
 			}
 		}
-		v.accumulate(gv)
+		bp.accumulate(v, gv)
 	})
 }

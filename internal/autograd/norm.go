@@ -35,7 +35,7 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 		}
 	}
 
-	v := newOp3("batchnorm", o, x, gamma, beta, func(g *tensor.Tensor) {
+	v := newOp3("batchnorm", o, x, gamma, beta, func(bp *Backprop, g *tensor.Tensor) {
 		if gamma.requiresGrad {
 			gg := tensor.New(c)
 			for i := 0; i < r; i++ {
@@ -44,10 +44,10 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 					gg.Data()[j] += grow[j] * hrow[j]
 				}
 			}
-			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+			bp.accumulate(gamma, gg.Reshape(gamma.Data.Shape()...))
 		}
 		if beta.requiresGrad {
-			beta.accumulate(tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
+			bp.accumulate(beta, tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
 		}
 		if x.requiresGrad {
 			// Standard batch-norm input gradient:
@@ -70,7 +70,7 @@ func BatchNormTrain(x, gamma, beta *Value, eps float64) (out *Value, batchMean, 
 					xrow[j] = coef * (rn*grow[j] - sumG.Data()[j] - hrow[j]*sumGH.Data()[j])
 				}
 			}
-			x.accumulate(gx)
+			bp.accumulate(x, gx)
 		}
 	})
 	return v, mean, variance
@@ -95,7 +95,7 @@ func BatchNormEval(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor
 			orow[j] = gamma.Data.Data()[j]*xh + beta.Data.Data()[j]
 		}
 	}
-	return newOp3("batchnorm.eval", o, x, gamma, beta, func(g *tensor.Tensor) {
+	return newOp3("batchnorm.eval", o, x, gamma, beta, func(bp *Backprop, g *tensor.Tensor) {
 		if gamma.requiresGrad {
 			gg := tensor.New(c)
 			for i := 0; i < r; i++ {
@@ -105,10 +105,10 @@ func BatchNormEval(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor
 					gg.Data()[j] += grow[j] * xh
 				}
 			}
-			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+			bp.accumulate(gamma, gg.Reshape(gamma.Data.Shape()...))
 		}
 		if beta.requiresGrad {
-			beta.accumulate(tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
+			bp.accumulate(beta, tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
 		}
 		if x.requiresGrad {
 			gx := tensor.New(r, c)
@@ -118,7 +118,7 @@ func BatchNormEval(x, gamma, beta *Value, runningMean, runningVar *tensor.Tensor
 					xrow[j] = grow[j] * gamma.Data.Data()[j] * invStd[j]
 				}
 			}
-			x.accumulate(gx)
+			bp.accumulate(x, gx)
 		}
 	})
 }
@@ -157,7 +157,7 @@ func LayerNorm(x, gamma, beta *Value, eps float64) *Value {
 			orow[j] = gamma.Data.Data()[j]*hrow[j] + beta.Data.Data()[j]
 		}
 	}
-	return newOp3("layernorm", o, x, gamma, beta, func(g *tensor.Tensor) {
+	return newOp3("layernorm", o, x, gamma, beta, func(bp *Backprop, g *tensor.Tensor) {
 		if gamma.requiresGrad {
 			gg := tensor.New(c)
 			for i := 0; i < r; i++ {
@@ -166,10 +166,10 @@ func LayerNorm(x, gamma, beta *Value, eps float64) *Value {
 					gg.Data()[j] += grow[j] * hrow[j]
 				}
 			}
-			gamma.accumulate(gg.Reshape(gamma.Data.Shape()...))
+			bp.accumulate(gamma, gg.Reshape(gamma.Data.Shape()...))
 		}
 		if beta.requiresGrad {
-			beta.accumulate(tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
+			bp.accumulate(beta, tensor.SumAxis0(g).Reshape(beta.Data.Shape()...))
 		}
 		if x.requiresGrad {
 			gx := tensor.New(r, c)
@@ -187,7 +187,7 @@ func LayerNorm(x, gamma, beta *Value, eps float64) *Value {
 					xrow[j] = invStds[i] / cn * (cn*gj - sumG - hrow[j]*sumGH)
 				}
 			}
-			x.accumulate(gx)
+			bp.accumulate(x, gx)
 		}
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"edgekg/internal/kg"
 	"edgekg/internal/nn"
 	"edgekg/internal/optim"
+	"edgekg/internal/parallel"
 	"edgekg/internal/tensor"
 )
 
@@ -59,6 +60,14 @@ type AdaptConfig struct {
 	// updates would only inject label noise into a recovered model.
 	// 0 disables the gate.
 	SkipLossBelow float64
+	// Shards splits each adaptation epoch's selected-sample batch into
+	// this many contiguous row shards whose forward+backward passes run
+	// concurrently on the worker pool, with per-shard gradient sinks
+	// tree-reduced in fixed shard order before the optimiser step. The
+	// shard count — not the worker count — defines the floating-point
+	// summation order, so results are bit-identical at any EDGEKG_WORKERS
+	// setting. ≤1 keeps the single-tape sequential epoch.
+	Shards int
 }
 
 // DefaultAdaptConfig returns the adaptation settings used by the
@@ -75,6 +84,7 @@ func DefaultAdaptConfig() AdaptConfig {
 		MinDrop:       0.02,
 		MaxKFrac:      0.25,
 		SkipLossBelow: 0.08,
+		Shards:        4,
 	}
 }
 
@@ -110,7 +120,10 @@ type Adapter struct {
 	cfg AdaptConfig
 	rng *rand.Rand
 
-	opt      *optim.AdamW
+	opt *optim.AdamW
+	// params caches the token-bank value set the optimiser manages; it is
+	// rebuilt alongside the optimiser whenever the KG structure changes.
+	params   []*autograd.Value
 	trackers []map[kg.NodeID]*convTracker
 	rowNorms []map[kg.NodeID][]float64
 	created  int
@@ -194,7 +207,8 @@ func (a *Adapter) renormalize() {
 
 func (a *Adapter) rebuildOptimizer() {
 	cfg := optim.AdamWConfig{LR: a.cfg.LR, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 0}
-	a.opt = optim.NewAdamW(nn.Values(a.det.TokenParams()), cfg)
+	a.params = nn.Values(a.det.TokenParams())
+	a.opt = optim.NewAdamW(a.params, cfg)
 }
 
 // Step runs one adaptation round against the monitor's current window:
@@ -202,6 +216,12 @@ func (a *Adapter) rebuildOptimizer() {
 // as normals), update token embeddings only, test every node's update
 // distance for divergence, and prune + re-create diverging nodes.
 func (a *Adapter) Step(mon *Monitor) (AdaptReport, error) {
+	// Adaptation operates on the frozen, inference-mode pipeline
+	// (EnableAdaptation sets this up), and epochStep's concurrent shard
+	// forwards rely on it: a training-mode forward would mutate shared
+	// BatchNorm running statistics from every shard. Re-assert the mode in
+	// case a caller toggled training since construction.
+	a.det.SetTraining(false)
 	rep := AdaptReport{DeltaM: mon.DeltaM(), K: mon.K()}
 	rep.NodeDistances = make([]map[kg.NodeID]float64, a.det.NumGNNs())
 	for i := range rep.NodeDistances {
@@ -268,16 +288,11 @@ func (a *Adapter) Step(mon *Monitor) (AdaptReport, error) {
 	invT := 1 / a.det.ScoreTemperature()
 	for e := 0; e < a.cfg.Epochs; e++ {
 		epochBefore := a.snapshot()
-		logits := autograd.Scale(a.forwardFrames(batch), invT)
-		loss := autograd.BinaryScoreLoss(logits, targets)
-		a.opt.ZeroGrad()
-		loss.Backward()
-		a.opt.Step()
+		rep.Loss = a.epochStep(batch, targets, invT)
 		if pullDir != nil {
 			a.applySemanticPull(epochBefore, pullDir)
 		}
 		a.renormalize()
-		rep.Loss = loss.Scalar()
 	}
 
 	// Convergence test per node (Fig. 4): L2 distance between the old and
@@ -315,6 +330,68 @@ func (a *Adapter) Step(mon *Monitor) (AdaptReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// epochStep applies one token-embedding gradient step over the selected
+// samples, data-parallel across cfg.Shards contiguous row shards: each
+// shard forwards its rows through its own tape (the pipeline is frozen and
+// in inference mode, so shards share only the token-bank leaves), computes
+// its loss scaled by its row fraction — so the shard losses sum to the
+// full-batch mean loss — and backpropagates into a per-shard gradient
+// sink. The sinks are tree-reduced in fixed shard order before one AdamW
+// step, making the result independent of worker count. It returns the
+// total (mean-equivalent) loss.
+func (a *Adapter) epochStep(batch *tensor.Tensor, targets []float64, invT float64) float64 {
+	n := batch.Rows()
+	shards := a.cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	losses := make([]float64, shards)
+	sinks := make([]autograd.GradSink, shards)
+	run := func(i int) {
+		lo, hi := shardRange(n, shards, i)
+		logits := autograd.Scale(a.forwardFrames(tensor.SliceRows(batch, lo, hi)), invT)
+		loss := autograd.Scale(autograd.BinaryScoreLoss(logits, targets[lo:hi]), float64(hi-lo)/float64(n))
+		sink := make(autograd.GradSink, len(a.params))
+		loss.BackwardInto(sink)
+		losses[i] = loss.Scalar()
+		sinks[i] = sink
+	}
+	if shards == 1 {
+		run(0)
+	} else {
+		var g parallel.Group
+		for i := 0; i < shards; i++ {
+			i := i
+			g.Go(func() { run(i) })
+		}
+		g.Wait()
+	}
+	a.opt.ZeroGrad()
+	autograd.ReduceSinks(a.params, sinks, 1)
+	a.opt.Step()
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+// shardRange returns the half-open row range of shard i when n rows are
+// split into k balanced contiguous shards (the first n%k shards get one
+// extra row).
+func shardRange(n, k, i int) (lo, hi int) {
+	base, rem := n/k, n%k
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
 }
 
 // replaceNode prunes a diverging node and creates a random replacement at

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/tensor"
+)
+
+// TestNextClipsGeometryAndDeterminism checks the microbatch sampler:
+// every clip has the single-clip geometry, the whole batch is a pure
+// function of the master RNG state, and clip i equals a single-clip call
+// made on a stream derived from the i-th seed draw — the property that
+// lets the sequential-accumulation reference consume the same microbatch
+// as the data-parallel step.
+func TestNextClipsGeometryAndDeterminism(t *testing.T) {
+	gen := testGen(t)
+	rng := rand.New(rand.NewSource(31))
+	vids := gen.TaskVideos(rng, concept.Fighting, 2, 2)
+	src, err := NewClipSource(vids, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 4
+	frames, labels := src.NextClips(rand.New(rand.NewSource(99)), k)
+	if len(frames) != k || len(labels) != k {
+		t.Fatalf("got %d/%d clips, want %d", len(frames), len(labels), k)
+	}
+	for i := range frames {
+		if frames[i].Rows() != 4+6-1 || len(labels[i]) != 6 {
+			t.Fatalf("clip %d geometry %dx? labels %d", i, frames[i].Rows(), len(labels[i]))
+		}
+	}
+
+	// Same master seed ⇒ bit-identical batch.
+	frames2, labels2 := src.NextClips(rand.New(rand.NewSource(99)), k)
+	for i := range frames {
+		if !tensor.AllClose(frames[i], frames2[i], 0) {
+			t.Fatalf("clip %d frames not deterministic", i)
+		}
+		for j := range labels[i] {
+			if labels[i][j] != labels2[i][j] {
+				t.Fatalf("clip %d labels not deterministic", i)
+			}
+		}
+	}
+
+	// Clip i matches a NextClip on the i-th derived stream.
+	master := rand.New(rand.NewSource(99))
+	for i := 0; i < k; i++ {
+		want, wantLabels := src.NextClip(rand.New(rand.NewSource(master.Int63())))
+		if !tensor.AllClose(frames[i], want, 0) {
+			t.Fatalf("clip %d differs from per-stream derivation", i)
+		}
+		for j := range wantLabels {
+			if labels[i][j] != wantLabels[j] {
+				t.Fatalf("clip %d labels differ from per-stream derivation", i)
+			}
+		}
+	}
+}
+
+// TestNextClipsMasterConsumption pins master-RNG usage to exactly k draws,
+// so interleaving NextClips with other consumers stays reproducible.
+func TestNextClipsMasterConsumption(t *testing.T) {
+	gen := testGen(t)
+	rng := rand.New(rand.NewSource(32))
+	vids := gen.TaskVideos(rng, concept.Shooting, 1, 1)
+	src, err := NewClipSource(vids, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rand.New(rand.NewSource(7))
+	src.NextClips(a, 3)
+	after := a.Int63()
+
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 3; i++ {
+		b.Int63()
+	}
+	if want := b.Int63(); after != want {
+		t.Fatalf("NextClips consumed a different number of master draws: next=%d want=%d", after, want)
+	}
+}

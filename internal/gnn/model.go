@@ -3,6 +3,7 @@ package gnn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"edgekg/internal/autograd"
 	"edgekg/internal/embed"
@@ -22,6 +23,11 @@ type Model struct {
 	lo     *layout
 	width  int
 
+	// bankMu guards bankCache/bankGen: data-parallel training runs
+	// concurrent forwards over one model, and the lazy rebuild would
+	// otherwise race. The token bank set never changes while forwards are
+	// in flight, so contention is a cheap uncontended lock per forward.
+	bankMu sync.Mutex
 	// bankCache holds the token banks in m.lo.reasonIDs order, rebuilt
 	// whenever the token bank set (bankGen) or the layout changes. The
 	// cached slice is shared with live computation graphs and never
@@ -107,13 +113,18 @@ func (m *Model) Rebind() error {
 	}
 	m.lo = lo
 	m.tokens.SyncWith(m.graph, m.space)
+	m.bankMu.Lock()
 	m.bankCache = nil
+	m.bankMu.Unlock()
 	return nil
 }
 
 // orderedBanks returns the token banks in layout order, cached across
-// forwards until the bank set or layout changes.
+// forwards until the bank set or layout changes. It is safe to call from
+// concurrent forwards.
 func (m *Model) orderedBanks() []*autograd.Value {
+	m.bankMu.Lock()
+	defer m.bankMu.Unlock()
 	if m.bankCache == nil || m.bankGen != m.tokens.Gen() {
 		banks := make([]*autograd.Value, len(m.lo.reasonIDs))
 		for i, id := range m.lo.reasonIDs {
@@ -129,6 +140,17 @@ func (m *Model) orderedBanks() []*autograd.Value {
 // (batch × space.Dim()) and returns the embedding-node outputs
 // (batch × Width) — the per-KG reasoning embedding r_T of Sec. III-C.
 func (m *Model) Forward(frames *autograd.Value) *autograd.Value {
+	return m.ForwardStats(frames, nil)
+}
+
+// ForwardStats is Forward with deferred BatchNorm statistics: in training
+// mode with a non-nil collector each layer's batch mean/variance is
+// recorded into stats instead of updating the running statistics in
+// place. Data-parallel training runs concurrent ForwardStats calls over
+// one model (shared parameters, per-shard tapes) and applies the
+// collectors in shard order afterwards; with stats == nil the behaviour
+// is the classic immediate update.
+func (m *Model) ForwardStats(frames *autograd.Value, stats *nn.BNStats) *autograd.Value {
 	b := frames.Data.Rows()
 	if frames.Data.Cols() != m.space.Dim() {
 		panic(fmt.Sprintf("gnn: frame dim %d != semantic dim %d", frames.Data.Cols(), m.space.Dim()))
@@ -157,13 +179,17 @@ func (m *Model) Forward(frames *autograd.Value) *autograd.Value {
 			rg := rep.groups[ly.group]
 			if ly.bn.Training() {
 				out, mean, variance := autograd.EdgeAggNormActTrain(x, ly.bn.Gamma, ly.bn.Beta, rg.src, rg.dst, rg.inLevel, ly.bn.Eps)
-				ly.bn.UpdateRunning(mean, variance)
+				if stats != nil {
+					stats.Defer(ly.bn, mean, variance)
+				} else {
+					ly.bn.UpdateRunning(mean, variance)
+				}
 				x = out
 			} else {
 				x = autograd.EdgeAggNormActEval(x, ly.bn.Gamma, ly.bn.Beta, rg.src, rg.dst, rg.inLevel, ly.bn.RunningMean, ly.bn.RunningVar, ly.bn.Eps)
 			}
 		} else {
-			x = autograd.ELU(ly.bn.Forward(x))
+			x = autograd.ELU(ly.bn.ForwardStats(x, stats))
 		}
 	}
 

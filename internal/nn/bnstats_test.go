@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/tensor"
+)
+
+// TestBNStatsDeferredApplyMatchesDirect pins the deferred running-stat
+// path: recording per-forward batch statistics and applying them in order
+// must leave the layer bit-identical to immediate UpdateRunning calls.
+func TestBNStatsDeferredApplyMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	direct := NewBatchNorm1d(3)
+	deferred := NewBatchNorm1d(3)
+	var stats BNStats
+	for i := 0; i < 4; i++ {
+		x := tensor.RandN(rng, 1, 5, 3)
+		direct.Forward(autograd.Constant(x))
+		deferred.ForwardStats(autograd.Constant(x), &stats)
+	}
+	if stats.Len() != 4 {
+		t.Fatalf("deferred %d updates, want 4", stats.Len())
+	}
+	if tensor.AllClose(direct.RunningMean, deferred.RunningMean, 0) {
+		t.Fatal("deferred layer updated running stats before Apply")
+	}
+	stats.Apply()
+	if stats.Len() != 0 {
+		t.Error("Apply did not clear the collector")
+	}
+	if !tensor.AllClose(direct.RunningMean, deferred.RunningMean, 0) {
+		t.Error("running mean differs between deferred and direct updates")
+	}
+	if !tensor.AllClose(direct.RunningVar, deferred.RunningVar, 0) {
+		t.Error("running variance differs between deferred and direct updates")
+	}
+}
+
+// TestBNStatsForwardOutputsUnchanged checks ForwardStats produces the same
+// activations as Forward (training mode uses batch statistics either way)
+// and that eval mode never defers.
+func TestBNStatsForwardOutputsUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bn := NewBatchNorm1d(4)
+	x := tensor.RandN(rng, 1, 6, 4)
+	var stats BNStats
+	a := bn.ForwardStats(autograd.Constant(x), &stats)
+	b := bn.Forward(autograd.Constant(x))
+	if !tensor.AllClose(a.Data, b.Data, 0) {
+		t.Error("ForwardStats output differs from Forward")
+	}
+
+	bn.SetTraining(false)
+	n := stats.Len()
+	bn.ForwardStats(autograd.Constant(x), &stats)
+	if stats.Len() != n {
+		t.Error("eval-mode ForwardStats deferred an update")
+	}
+}

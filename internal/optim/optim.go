@@ -33,6 +33,22 @@ func zeroGrads(params []*autograd.Value) {
 	}
 }
 
+// ScaleGrads multiplies every accumulated gradient by scale. Sequential
+// gradient accumulation over a K-clip microbatch uses it to turn the
+// summed gradients into the mean before clipping and stepping — the
+// reference semantics the data-parallel shard reduction reproduces.
+// Parameters with nil gradients are skipped.
+func ScaleGrads(params []*autograd.Value, scale float64) {
+	if scale == 1 {
+		return
+	}
+	for _, p := range params {
+		if p.Grad != nil {
+			tensor.ScaleInPlace(p.Grad, scale)
+		}
+	}
+}
+
 // ClipGradNorm rescales the gradients of params so their global L2 norm is
 // at most maxNorm, returning the pre-clip norm. Parameters with nil
 // gradients are skipped.

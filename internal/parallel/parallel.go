@@ -167,6 +167,61 @@ offer:
 	<-j.fin
 }
 
+// Group is a scoped task group over the shared pool: Go submits one task,
+// Wait blocks until every submitted task has completed. Unlike For/Do the
+// task set need not be known up front, and tasks may start running on pool
+// workers before Wait is called. The zero value is ready to use.
+//
+// When Workers() == 1 each Go call runs its task inline before returning,
+// so a group degrades to a plain sequential loop in submission order —
+// the property the data-parallel trainer's determinism tests rely on.
+//
+// Like For, the waiting goroutine participates: Wait runs every task the
+// pool has not yet claimed on the caller's goroutine, so a group can
+// always finish without any pool workers and nested groups cannot
+// deadlock. A Group must not be shared between goroutines; tasks may
+// themselves use For/Do/Group freely.
+type Group struct {
+	jobs []*job
+}
+
+// Go submits one task to the group.
+func (g *Group) Go(fn func()) {
+	w := Workers()
+	if w <= 1 {
+		fn()
+		return
+	}
+	j := &job{
+		fn:     func(int, int) { fn() },
+		n:      1,
+		chunk:  1,
+		chunks: 1,
+		fin:    make(chan struct{}),
+	}
+	g.jobs = append(g.jobs, j)
+	ensurePool(w - 1)
+	select {
+	case queue <- j:
+	default:
+		// Pool backlogged; Wait will run the task on the caller.
+	}
+}
+
+// Wait blocks until every task submitted since the last Wait has
+// completed, then resets the group for reuse. Unclaimed tasks are executed
+// on the calling goroutine.
+func (g *Group) Wait() {
+	for _, j := range g.jobs {
+		j.run()
+	}
+	for i, j := range g.jobs {
+		<-j.fin
+		g.jobs[i] = nil
+	}
+	g.jobs = g.jobs[:0]
+}
+
 // Do runs the given functions, potentially concurrently, and returns when
 // all have completed. It is For over the task list with grain 1.
 func Do(fns ...func()) {
