@@ -15,6 +15,7 @@ import (
 	"edgekg/internal/experiments"
 	"edgekg/internal/flops"
 	"edgekg/internal/parallel"
+	"edgekg/internal/serve"
 	"edgekg/internal/tensor"
 )
 
@@ -195,6 +196,46 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 			panic(err)
 		}
 	})
+
+	// Multi-stream serving throughput: one frame submitted to every stream
+	// per iteration (so ns/op is the latency of one serving "tick" across
+	// n cameras), scoring-only for stable timing. The servers share one
+	// backbone fixture — serving clones per-stream state and leaves the
+	// backbone untouched.
+	serveDet, _, err := env.BuildTrainedDetector(concept.Stealing, 1006)
+	if err != nil {
+		return fmt.Errorf("serve fixture: %w", err)
+	}
+	for _, nStreams := range []int{1, 4, 8} {
+		scfg := serve.DefaultConfig()
+		scfg.Stream.AdaptEveryFrames = 0
+		// Unmetered, like every other timed path here: the stream ledgers
+		// stay silent during the timing loop, and the one-shot FLOPs
+		// measurement (add's flops.Count wrapper) still sees the kernels.
+		scfg.Unmetered = true
+		srv, err := serve.NewServer(serveDet, nStreams, scfg)
+		if err != nil {
+			return fmt.Errorf("serve bench (%d streams): %w", nStreams, err)
+		}
+		sframes := make([]*tensor.Tensor, nStreams)
+		for i := range sframes {
+			sframes[i] = env.Gen.Frame(rng, concept.Robbery)
+		}
+		n := nStreams
+		add(fmt.Sprintf("StreamServe%d", n), func() {
+			for i := 0; i < n; i++ {
+				if err := srv.Submit(i, sframes[i]); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if res, ok := <-srv.Results(i); !ok || res.Err != nil {
+					panic(fmt.Sprintf("stream %d: ok=%v err=%v", i, ok, res.Err))
+				}
+			}
+		})
+		srv.Shutdown()
+	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

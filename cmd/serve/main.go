@@ -1,0 +1,183 @@
+// Command serve runs the multi-camera edge serving runtime: one process
+// scoring N simulated camera streams over one shared frozen detector,
+// with per-stream continuous KG adaptation. Each camera's anomaly trend
+// drifts at a staggered frame index, so the streams exercise independent
+// adaptation trajectories; a periodic stats dump shows per-stream frames,
+// recent mean score and adaptation activity, and the run ends with
+// per-stream deployment statistics and test AUC on the final trend.
+//
+// Usage:
+//
+//	serve -streams 4 -frames 512 -initial Stealing -shifted Robbery -drift-at 192 -stagger 64
+//	serve -smoke    (tiny CI configuration)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"edgekg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		streams    = flag.Int("streams", 4, "camera stream count")
+		frames     = flag.Int("frames", 256, "frames per stream")
+		rate       = flag.Float64("rate", 0.5, "anomaly rate of each stream")
+		initial    = flag.String("initial", "Stealing", "anomaly class every stream starts on")
+		shifted    = flag.String("shifted", "Robbery", "anomaly class streams drift to")
+		driftAt    = flag.Int("drift-at", 96, "frame index at which stream 0's trend shifts")
+		stagger    = flag.Int("stagger", 32, "extra drift delay per stream index")
+		adaptEvery = flag.Int("adapt-every", 32, "adaptation cadence in frames (0 disables)")
+		adaptLag   = flag.Int("adapt-lag", 8, "frames a stream keeps scoring on its previous KG while adapting (0 = synchronous)")
+		trainSteps = flag.Int("train-steps", 0, "override training steps (0 = preset)")
+		seed       = flag.Int64("seed", 42, "seed")
+		statsEvery = flag.Duration("stats-every", 2*time.Second, "interval between stats dumps (0 disables)")
+		smoke      = flag.Bool("smoke", false, "tiny CI configuration: 2 streams, 48 frames, short training")
+	)
+	flag.Parse()
+
+	if *smoke {
+		*streams, *frames = 2, 48
+		*driftAt, *stagger = 16, 8
+		*adaptEvery, *adaptLag = 8, 2
+		*trainSteps = 120
+		*statsEvery = 0
+	}
+
+	opts := edgekg.DefaultOptions()
+	opts.Seed = *seed
+	if *trainSteps > 0 {
+		opts.TrainSteps = *trainSteps
+	}
+	sys, err := edgekg.NewSystem(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training backbone on %s...\n", *initial)
+	if err := sys.Train(*initial); err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesise every camera's frame schedule up front (deterministic,
+	// and keeps the shared master RNG out of the camera goroutines): the
+	// trend starts at -initial and shifts to -shifted at a staggered
+	// per-stream frame index.
+	fmt.Printf("synthesising %d streams × %d frames (drift at %d + %d·i)...\n", *streams, *frames, *driftAt, *stagger)
+	schedules := make([][][]float64, *streams)
+	for i := range schedules {
+		shift := *driftAt + i**stagger
+		if shift > *frames {
+			shift = *frames
+		}
+		pre, err := sys.NextStreamFrames(*initial, shift, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		post, err := sys.NextStreamFrames(*shifted, *frames-shift, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched := make([][]float64, 0, *frames)
+		for _, f := range pre {
+			sched = append(sched, f.Frame)
+		}
+		for _, f := range post {
+			sched = append(sched, f.Frame)
+		}
+		schedules[i] = sched
+	}
+
+	srv, err := sys.Serve(edgekg.ServeOptions{
+		Streams:          *streams,
+		Adaptive:         *adaptEvery > 0,
+		AdaptEveryFrames: *adaptEvery,
+		AdaptLagFrames:   *adaptLag,
+		ScoreHistory:     64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k, frame := range schedules[i] {
+				res, err := srv.ProcessFrame(i, frame)
+				if err != nil {
+					log.Fatalf("stream %d frame %d: %v", i, k, err)
+				}
+				if res.Adapted {
+					fmt.Printf("  stream %d frame %4d: adaptation triggered (pruned %d, created %d)\n",
+						i, k, res.PrunedNodes, res.CreatedNodes)
+				}
+			}
+			srv.CloseStream(i)
+		}()
+	}
+
+	// Periodic stats dump from the main goroutine while cameras run.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
+	dump:
+		for {
+			select {
+			case <-done:
+				ticker.Stop()
+				break dump
+			case <-ticker.C:
+				for i := 0; i < *streams; i++ {
+					st, err := srv.Stats(i)
+					if err != nil {
+						continue
+					}
+					scores, _ := srv.RecentScores(i)
+					mean := 0.0
+					for _, s := range scores {
+						mean += s
+					}
+					if len(scores) > 0 {
+						mean /= float64(len(scores))
+					}
+					fmt.Printf("[t+%5.1fs] stream %d: frames %4d, recent mean score %.3f, rounds %d (%d triggered)\n",
+						time.Since(start).Seconds(), i, st.Frames, mean, st.AdaptRounds, st.TriggeredRounds)
+				}
+			}
+		}
+	} else {
+		<-done
+	}
+	srv.Close()
+	elapsed := time.Since(start)
+
+	total := float64(*streams) * float64(*frames)
+	fmt.Printf("\n--- served %d streams × %d frames in %.2fs (%.0f frames/s aggregate) ---\n",
+		*streams, *frames, elapsed.Seconds(), total/elapsed.Seconds())
+	for i := 0; i < *streams; i++ {
+		st, err := srv.Stats(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auc, err := srv.TestAUC(i, *shifted)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stream %d: frames=%d rounds=%d triggered=%d pruned=%d created=%d scoringFLOPs=%.2e AUC(%s)=%.4f\n",
+			i, st.Frames, st.AdaptRounds, st.TriggeredRounds, st.PrunedNodes, st.CreatedNodes,
+			float64(st.ScoringFLOPs), *shifted, auc)
+		if st.Frames != *frames {
+			log.Fatalf("stream %d processed %d frames, want %d", i, st.Frames, *frames)
+		}
+	}
+}

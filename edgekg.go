@@ -28,6 +28,7 @@ import (
 	"edgekg/internal/kg"
 	"edgekg/internal/kggen"
 	"edgekg/internal/retrieval"
+	"edgekg/internal/serve"
 	"edgekg/internal/tensor"
 )
 
@@ -324,6 +325,155 @@ func (s *System) Stats() DeploymentStats {
 		EnergyPerAdaptJ: st.EnergyPerAdaptJ,
 	}
 }
+
+// ServeOptions configures a multi-camera serving deployment.
+type ServeOptions struct {
+	// Streams is the camera count (≥1).
+	Streams int
+	// Adaptive enables continuous KG adaptation per stream; each stream
+	// adapts its own KG copy while the trained backbone stays frozen and
+	// shared.
+	Adaptive bool
+	// AdaptEveryFrames overrides the per-stream adaptation cadence
+	// when > 0.
+	AdaptEveryFrames int
+	// AdaptLagFrames is how many frames a stream keeps scoring on its
+	// previous KG while an adaptation round runs in the background
+	// (snapshot/swap). 0 runs rounds synchronously at the trigger frame.
+	AdaptLagFrames int
+	// ScoreHistory keeps each stream's most recent scores for dashboards.
+	ScoreHistory int
+	// Seeds optionally fixes each stream's adaptation seed.
+	Seeds []int64
+}
+
+// StreamServer is a running multi-camera deployment: one process, one
+// shared frozen backbone, one adaptation context per camera. Drive each
+// stream from its own goroutine with ProcessFrame; Close when done.
+type StreamServer struct {
+	sys *System
+	srv *serve.Server
+}
+
+// Serve deploys the trained detector as a multi-camera serving runtime.
+// The system's detector becomes the shared frozen backbone (the
+// single-stream Deploy* runtimes and Serve are mutually exclusive uses of
+// one System).
+func (s *System) Serve(opts ServeOptions) (*StreamServer, error) {
+	if s.det == nil {
+		return nil, fmt.Errorf("edgekg: Train before serving")
+	}
+	if opts.Streams < 1 {
+		return nil, fmt.Errorf("edgekg: stream count %d must be ≥1", opts.Streams)
+	}
+	sc := s.env.Scale
+	cfg := serve.DefaultConfig()
+	cfg.Stream.MonitorN = sc.MonitorN
+	cfg.Stream.MonitorLag = sc.MonitorLag
+	cfg.Stream.Adapt = sc.Adapt
+	cfg.Stream.AdaptEveryFrames = sc.AdaptEvery
+	if !opts.Adaptive {
+		cfg.Stream.AdaptEveryFrames = 0
+	} else if opts.AdaptEveryFrames > 0 {
+		cfg.Stream.AdaptEveryFrames = opts.AdaptEveryFrames
+	}
+	cfg.Stream.AdaptLagFrames = opts.AdaptLagFrames
+	cfg.Stream.ScoreHistory = opts.ScoreHistory
+	cfg.Seeds = opts.Seeds
+	cfg.BaseSeed = sc.Seed + 100
+	srv, err := serve.NewServer(s.det, opts.Streams, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamServer{sys: s, srv: srv}, nil
+}
+
+// NumStreams returns the camera count.
+func (ss *StreamServer) NumStreams() int { return ss.srv.NumStreams() }
+
+// ProcessFrame scores one raw frame on the given stream, blocking until
+// the result is available. Each stream must be driven by one goroutine
+// (its camera); different streams are scored concurrently, and a stream's
+// adaptation rounds overlap its scoring per the configured lag.
+func (ss *StreamServer) ProcessFrame(stream int, frame []float64) (FrameResult, error) {
+	if len(frame) != ss.sys.FrameSize() {
+		return FrameResult{}, fmt.Errorf("edgekg: frame length %d, want %d", len(frame), ss.sys.FrameSize())
+	}
+	pix := tensor.FromSlice(append([]float64(nil), frame...), len(frame))
+	if err := ss.srv.Submit(stream, pix); err != nil {
+		return FrameResult{}, err
+	}
+	res, ok := <-ss.srv.Results(stream)
+	if !ok {
+		return FrameResult{}, fmt.Errorf("edgekg: stream %d closed", stream)
+	}
+	// Scoring itself cannot fail; a non-nil error reports an adaptation
+	// round's failure, so the frame's score is still valid and returned
+	// alongside it (the frame was scored and entered the monitor — do not
+	// resubmit it).
+	return FrameResult{
+		Score:        res.Score,
+		Adapted:      res.Adapt.Triggered,
+		PrunedNodes:  len(res.Adapt.Pruned),
+		CreatedNodes: len(res.Adapt.Created),
+	}, res.Err
+}
+
+// Stats returns one stream's deployment statistics. Safe to call from any
+// goroutine; on a live stream it synchronises with the stream's loop.
+func (ss *StreamServer) Stats(stream int) (DeploymentStats, error) {
+	st, err := ss.srv.StreamStats(stream)
+	if err != nil {
+		return DeploymentStats{}, err
+	}
+	return DeploymentStats{
+		Frames:          st.Frames,
+		AdaptRounds:     st.AdaptRounds,
+		TriggeredRounds: st.TriggeredRounds,
+		PrunedNodes:     st.PrunedNodes,
+		CreatedNodes:    st.CreatedNodes,
+		ScoringFLOPs:    st.ScoringOps,
+		AdaptFLOPs:      st.AdaptOps,
+		EnergyPerAdaptJ: st.EnergyPerAdaptJ,
+	}, nil
+}
+
+// RecentScores returns a copy of the stream's retained score history
+// (requires ServeOptions.ScoreHistory > 0).
+func (ss *StreamServer) RecentScores(stream int) ([]float64, error) {
+	var scores []float64
+	err := ss.srv.Do(stream, func(st *serve.Stream) { scores = st.Scores() })
+	return scores, err
+}
+
+// TestAUC evaluates one stream's adapted detector against freshly
+// synthesised test videos of the given class, returning frame-level
+// ROC-AUC. The evaluation runs on the stream's loop (its scoring pauses;
+// other streams are unaffected).
+func (ss *StreamServer) TestAUC(stream int, class string) (float64, error) {
+	cls, ok := concept.ClassByName(class)
+	if !ok || cls == concept.Normal {
+		return 0, fmt.Errorf("edgekg: unknown anomaly class %q", class)
+	}
+	var auc float64
+	var evalErr error
+	err := ss.srv.Do(stream, func(st *serve.Stream) {
+		auc, evalErr = ss.sys.env.EvalAUC(st.Detector(), cls, ss.sys.env.Scale.Seed+999)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return auc, evalErr
+}
+
+// CloseStream ends one stream's input; its loop drains and its final
+// statistics remain readable.
+func (ss *StreamServer) CloseStream(stream int) { ss.srv.CloseStream(stream) }
+
+// Close shuts the server down: all streams closed and drained. Stats,
+// RecentScores and TestAUC remain usable afterwards (they run inline on
+// the drained streams); ProcessFrame does not.
+func (ss *StreamServer) Close() { ss.srv.Shutdown() }
 
 // GenerateKGOnly runs mission-specific KG generation without training and
 // returns the graph's JSON — what cmd/kggen prints.

@@ -93,6 +93,32 @@ func NewDetector(rng *rand.Rand, space *embed.Space, graphs []*kg.Graph, cfg Con
 	return d, nil
 }
 
+// CloneShared returns a detector that deep-copies every per-KG mutable
+// piece of state — each mission graph's structure and token bank — while
+// sharing the frozen backbone: the joint embedding space, the GNN
+// dense/BatchNorm layers, the temporal model and the decision head. The
+// clone scores bit-identically to the receiver, and its token banks and
+// graphs can be adapted (including node pruning/creation) without
+// touching the receiver or sibling clones.
+//
+// The shared backbone must remain frozen and in inference mode while any
+// clone is live: training the receiver (or a clone) would mutate layer
+// weights, BatchNorm statistics and mode flags every clone reads. The
+// serving runtime deploys the backbone first and then takes one clone per
+// stream, which is exactly that contract.
+func (d *Detector) CloneShared() (*Detector, error) {
+	c := &Detector{space: d.space, temp: d.temp, head: d.head, cfg: d.cfg}
+	c.gnns = make([]*gnn.Model, len(d.gnns))
+	for i, m := range d.gnns {
+		cm, err := m.CloneShared()
+		if err != nil {
+			return nil, fmt.Errorf("core: clone GNN %d: %w", i, err)
+		}
+		c.gnns[i] = cm
+	}
+	return c, nil
+}
+
 // Space returns the frozen joint embedding model.
 func (d *Detector) Space() *embed.Space { return d.space }
 
@@ -210,6 +236,14 @@ func (d *Detector) ForwardClipStats(clip *tensor.Tensor, batch int, stats *nn.BN
 // over the whole video first). Each window's block is computed exactly as
 // in the sequential per-window loop — and identically at any chunking —
 // so the output is deterministic at any worker count.
+//
+// ScoreVideo is safe for concurrent callers over one frozen, deployed
+// detector: the forward path is read-only (the per-model bank and layout
+// caches are mutex-guarded), and the SetTraining re-assertion below stays
+// a pure read when the model is already in inference mode. The contract
+// is that nobody concurrently trains the model or toggles it back to
+// training mode — which Deploy establishes and the serving runtime
+// preserves.
 func (d *Detector) ScoreVideo(frames *tensor.Tensor) []float64 {
 	d.SetTraining(false)
 	n := frames.Rows()

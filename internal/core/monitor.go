@@ -193,3 +193,24 @@ func (m *Monitor) Reset() {
 	m.reference = 0
 	m.hasRef = false
 }
+
+// Clone returns an independent copy of the monitor's current state: the
+// sample window, the bounded mean history and the reference. Sample frames
+// are shared (they are immutable once pushed); all bookkeeping slices are
+// fresh, so pushes into the original never affect the clone. The serving
+// runtime snapshots the monitor this way when an adaptation round is
+// dispatched asynchronously: the adapter selects pseudo-labels from the
+// window as it stood at the trigger frame while scoring keeps pushing.
+func (m *Monitor) Clone() *Monitor {
+	c := &Monitor{
+		n:         m.n,
+		refLag:    m.refLag,
+		anchored:  m.anchored,
+		reference: m.reference,
+		hasRef:    m.hasRef,
+		seq:       m.seq,
+	}
+	c.buf = append([]Sample(nil), m.buf...)
+	c.means = append([]float64(nil), m.means...)
+	return c
+}

@@ -1,9 +1,16 @@
-// Package edge simulates the deployed edge device of Fig. 2(C): a runtime
-// that scores an incoming frame stream with the frozen detector, feeds the
-// score-distribution monitor, runs the continuous KG adaptation loop on a
-// fixed cadence (once per simulated day in Table I), and meters every
-// phase's FLOPs so the efficiency comparison reflects the code that
-// actually ran.
+// Package edge simulates the deployed edge device of Fig. 2(C) for a
+// single camera: a runtime that scores an incoming frame stream with the
+// frozen detector, feeds the score-distribution monitor, runs the
+// continuous KG adaptation loop on a fixed cadence (once per simulated
+// day in Table I), and meters every phase's FLOPs.
+//
+// Since the multi-stream serving runtime landed, this package is a thin
+// synchronous wrapper over one internal/serve.Stream: the cadence,
+// metering and adaptation machinery live in the per-stream context, and
+// Runtime pins the classic blocking single-camera semantics (adaptation
+// runs inline at the trigger frame, exclusive FLOPs metering, the
+// caller's detector adapted in place). serve.Server is the same context
+// multiplexed across many cameras.
 package edge
 
 import (
@@ -12,6 +19,7 @@ import (
 
 	"edgekg/internal/core"
 	"edgekg/internal/flops"
+	"edgekg/internal/serve"
 	"edgekg/internal/tensor"
 )
 
@@ -48,92 +56,58 @@ func DefaultConfig() Config {
 	}
 }
 
-// Runtime is one simulated edge deployment.
-type Runtime struct {
-	det     *core.Detector
-	mon     *core.Monitor
-	adapter *core.Adapter
-	cfg     Config
-	ledger  *flops.Ledger
-
-	frames      int
-	adaptRounds int
-	triggered   int
-	pruned      int
-	created     int
+// streamConfig maps the runtime configuration onto the per-stream context:
+// synchronous adaptation (lag 0) and no score-history retention — the
+// classic blocking deployment.
+func (c Config) streamConfig() serve.StreamConfig {
+	return serve.StreamConfig{
+		MonitorN:          c.MonitorN,
+		MonitorLag:        c.MonitorLag,
+		AnchoredReference: c.AnchoredReference,
+		AdaptEveryFrames:  c.AdaptEveryFrames,
+		Adapt:             c.Adapt,
+		Device:            c.Device,
+	}
 }
 
-// Ledger phase names.
+// Runtime is one simulated edge deployment.
+type Runtime struct {
+	st  *serve.Stream
+	cfg Config
+}
+
+// Ledger phase names (aliases of the serving runtime's).
 const (
-	PhaseScoring    = "scoring"
-	PhaseAdaptation = "adaptation"
+	PhaseScoring    = serve.PhaseScoring
+	PhaseAdaptation = serve.PhaseAdaptation
 )
 
 // NewRuntime deploys a detector. The detector is frozen (and token banks
 // unfrozen when adaptation is enabled) as a side effect, exactly like a
-// real deployment hand-off.
+// real deployment hand-off; adaptation mutates det in place.
 func NewRuntime(det *core.Detector, cfg Config, rng *rand.Rand) (*Runtime, error) {
-	var mon *core.Monitor
-	var err error
-	if cfg.AnchoredReference {
-		mon, err = core.NewAnchoredMonitor(cfg.MonitorN)
-	} else {
-		mon, err = core.NewMonitor(cfg.MonitorN, cfg.MonitorLag)
-	}
+	st, err := serve.NewStream(0, det, cfg.streamConfig(), rng, nil)
 	if err != nil {
 		return nil, fmt.Errorf("edge: %w", err)
 	}
-	r := &Runtime{det: det, mon: mon, cfg: cfg, ledger: flops.NewLedger()}
-	if cfg.AdaptEveryFrames > 0 {
-		adapter, err := core.NewAdapter(det, cfg.Adapt, rng)
-		if err != nil {
-			return nil, fmt.Errorf("edge: %w", err)
-		}
-		r.adapter = adapter
-	} else {
-		det.Deploy()
-	}
-	return r, nil
+	return &Runtime{st: st, cfg: cfg}, nil
 }
 
 // Detector returns the deployed detector.
-func (r *Runtime) Detector() *core.Detector { return r.det }
+func (r *Runtime) Detector() *core.Detector { return r.st.Detector() }
 
 // Monitor returns the score monitor (for observability and tests).
-func (r *Runtime) Monitor() *core.Monitor { return r.mon }
+func (r *Runtime) Monitor() *core.Monitor { return r.st.Monitor() }
 
 // Adaptive reports whether this runtime runs the adaptation loop.
-func (r *Runtime) Adaptive() bool { return r.adapter != nil }
+func (r *Runtime) Adaptive() bool { return r.st.Adaptive() }
 
 // ProcessFrame scores one incoming frame, updates the monitor, and — on
 // the adaptation cadence — runs one adaptation round. It returns the
 // anomaly score and the adaptation report (zero-valued when no round ran).
 func (r *Runtime) ProcessFrame(pix *tensor.Tensor) (float64, core.AdaptReport, error) {
-	frame := pix.Reshape(1, pix.Size())
-	var score float64
-	r.ledger.Meter(PhaseScoring, func() {
-		score = r.det.ScoreVideo(frame)[0]
-	})
-	r.mon.Push(frame, score)
-	r.frames++
-
-	var rep core.AdaptReport
-	if r.adapter != nil && r.cfg.AdaptEveryFrames > 0 && r.frames%r.cfg.AdaptEveryFrames == 0 {
-		var err error
-		r.ledger.Meter(PhaseAdaptation, func() {
-			rep, err = r.adapter.Step(r.mon)
-		})
-		if err != nil {
-			return score, rep, fmt.Errorf("edge: adaptation round: %w", err)
-		}
-		r.adaptRounds++
-		if rep.Triggered {
-			r.triggered++
-		}
-		r.pruned += len(rep.Pruned)
-		r.created += len(rep.Created)
-	}
-	return score, rep, nil
+	res := r.st.Process(pix)
+	return res.Score, res.Adapt, res.Err
 }
 
 // Stats summarises a deployment for the cost tables.
@@ -153,22 +127,20 @@ type Stats struct {
 
 // Stats returns the deployment's accumulated statistics.
 func (r *Runtime) Stats() Stats {
-	s := Stats{
-		Frames:          r.frames,
-		AdaptRounds:     r.adaptRounds,
-		TriggeredRounds: r.triggered,
-		PrunedNodes:     r.pruned,
-		CreatedNodes:    r.created,
-		ScoringOps:      r.ledger.PhaseOps(PhaseScoring),
-		AdaptOps:        r.ledger.PhaseOps(PhaseAdaptation),
+	s := r.st.Stats()
+	return Stats{
+		Frames:           s.Frames,
+		AdaptRounds:      s.AdaptRounds,
+		TriggeredRounds:  s.TriggeredRounds,
+		PrunedNodes:      s.PrunedNodes,
+		CreatedNodes:     s.CreatedNodes,
+		ScoringOps:       s.ScoringOps,
+		AdaptOps:         s.AdaptOps,
+		AdaptOpsPerRound: s.AdaptOpsPerRound,
+		EnergyPerAdaptJ:  s.EnergyPerAdaptJ,
+		AdaptLatencyS:    s.AdaptLatencyS,
 	}
-	if r.adaptRounds > 0 {
-		s.AdaptOpsPerRound = s.AdaptOps / int64(r.adaptRounds)
-		s.EnergyPerAdaptJ = r.cfg.Device.EnergyJoules(s.AdaptOpsPerRound)
-		s.AdaptLatencyS = r.cfg.Device.LatencySeconds(s.AdaptOpsPerRound)
-	}
-	return s
 }
 
 // Ledger exposes the phase cost ledger.
-func (r *Runtime) Ledger() *flops.Ledger { return r.ledger }
+func (r *Runtime) Ledger() *flops.Ledger { return r.st.Ledger() }

@@ -20,13 +20,16 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"edgekg/internal/bpe"
 	"edgekg/internal/tensor"
 )
 
 // Space is the joint embedding space. It is immutable after construction
-// and safe for concurrent readers.
+// and safe for concurrent readers: the only mutable state is the word
+// vector memo, which WordVector guards with its own lock so concurrent
+// frame synthesis and retrieval across serving streams never race.
 type Space struct {
 	dim    int
 	pixDim int
@@ -36,6 +39,7 @@ type Space struct {
 	camera     *tensor.Tensor // (pixDim × dim), orthonormal columns
 	tokenTable *tensor.Tensor // (vocab × dim), aligned to word vectors
 
+	wordMu    sync.RWMutex
 	wordCache map[string]*tensor.Tensor
 }
 
@@ -88,14 +92,26 @@ func (s *Space) Tokenizer() *bpe.Tokenizer { return s.tok }
 // words get vectors too (hash-seeded), mirroring how a real joint model
 // embeds any string.
 func (s *Space) WordVector(word string) *tensor.Tensor {
-	if v, ok := s.wordCache[word]; ok {
+	s.wordMu.RLock()
+	v, ok := s.wordCache[word]
+	s.wordMu.RUnlock()
+	if ok {
 		return v
 	}
 	h := fnv.New64a()
 	h.Write([]byte(word))
 	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ s.seed))
-	v := tensor.RandUnitVector(rng, s.dim)
-	s.wordCache[word] = v
+	v = tensor.RandUnitVector(rng, s.dim)
+	s.wordMu.Lock()
+	// A concurrent caller may have memoised the word already; keep the
+	// first entry so every caller shares one tensor. The vector itself is
+	// deterministic, so either copy has identical data.
+	if prev, ok := s.wordCache[word]; ok {
+		v = prev
+	} else {
+		s.wordCache[word] = v
+	}
+	s.wordMu.Unlock()
 	return v
 }
 

@@ -103,6 +103,31 @@ func (m *Model) Width() int { return m.width }
 // NumLayers returns the layer count (depth + 2).
 func (m *Model) NumLayers() int { return len(m.layers) }
 
+// CloneShared returns a model over a deep copy of the per-KG mutable
+// state — the graph structure and the token bank — while sharing the
+// frozen compute backbone: the dense/BatchNorm layers, the embedding
+// space and the width. The clone's graph and bank can be mutated (token
+// updates, node pruning/creation, Rebind) without affecting the receiver
+// or any sibling clone; the shared layers must stay frozen and in
+// inference mode for as long as clones are in use, which is exactly the
+// deployed-detector contract. This is what gives every serving stream its
+// own adaptation state over one resident backbone.
+func (m *Model) CloneShared() (*Model, error) {
+	g := m.graph.Clone()
+	lo, err := buildLayout(g)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: clone layout: %w", err)
+	}
+	return &Model{
+		graph:  g,
+		space:  m.space,
+		tokens: m.tokens.Clone(),
+		layers: m.layers,
+		lo:     lo,
+		width:  m.width,
+	}, nil
+}
+
 // Rebind re-indexes the model after the KG's structure changed (node
 // pruning/creation), synchronising the token bank with the surviving
 // node set.

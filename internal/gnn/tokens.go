@@ -125,6 +125,19 @@ func (tb *TokenBank) SyncWith(g *kg.Graph, space *embed.Space) {
 	tb.gen++
 }
 
+// Clone returns an independent deep copy of the bank: every node's token
+// matrix is copied into a fresh trainable leaf (preserving each bank's
+// requires-grad flag), so optimiser steps on the clone never touch the
+// original. Per-stream serving contexts clone the deployed bank this way
+// so each stream's adaptation evolves its own token embeddings.
+func (tb *TokenBank) Clone() *TokenBank {
+	c := &TokenBank{dim: tb.dim, banks: make(map[kg.NodeID]*autograd.Value, len(tb.banks))}
+	for id, b := range tb.banks {
+		c.banks[id] = autograd.NewLeaf(b.Data.Clone(), b.RequiresGrad())
+	}
+	return c
+}
+
 // Params implements nn.Module: one named parameter per node, sorted by id
 // for deterministic state dictionaries.
 func (tb *TokenBank) Params() []nn.Param {

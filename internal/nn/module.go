@@ -51,16 +51,25 @@ func Prefix(prefix string, ps []Param) []Param {
 }
 
 // Freeze disables gradient accumulation for every parameter of m.
+// Parameters already frozen are left untouched (a pure read), so
+// re-asserting a deployed model's frozen state — which every serving
+// stream's adapter does after structural KG changes — never writes to
+// backbone parameters other streams are concurrently reading.
 func Freeze(m Module) {
 	for _, p := range m.Params() {
-		p.V.SetRequiresGrad(false)
+		if p.V.RequiresGrad() {
+			p.V.SetRequiresGrad(false)
+		}
 	}
 }
 
 // Unfreeze enables gradient accumulation for every parameter of m.
+// Already-trainable parameters are left untouched (see Freeze).
 func Unfreeze(m Module) {
 	for _, p := range m.Params() {
-		p.V.SetRequiresGrad(true)
+		if !p.V.RequiresGrad() {
+			p.V.SetRequiresGrad(true)
+		}
 	}
 }
 

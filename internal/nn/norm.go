@@ -77,8 +77,15 @@ func (b *BatchNorm1d) ForwardStats(x *autograd.Value, stats *BNStats) *autograd.
 	return out
 }
 
-// SetTraining implements Trainer.
-func (b *BatchNorm1d) SetTraining(t bool) { b.training = t }
+// SetTraining implements Trainer. Re-asserting the current mode is a pure
+// read: concurrent inference callers over one frozen model (the serving
+// runtime's per-frame ScoreVideo calls) all SetTraining(false) on shared
+// layers, and an unconditional store would be a data race.
+func (b *BatchNorm1d) SetTraining(t bool) {
+	if b.training != t {
+		b.training = t
+	}
+}
 
 // Training reports the current mode.
 func (b *BatchNorm1d) Training() bool { return b.training }
@@ -179,8 +186,14 @@ func (d *Dropout) Forward(x *autograd.Value) *autograd.Value {
 	return autograd.Dropout(x, mask, d.P)
 }
 
-// SetTraining implements Trainer.
-func (d *Dropout) SetTraining(t bool) { d.training = t }
+// SetTraining implements Trainer. Like BatchNorm1d.SetTraining, asserting
+// the mode already in effect stays read-only for concurrent-inference
+// safety.
+func (d *Dropout) SetTraining(t bool) {
+	if d.training != t {
+		d.training = t
+	}
+}
 
 // Params implements Module (none).
 func (d *Dropout) Params() []Param { return nil }

@@ -1,0 +1,291 @@
+package serve_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/serve"
+)
+
+// TestServerConcurrentStreamsSoak is the race shard's soak test: ≥4
+// streams scoring concurrently with adaptation rounds firing mid-scoring
+// (async, lag 2 < cadence 6, so rounds overlap the following frames), a
+// stats prober hammering Do barriers, and frames synthesised on the fly
+// from every driver goroutine (exercising the shared embedding space's
+// word-vector memo). Run under -race this asserts that stream contexts
+// share no mutable state with each other or with the frozen backbone;
+// functionally it asserts frame accounting, adaptation engagement, and
+// that the backbone's own token banks never move.
+func TestServerConcurrentStreamsSoak(t *testing.T) {
+	backbone, gen := buildBackbone(t, 6)
+
+	// Fingerprint the backbone's token banks: per-stream adaptation must
+	// never write through the clones into the shared model.
+	bank := backbone.GNN(0).Tokens()
+	before := make(map[int][]float64)
+	for _, id := range bank.NodeIDs() {
+		before[int(id)] = append([]float64(nil), bank.Bank(id).Data.Data()...)
+	}
+
+	const streams = 5
+	const frames = 42
+	cfg := serve.DefaultConfig()
+	cfg.Stream = streamCfg(2)
+	cfg.Stream.AdaptEveryFrames = 6
+	cfg.Stream.ScoreHistory = 16
+	cfg.QueueDepth = 3
+	srv, err := serve.NewServer(backbone, streams, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	classes := []concept.Class{concept.Stealing, concept.Robbery, concept.Explosion, concept.Normal, concept.Stealing}
+	var wg sync.WaitGroup
+	errs := make(chan error, streams*2)
+
+	// One producer per stream: synthesise and submit frames as fast as the
+	// queue allows, forcing the monitor reference early (a Do barrier from
+	// a non-consuming goroutine — the consumers below keep draining) so
+	// adaptation keeps firing mid-scoring.
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(600 + int64(i)))
+			for k := 0; k < frames; k++ {
+				cls := classes[i]
+				if k >= frames/2 {
+					cls = classes[(i+1)%len(classes)]
+				}
+				if err := srv.Submit(i, gen.Frame(rng, cls)); err != nil {
+					errs <- err
+					return
+				}
+				if k == 4 {
+					if err := srv.Do(i, func(st *serve.Stream) { st.Monitor().SetReference(1.0) }); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			srv.CloseStream(i)
+		}()
+	}
+
+	// One consumer per stream: validate scores and count frames.
+	counts := make([]int, streams)
+	applied := make([]int, streams)
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for res := range srv.Results(i) {
+				if res.Err != nil {
+					errs <- res.Err
+					return
+				}
+				if res.Score < 0 || res.Score > 1 {
+					t.Errorf("stream %d: score %v out of range", i, res.Score)
+					return
+				}
+				counts[i]++
+				if res.AdaptApplied {
+					applied[i]++
+				}
+			}
+		}()
+	}
+
+	// A prober reading stats through barriers while everything runs.
+	stop := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < streams; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := srv.StreamStats(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	probeWG.Wait()
+	srv.Shutdown()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	totalRounds := 0
+	for i := 0; i < streams; i++ {
+		if counts[i] != frames {
+			t.Errorf("stream %d delivered %d results, want %d", i, counts[i], frames)
+		}
+		st := srv.Stream(i).Stats()
+		if st.Frames != frames {
+			t.Errorf("stream %d processed %d frames, want %d", i, st.Frames, frames)
+		}
+		if err := srv.Stream(i).Err(); err != nil {
+			t.Errorf("stream %d: %v", i, err)
+		}
+		totalRounds += st.AdaptRounds
+		if got := len(srv.Stream(i).Scores()); got != cfg.Stream.ScoreHistory {
+			t.Errorf("stream %d retained %d scores, want %d", i, got, cfg.Stream.ScoreHistory)
+		}
+	}
+	if totalRounds == 0 {
+		t.Error("no adaptation round ran anywhere — soak is vacuous")
+	}
+
+	// The shared backbone's token banks are bit-identical to deployment.
+	for _, id := range bank.NodeIDs() {
+		data := bank.Bank(id).Data.Data()
+		want := before[int(id)]
+		for j := range data {
+			if data[j] != want[j] {
+				t.Fatalf("backbone token bank node %d mutated by serving", id)
+			}
+		}
+	}
+}
+
+// TestShutdownUnblocksPipelinedProducer pins Shutdown's no-deadlock
+// guarantee in the worst case: a producer pipelining frames with nobody
+// consuming results. The pipeline fills (results, then inputs), the
+// producer blocks inside Submit holding the close lock, and Shutdown from
+// another goroutine must drain it loose and close the stream under it.
+func TestShutdownUnblocksPipelinedProducer(t *testing.T) {
+	backbone, gen := buildBackbone(t, 8)
+	cfg := serve.DefaultConfig()
+	cfg.Stream = streamCfg(0)
+	cfg.Stream.AdaptEveryFrames = 0
+	cfg.QueueDepth = 2
+	srv, err := serve.NewServer(backbone, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(80))
+	frame := gen.Frame(rng, concept.Normal)
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		for {
+			if err := srv.Submit(0, frame); err != nil {
+				return // stream closed under us — expected
+			}
+		}
+	}()
+	// Let the producer wedge the pipeline (results never consumed).
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown deadlocked against a blocked producer")
+	}
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer never observed the closed stream")
+	}
+}
+
+// TestServerUnmetered pins the unmetered mode: no ops recorded, events
+// and scores unaffected.
+func TestServerUnmetered(t *testing.T) {
+	backbone, gen := buildBackbone(t, 9)
+	cfg := serve.DefaultConfig()
+	cfg.Stream = streamCfg(2)
+	cfg.Unmetered = true
+	srv, err := serve.NewServer(backbone, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(90))
+	for k := 0; k < 10; k++ {
+		for i := 0; i < 2; i++ {
+			if err := srv.Submit(i, gen.Frame(rng, concept.Stealing)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if res := <-srv.Results(i); res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+	srv.Shutdown()
+	for i := 0; i < 2; i++ {
+		st := srv.Stream(i).Stats()
+		if st.Frames != 10 {
+			t.Errorf("stream %d frames %d, want 10", i, st.Frames)
+		}
+		if st.ScoringOps != 0 || st.AdaptOps != 0 {
+			t.Errorf("stream %d recorded ops while unmetered: %+v", i, st)
+		}
+	}
+	if srv.TotalOps() != 0 {
+		t.Errorf("unmetered server counted %d ops", srv.TotalOps())
+	}
+}
+
+// TestStreamScoreHistoryTrim pins the bounded score-history ring.
+func TestStreamScoreHistoryTrim(t *testing.T) {
+	backbone, gen := buildBackbone(t, 7)
+	cfg := serve.DefaultConfig()
+	cfg.Stream = streamCfg(0)
+	cfg.Stream.AdaptEveryFrames = 0
+	cfg.Stream.ScoreHistory = 4
+	srv, err := serve.NewServer(backbone, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(70))
+	var all []float64
+	for i := 0; i < 9; i++ {
+		f := gen.Frame(rng, concept.Normal)
+		if err := srv.Submit(0, f); err != nil {
+			t.Fatal(err)
+		}
+		res := <-srv.Results(0)
+		all = append(all, res.Score)
+	}
+	srv.CloseStream(0)
+	for range srv.Results(0) {
+	}
+	srv.Shutdown()
+	got := srv.Stream(0).Scores()
+	want := all[len(all)-4:]
+	if len(got) != len(want) {
+		t.Fatalf("history length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("history[%d] = %v, want %v (last-4 window)", i, got[i], want[i])
+		}
+	}
+}

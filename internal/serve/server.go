@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"edgekg/internal/core"
+	"edgekg/internal/flops"
+	"edgekg/internal/tensor"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Stream is the per-stream deployment template.
+	Stream StreamConfig
+	// QueueDepth is the per-stream input/result channel capacity
+	// (backpressure depth). Defaults to 4.
+	QueueDepth int
+	// Unmetered disables FLOPs accounting: no process-wide counter is
+	// installed and per-stream ledgers record zero ops (events still
+	// count). Benchmarks use it so serving ticks run as meter-free as
+	// every other timed path.
+	Unmetered bool
+	// Seeds are the per-stream adapter seeds. When shorter than the
+	// stream count, stream i falls back to BaseSeed+i.
+	Seeds []int64
+	// BaseSeed derives missing per-stream seeds. Defaults to 1.
+	BaseSeed int64
+}
+
+// DefaultConfig returns a serving configuration with the default
+// per-stream settings.
+func DefaultConfig() Config {
+	return Config{Stream: DefaultStreamConfig()}
+}
+
+// item is one unit of per-stream work: a frame to score, or a control
+// barrier.
+type item struct {
+	pix  *tensor.Tensor
+	ctl  func(*Stream)
+	done chan struct{}
+}
+
+// Server multiplexes N camera streams through one process. It deploys the
+// backbone detector frozen, takes one core.Detector.CloneShared copy per
+// stream (per-stream graphs + token banks over the shared read-only
+// compute backbone), and runs one processing loop per stream: frames
+// arrive on per-stream channels, scoring interleaves across streams on
+// the shared worker pool, and each stream's adaptation rounds run
+// asynchronously (parallel.Group) with snapshot/swap semantics so no
+// stream's scoring ever blocks on another stream — or on its own
+// adaptation.
+//
+// One goroutine submits per stream (Submit/Do are serialised per stream
+// by the caller, like a camera feed); results must be consumed from
+// Results or the stream's loop blocks once the channel fills.
+type Server struct {
+	cfg     Config
+	streams []*Stream
+	in      []chan item
+	out     []chan Result
+	done    []chan struct{}
+	// closed[i] is written under closeMu[i].Lock and read under
+	// closeMu[i].RLock; closeMu[i] serialises stream i's input-channel
+	// close against in-flight Submit/Do sends (readers), so a late sender
+	// sees the closed flag instead of a closed-channel panic.
+	closed  []bool
+	closeMu []sync.RWMutex
+
+	counter   *flops.Counter
+	installed bool
+	shutdown  sync.Once
+}
+
+// NewServer deploys backbone and starts n stream loops. The backbone is
+// frozen (Deploy) as a side effect; each stream adapts its own clone, so
+// the backbone's own token banks and graphs never change while serving.
+// The server is running on return — Submit frames, consume Results, then
+// Shutdown.
+//
+// FLOPs accounting uses the single process-wide counter, so at most one
+// metered server should exist at a time (a second concurrent server
+// cross-attributes ops into the first's counter, and loses its metering
+// when the first shuts down); run additional servers with
+// Config.Unmetered.
+func NewServer(backbone *core.Detector, n int, cfg Config) (*Server, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: stream count %d must be ≥1", n)
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 4
+	}
+	if cfg.BaseSeed == 0 {
+		cfg.BaseSeed = 1
+	}
+	backbone.Deploy()
+
+	s := &Server{
+		cfg:     cfg,
+		streams: make([]*Stream, n),
+		in:      make([]chan item, n),
+		out:     make([]chan Result, n),
+		done:    make([]chan struct{}, n),
+		closed:  make([]bool, n),
+		closeMu: make([]sync.RWMutex, n),
+	}
+	// Per-stream FLOPs attribution under concurrency reads deltas of one
+	// shared counter (see Stream.meter); a single synchronous stream keeps
+	// the classic exact exclusive metering. Unmetered hands the streams a
+	// counter nothing reports to, so deltas are zero and no global state
+	// is touched.
+	exclusive := n == 1 && cfg.Stream.AdaptLagFrames <= 0 && !cfg.Unmetered
+	if !exclusive {
+		s.counter = &flops.Counter{}
+		if !cfg.Unmetered {
+			if flops.Active() == nil {
+				flops.SetActive(s.counter)
+				s.installed = true
+			} else {
+				// A caller-installed counter (a bench, an outer ledger)
+				// keeps receiving; deltas are read from it instead.
+				s.counter = flops.Active()
+			}
+		}
+	}
+	// A constructor failure below must not leave the process-wide counter
+	// installed (Shutdown, which normally restores it, will never run).
+	ok := false
+	defer func() {
+		if !ok && s.installed {
+			flops.SetActive(nil)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		seed := cfg.BaseSeed + int64(i)
+		if i < len(cfg.Seeds) {
+			seed = cfg.Seeds[i]
+		}
+		det, err := backbone.CloneShared()
+		if err != nil {
+			return nil, fmt.Errorf("serve: stream %d clone: %w", i, err)
+		}
+		st, err := NewStream(i, det, cfg.Stream, rand.New(rand.NewSource(seed)), s.counter)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stream %d: %w", i, err)
+		}
+		s.streams[i] = st
+		s.in[i] = make(chan item, cfg.QueueDepth)
+		s.out[i] = make(chan Result, cfg.QueueDepth)
+		s.done[i] = make(chan struct{})
+	}
+	for i := 0; i < n; i++ {
+		go s.loop(i)
+	}
+	ok = true
+	return s, nil
+}
+
+// loop is one stream's processing goroutine: frames in arrival order,
+// control barriers between frames, and a final drain that joins any
+// in-flight adaptation round.
+func (s *Server) loop(i int) {
+	st := s.streams[i]
+	defer close(s.done[i])
+	defer close(s.out[i])
+	for it := range s.in[i] {
+		if it.ctl != nil {
+			// Barriers observe settled state: join the in-flight round
+			// first so token banks, graphs and stats are quiescent. A join
+			// error is retained on the stream (Stream.Err) rather than
+			// injected as an extra Result, keeping results 1:1 with frames.
+			st.Sync()
+			it.ctl(st)
+			close(it.done)
+			continue
+		}
+		s.out[i] <- st.Process(it.pix)
+	}
+	st.Sync()
+}
+
+// NumStreams returns the stream count.
+func (s *Server) NumStreams() int { return len(s.streams) }
+
+// Submit enqueues one frame for a stream, blocking when the stream's
+// queue is full. It returns an error once the stream is closed.
+func (s *Server) Submit(stream int, pix *tensor.Tensor) error {
+	if stream < 0 || stream >= len(s.streams) {
+		return fmt.Errorf("serve: no stream %d", stream)
+	}
+	return s.send(stream, item{pix: pix})
+}
+
+// send delivers one item to a stream's input under the close lock. The
+// read lock is held across the (possibly blocking) channel send; close
+// waits for senders, senders never hit a closed channel.
+func (s *Server) send(stream int, it item) error {
+	s.closeMu[stream].RLock()
+	defer s.closeMu[stream].RUnlock()
+	if s.closed[stream] {
+		return fmt.Errorf("serve: stream %d is closed", stream)
+	}
+	s.in[stream] <- it
+	return nil
+}
+
+// Results returns the stream's result channel. Results arrive in frame
+// order; the channel closes after CloseStream once the last frame and any
+// in-flight adaptation round have drained.
+func (s *Server) Results(stream int) <-chan Result { return s.out[stream] }
+
+// Do runs fn on the stream's processing loop, between frames and with any
+// in-flight adaptation round joined — the safe way to read a live
+// stream's detector, monitor, score history or stats. It blocks until fn
+// has run. On a closed (drained) stream fn runs inline, which is equally
+// safe because the loop has exited.
+//
+// Because the barrier joins an in-flight round early, its effect becomes
+// visible at the barrier instead of at the configured swap frame, and the
+// round's report is folded into the stream stats rather than delivered on
+// a Result. Callers wanting frame-deterministic trajectories should issue
+// Do at frame-deterministic points (or not at all mid-round).
+//
+// Do blocks until the loop reaches the barrier, which requires the
+// stream's Results to keep draining: calling Do from the goroutine that
+// consumes Results while frames are still queued deadlocks.
+func (s *Server) Do(stream int, fn func(*Stream)) error {
+	if stream < 0 || stream >= len(s.streams) {
+		return fmt.Errorf("serve: no stream %d", stream)
+	}
+	select {
+	case <-s.done[stream]:
+		fn(s.streams[stream])
+		return nil
+	default:
+	}
+	it := item{ctl: fn, done: make(chan struct{})}
+	if err := s.send(stream, it); err != nil {
+		// Closed: wait for the loop to drain, then run inline.
+		<-s.done[stream]
+		fn(s.streams[stream])
+		return nil
+	}
+	<-it.done
+	return nil
+}
+
+// StreamStats returns one stream's statistics via a Do barrier (or
+// directly once the stream has drained).
+func (s *Server) StreamStats(stream int) (Stats, error) {
+	var st Stats
+	err := s.Do(stream, func(sc *Stream) { st = sc.Stats() })
+	return st, err
+}
+
+// CloseStream marks the end of a stream's input. Its loop drains queued
+// frames, joins any in-flight adaptation round and closes the result
+// channel. Closing twice is a no-op.
+func (s *Server) CloseStream(stream int) {
+	if stream < 0 || stream >= len(s.streams) {
+		return
+	}
+	s.closeMu[stream].Lock()
+	defer s.closeMu[stream].Unlock()
+	if !s.closed[stream] {
+		s.closed[stream] = true
+		close(s.in[stream])
+	}
+}
+
+// Shutdown closes every stream, waits for all loops to drain, and
+// restores the process-wide FLOPs counter if the server installed one.
+// Undelivered results are discarded. The result drain starts before the
+// closes: a producer blocked in Submit against a full pipeline (its loop
+// stuck on an unconsumed result channel) is unblocked by the drain,
+// releases the close lock, and then sees the closed stream — so Shutdown
+// never deadlocks against absent consumers or lingering producers.
+func (s *Server) Shutdown() {
+	s.shutdown.Do(func() {
+		var drain sync.WaitGroup
+		for i := range s.streams {
+			i := i
+			drain.Add(1)
+			go func() {
+				defer drain.Done()
+				for range s.out[i] {
+				}
+			}()
+		}
+		for i := range s.streams {
+			s.CloseStream(i)
+		}
+		for i := range s.streams {
+			<-s.done[i]
+		}
+		drain.Wait()
+		// Restore only if the installed counter is still the active one:
+		// a counter someone installed over ours (a bench's flops.Count in
+		// flight, a newer server) must not be clobbered.
+		if s.installed && flops.Active() == s.counter {
+			flops.SetActive(nil)
+		}
+	})
+}
+
+// Stream returns the i-th stream context. Safe to use freely after
+// Shutdown (or CloseStream + drained Results); while the stream is live,
+// route access through Do.
+func (s *Server) Stream(i int) *Stream { return s.streams[i] }
+
+// TotalOps returns the ops recorded by the server's shared counter (0 in
+// exclusive single-stream metering, where the per-stream ledger is the
+// source of truth).
+func (s *Server) TotalOps() int64 {
+	if s.counter == nil {
+		return 0
+	}
+	return s.counter.Ops()
+}

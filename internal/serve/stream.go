@@ -1,0 +1,379 @@
+// Package serve is the multi-stream edge serving runtime: one process,
+// one resident frozen detector backbone, N cameras. Each stream owns the
+// full per-deployment state of Fig. 2(C) — sliding score monitor,
+// mission-KG copies with their token banks, continuous adapter, score
+// history and FLOPs ledger — while the heavy read-only backbone (joint
+// embedding space, GNN dense/BatchNorm layers, temporal transformer,
+// decision head) and the worker pool are shared across all streams.
+//
+// Scoring runs concurrently across streams on the shared pool. Adaptation
+// rounds are dispatched asynchronously with snapshot/swap semantics: at
+// the trigger frame the stream snapshots its monitor window and its
+// scoring state, keeps scoring on the snapshot while the adapter updates
+// the live per-stream KGs in the background, and swaps the adapted state
+// in at a fixed frame offset (AdaptLagFrames). Because the swap point is
+// defined in frames — not wall time — every stream's score trajectory is
+// a pure function of its own input and seed: bit-identical at any worker
+// count and independent of what other streams are doing, which is what
+// the determinism/isolation test suite pins.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"edgekg/internal/core"
+	"edgekg/internal/flops"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+)
+
+// Ledger phase names. They intentionally match the classic single-stream
+// edge runtime so cost-table code reads either ledger.
+const (
+	PhaseScoring    = "scoring"
+	PhaseAdaptation = "adaptation"
+)
+
+// StreamConfig controls one stream's deployment behaviour.
+type StreamConfig struct {
+	// MonitorN is the monitor's sliding window size (the N of K=|Δm|·N).
+	MonitorN int
+	// MonitorLag is the t′ reference lag in pushes (sliding mode only).
+	MonitorLag int
+	// AnchoredReference freezes t′ at the first full window after
+	// deployment (see core.NewAnchoredMonitor).
+	AnchoredReference bool
+	// AdaptEveryFrames is the adaptation cadence: one round per this many
+	// processed frames. 0 disables adaptation — the static-KG arm.
+	AdaptEveryFrames int
+	// Adapt configures the adapter (ignored when adaptation is disabled).
+	Adapt core.AdaptConfig
+	// Device models energy/latency for the cost report.
+	Device flops.DeviceProfile
+	// AdaptLagFrames is how many frames the stream keeps scoring on its
+	// pre-round state while an adaptation round runs in the background;
+	// the round's result is swapped in before frame trigger+lag+1. 0 runs
+	// rounds synchronously at the trigger frame — bit-identical to the
+	// classic edge.Runtime. The lag should stay below AdaptEveryFrames;
+	// an overdue round is force-joined when the next trigger arrives.
+	AdaptLagFrames int
+	// ScoreHistory keeps the most recent scores for observability
+	// (Stream.Scores). 0 disables recording.
+	ScoreHistory int
+}
+
+// DefaultStreamConfig returns the experiment suite's per-stream settings:
+// the classic edge runtime configuration plus a quarter-cadence
+// adaptation lag.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		MonitorN:          64,
+		MonitorLag:        32,
+		AnchoredReference: true,
+		AdaptEveryFrames:  64,
+		Adapt:             core.DefaultAdaptConfig(),
+		Device:            flops.JetsonClass(),
+		AdaptLagFrames:    16,
+	}
+}
+
+// Result reports one processed frame.
+type Result struct {
+	// Stream and Seq identify the frame: Seq is its 0-based index within
+	// the stream.
+	Stream, Seq int
+	// Score is the anomaly probability pA ∈ [0,1].
+	Score float64
+	// Adapt is the report of the adaptation round whose effect became
+	// visible at this frame: the round run synchronously at this frame
+	// (AdaptLagFrames == 0), or the background round swapped in before
+	// this frame was scored. Zero-valued otherwise.
+	Adapt core.AdaptReport
+	// AdaptApplied is true when Adapt carries a round's report.
+	AdaptApplied bool
+	// Err reports an adaptation failure (scoring itself does not fail).
+	Err error
+}
+
+// Stream is one camera's deployment context. It is not safe for
+// concurrent use — one goroutine processes a stream's frames in arrival
+// order (Server gives each stream its own loop); the concurrency a Stream
+// manages internally is the overlap between its own scoring and its own
+// background adaptation round.
+type Stream struct {
+	id      int
+	det     *core.Detector // live per-stream state, owned by the adapter
+	mon     *core.Monitor
+	adapter *core.Adapter
+	cfg     StreamConfig
+	ledger  *flops.Ledger
+
+	// shared selects the metering mode: nil meters phases exclusively via
+	// flops.Count (exact; requires that nothing else computes concurrently,
+	// i.e. the classic single-stream synchronous deployment), non-nil
+	// reads deltas of the shared process-wide counter around each phase —
+	// safe under concurrency, exact whenever phases do not overlap, and an
+	// over-attribution (never an undercount) when they do.
+	shared *flops.Counter
+
+	// scoreDet is the state frames are scored on: det itself, or a frozen
+	// snapshot while a background adaptation round is in flight.
+	scoreDet *core.Detector
+	pending  *pendingRound
+
+	frames      int
+	adaptRounds int
+	triggered   int
+	pruned      int
+	created     int
+	scores      []float64
+	lastErr     error
+}
+
+// pendingRound is one in-flight background adaptation.
+type pendingRound struct {
+	g         parallel.Group
+	swapFrame int // processed-frame count at which the result is due
+	rep       core.AdaptReport
+	err       error
+}
+
+// NewStream deploys one stream context over det. The detector is frozen
+// (token banks unfrozen when adaptation is enabled) as a side effect. det
+// is used directly — callers wanting per-stream isolation over a shared
+// backbone pass a core.Detector.CloneShared copy, which is what Server
+// does. shared selects the metering mode (see the field doc); exclusive
+// metering is only valid with synchronous adaptation, because a
+// background round's flops.Count swap would race the scoring meter.
+func NewStream(id int, det *core.Detector, cfg StreamConfig, rng *rand.Rand, shared *flops.Counter) (*Stream, error) {
+	if shared == nil && cfg.AdaptLagFrames > 0 {
+		return nil, fmt.Errorf("serve: exclusive metering requires synchronous adaptation (AdaptLagFrames 0, got %d)", cfg.AdaptLagFrames)
+	}
+	var mon *core.Monitor
+	var err error
+	if cfg.AnchoredReference {
+		mon, err = core.NewAnchoredMonitor(cfg.MonitorN)
+	} else {
+		mon, err = core.NewMonitor(cfg.MonitorN, cfg.MonitorLag)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	st := &Stream{id: id, det: det, mon: mon, cfg: cfg, ledger: flops.NewLedger(), shared: shared, scoreDet: det}
+	if cfg.AdaptEveryFrames > 0 {
+		adapter, err := core.NewAdapter(det, cfg.Adapt, rng)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		st.adapter = adapter
+	} else {
+		det.Deploy()
+	}
+	return st, nil
+}
+
+// ID returns the stream's id.
+func (st *Stream) ID() int { return st.id }
+
+// Detector returns the stream's live per-stream detector state. While a
+// background round is in flight the adapter is mutating it; use
+// Server.Do (or call Sync first) before reading token banks or graphs.
+func (st *Stream) Detector() *core.Detector { return st.det }
+
+// Monitor returns the stream's score monitor.
+func (st *Stream) Monitor() *core.Monitor { return st.mon }
+
+// Adaptive reports whether this stream runs the adaptation loop.
+func (st *Stream) Adaptive() bool { return st.adapter != nil }
+
+// Ledger exposes the stream's phase cost ledger.
+func (st *Stream) Ledger() *flops.Ledger { return st.ledger }
+
+// Scores returns a copy of the retained score history: the most recent
+// min(ScoreHistory, processed) scores (empty when retention is disabled).
+func (st *Stream) Scores() []float64 {
+	h := st.cfg.ScoreHistory
+	if len(st.scores) > h {
+		return append([]float64(nil), st.scores[len(st.scores)-h:]...)
+	}
+	return append([]float64(nil), st.scores...)
+}
+
+// meter runs fn and records its cost under phase, in the stream's
+// metering mode.
+func (st *Stream) meter(phase string, fn func()) {
+	if st.shared == nil {
+		st.ledger.Meter(phase, fn)
+		return
+	}
+	ops0, bytes0 := st.shared.Ops(), st.shared.Bytes()
+	fn()
+	st.ledger.Record(phase, st.shared.Ops()-ops0, st.shared.Bytes()-bytes0)
+}
+
+// Process scores one incoming frame, updates the monitor, and advances
+// the adaptation machinery: swapping in a due background round before
+// scoring, and on the cadence either running a round synchronously
+// (AdaptLagFrames == 0, the classic edge runtime behaviour) or
+// dispatching it asynchronously against a monitor + scoring-state
+// snapshot.
+func (st *Stream) Process(pix *tensor.Tensor) Result {
+	res := Result{Stream: st.id, Seq: st.frames}
+
+	// A finished-or-due round becomes visible before this frame is scored:
+	// the swap point is frame-count-defined, so the trajectory does not
+	// depend on how fast the background round actually ran.
+	if st.pending != nil && st.frames >= st.pending.swapFrame {
+		rep, err := st.join()
+		res.Adapt, res.AdaptApplied = rep, true
+		res.Err = err
+	}
+
+	frame := pix.Reshape(1, pix.Size())
+	st.meter(PhaseScoring, func() {
+		res.Score = st.scoreDet.ScoreVideo(frame)[0]
+	})
+	st.mon.Push(frame, res.Score)
+	st.frames++
+	if h := st.cfg.ScoreHistory; h > 0 {
+		// Amortised O(1) retention: grow to 2h, then compact the newest
+		// h−1 entries to the front — the per-frame copy a strict ring
+		// would save is not worth the windowed-read complexity here.
+		if len(st.scores) >= 2*h {
+			n := copy(st.scores, st.scores[len(st.scores)-h+1:])
+			st.scores = st.scores[:n]
+		}
+		st.scores = append(st.scores, res.Score)
+	}
+
+	if st.adapter != nil && st.cfg.AdaptEveryFrames > 0 && st.frames%st.cfg.AdaptEveryFrames == 0 {
+		if st.cfg.AdaptLagFrames <= 0 {
+			var rep core.AdaptReport
+			var err error
+			st.meter(PhaseAdaptation, func() {
+				rep, err = st.adapter.Step(st.mon)
+			})
+			res.Adapt, res.AdaptApplied = rep, true
+			if err != nil {
+				st.lastErr = fmt.Errorf("serve: adaptation round: %w", err)
+				res.Err = st.lastErr
+				return res
+			}
+			st.account(rep)
+			return res
+		}
+		// An overdue round (lag ≥ cadence, or a slow consumer) joins
+		// before the next one starts; rounds never overlap per stream.
+		if st.pending != nil {
+			rep, err := st.join()
+			res.Adapt, res.AdaptApplied = rep, true
+			if res.Err == nil {
+				res.Err = err
+			}
+		}
+		st.begin()
+	}
+	return res
+}
+
+// begin snapshots the monitor window and the scoring state and dispatches
+// one adaptation round on the worker pool. Scoring continues on the
+// snapshot until join. The round is recorded as pending even if the
+// snapshot fails (the error surfaces at the swap frame), so every round
+// flows through the same join path.
+func (st *Stream) begin() {
+	p := &pendingRound{swapFrame: st.frames + st.cfg.AdaptLagFrames}
+	st.pending = p
+	snap, err := st.det.CloneShared()
+	if err != nil {
+		p.err = fmt.Errorf("snapshot: %w", err)
+		return
+	}
+	monSnap := st.mon.Clone()
+	st.scoreDet = snap
+	p.g.Go(func() {
+		st.meter(PhaseAdaptation, func() {
+			p.rep, p.err = st.adapter.Step(monSnap)
+		})
+	})
+}
+
+// join waits for the in-flight round, swaps the adapted state back into
+// the scoring path and accounts the round.
+func (st *Stream) join() (core.AdaptReport, error) {
+	p := st.pending
+	st.pending = nil
+	p.g.Wait()
+	st.scoreDet = st.det
+	if p.err != nil {
+		st.lastErr = fmt.Errorf("serve: adaptation round: %w", p.err)
+		return p.rep, st.lastErr
+	}
+	st.account(p.rep)
+	return p.rep, nil
+}
+
+// Err returns the most recent adaptation-round error (nil when every
+// round succeeded). Errors also surface on the Result of the frame that
+// joined the failing round, when there was one.
+func (st *Stream) Err() error { return st.lastErr }
+
+// account folds one completed round into the stream statistics.
+func (st *Stream) account(rep core.AdaptReport) {
+	st.adaptRounds++
+	if rep.Triggered {
+		st.triggered++
+	}
+	st.pruned += len(rep.Pruned)
+	st.created += len(rep.Created)
+}
+
+// Sync joins any in-flight adaptation round regardless of its swap frame,
+// so the stream's detector state is settled. It returns the joined
+// round's error, if any.
+func (st *Stream) Sync() error {
+	if st.pending == nil {
+		return nil
+	}
+	_, err := st.join()
+	return err
+}
+
+// Stats summarises the stream for cost tables and dashboards.
+type Stats struct {
+	Stream           int
+	Frames           int
+	AdaptRounds      int
+	TriggeredRounds  int
+	PrunedNodes      int
+	CreatedNodes     int
+	ScoringOps       int64
+	AdaptOps         int64
+	AdaptOpsPerRound int64
+	// EnergyPerAdaptJ and AdaptLatencyS follow from the device profile.
+	EnergyPerAdaptJ float64
+	AdaptLatencyS   float64
+}
+
+// Stats returns the stream's accumulated statistics. Like every Stream
+// method it must not race the processing goroutine — read it through
+// Server.Do or after the stream has drained.
+func (st *Stream) Stats() Stats {
+	s := Stats{
+		Stream:          st.id,
+		Frames:          st.frames,
+		AdaptRounds:     st.adaptRounds,
+		TriggeredRounds: st.triggered,
+		PrunedNodes:     st.pruned,
+		CreatedNodes:    st.created,
+		ScoringOps:      st.ledger.PhaseOps(PhaseScoring),
+		AdaptOps:        st.ledger.PhaseOps(PhaseAdaptation),
+	}
+	if st.adaptRounds > 0 {
+		s.AdaptOpsPerRound = s.AdaptOps / int64(st.adaptRounds)
+		s.EnergyPerAdaptJ = st.cfg.Device.EnergyJoules(s.AdaptOpsPerRound)
+		s.AdaptLatencyS = st.cfg.Device.LatencySeconds(s.AdaptOpsPerRound)
+	}
+	return s
+}
