@@ -229,7 +229,11 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 				}
 			}
 			for i := 0; i < n; i++ {
-				if res, ok := <-srv.Results(i); !ok || res.Err != nil {
+				ch, err := srv.Results(i)
+				if err != nil {
+					panic(err)
+				}
+				if res, ok := <-ch; !ok || res.Err != nil {
 					panic(fmt.Sprintf("stream %d: ok=%v err=%v", i, ok, res.Err))
 				}
 			}

@@ -6,9 +6,19 @@
 // recent mean score and adaptation activity, and the run ends with
 // per-stream deployment statistics and test AUC on the final trend.
 //
+// With -checkpoint-dir the deployment is checkpointed (atomic
+// temp-then-rename write of checkpoint.json) every -checkpoint-every
+// frames and at the end of the run; -resume warm-restarts from the saved
+// checkpoint — the backbone is retrained deterministically from the seed,
+// every stream's adapted state is restored, and serving continues from
+// the recorded per-stream frame counts toward the (possibly larger)
+// -frames target.
+//
 // Usage:
 //
 //	serve -streams 4 -frames 512 -initial Stealing -shifted Robbery -drift-at 192 -stagger 64
+//	serve -frames 256 -checkpoint-dir /tmp/ck            (checkpointed run)
+//	serve -frames 512 -checkpoint-dir /tmp/ck -resume    (continue it warm)
 //	serve -smoke    (tiny CI configuration)
 package main
 
@@ -16,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -38,16 +50,70 @@ func main() {
 		trainSteps = flag.Int("train-steps", 0, "override training steps (0 = preset)")
 		seed       = flag.Int64("seed", 42, "seed")
 		statsEvery = flag.Duration("stats-every", 2*time.Second, "interval between stats dumps (0 disables)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for warm-restart checkpoints (empty disables)")
+		ckptEvery  = flag.Int("checkpoint-every", 64, "checkpoint cadence in frames per stream (requires -checkpoint-dir)")
+		resume     = flag.Bool("resume", false, "warm-restart from -checkpoint-dir's checkpoint before serving")
 		smoke      = flag.Bool("smoke", false, "tiny CI configuration: 2 streams, 48 frames, short training")
 	)
 	flag.Parse()
 
 	if *smoke {
-		*streams, *frames = 2, 48
-		*driftAt, *stagger = 16, 8
-		*adaptEvery, *adaptLag = 8, 2
-		*trainSteps = 120
-		*statsEvery = 0
+		// Apply the smoke preset without clobbering explicitly set flags,
+		// so CI can run e.g. `-smoke -frames 24` then `-smoke -frames 48
+		// -resume` for a checkpoint round trip.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		preset := func(name string, apply func()) {
+			if !set[name] {
+				apply()
+			}
+		}
+		preset("streams", func() { *streams = 2 })
+		preset("frames", func() { *frames = 48 })
+		preset("drift-at", func() { *driftAt = 16 })
+		preset("stagger", func() { *stagger = 8 })
+		preset("adapt-every", func() { *adaptEvery = 8 })
+		preset("adapt-lag", func() { *adaptLag = 2 })
+		preset("train-steps", func() { *trainSteps = 120 })
+		preset("stats-every", func() { *statsEvery = 0 })
+		preset("checkpoint-every", func() { *ckptEvery = 16 })
+	}
+
+	// Validate before building anything: a bad flag combination should be
+	// one clear error, not a downstream panic.
+	switch {
+	case *streams < 1:
+		log.Fatalf("-streams %d: stream count must be ≥1", *streams)
+	case *frames < 1:
+		log.Fatalf("-frames %d: frame count must be ≥1", *frames)
+	case *rate < 0 || *rate > 1:
+		log.Fatalf("-rate %v: anomaly rate must be in [0,1]", *rate)
+	case *driftAt < 0:
+		log.Fatalf("-drift-at %d: drift frame must be ≥0", *driftAt)
+	case *stagger < 0:
+		log.Fatalf("-stagger %d: stagger must be ≥0", *stagger)
+	case *adaptEvery < 0:
+		log.Fatalf("-adapt-every %d: adaptation cadence must be ≥0 (0 disables)", *adaptEvery)
+	case *adaptLag < 0:
+		log.Fatalf("-adapt-lag %d: adaptation lag must be ≥0 (0 = synchronous)", *adaptLag)
+	case *trainSteps < 0:
+		log.Fatalf("-train-steps %d: training steps must be ≥0 (0 = preset)", *trainSteps)
+	case *ckptEvery < 1:
+		log.Fatalf("-checkpoint-every %d: checkpoint cadence must be ≥1", *ckptEvery)
+	case *resume && *ckptDir == "":
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
+	if *adaptEvery > 0 && *adaptLag >= *adaptEvery {
+		// Supported (the engine force-joins an overdue round at the next
+		// trigger, still frame-deterministic) but rarely what you want.
+		log.Printf("warning: -adapt-lag %d ≥ -adapt-every %d: each round is force-joined at the next trigger", *adaptLag, *adaptEvery)
+	}
+	ckptPath := ""
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatalf("-checkpoint-dir: %v", err)
+		}
+		ckptPath = filepath.Join(*ckptDir, "checkpoint.json")
 	}
 
 	opts := edgekg.DefaultOptions()
@@ -67,7 +133,11 @@ func main() {
 	// Synthesise every camera's frame schedule up front (deterministic,
 	// and keeps the shared master RNG out of the camera goroutines): the
 	// trend starts at -initial and shifts to -shifted at a staggered
-	// per-stream frame index.
+	// per-stream frame index. Each segment draws from its own per-stream
+	// seed — not the shared master RNG — so a schedule is a pure function
+	// of (class, seed) and a longer -frames target extends a shorter one
+	// frame-for-frame, which is what lets -resume replay the exact frames
+	// the checkpointed run served and continue past them.
 	fmt.Printf("synthesising %d streams × %d frames (drift at %d + %d·i)...\n", *streams, *frames, *driftAt, *stagger)
 	schedules := make([][][]float64, *streams)
 	for i := range schedules {
@@ -75,11 +145,11 @@ func main() {
 		if shift > *frames {
 			shift = *frames
 		}
-		pre, err := sys.NextStreamFrames(*initial, shift, *rate)
+		pre, err := sys.NextStreamFramesSeeded(*initial, shift, *rate, *seed+1000+int64(i))
 		if err != nil {
 			log.Fatal(err)
 		}
-		post, err := sys.NextStreamFrames(*shifted, *frames-shift, *rate)
+		post, err := sys.NextStreamFramesSeeded(*shifted, *frames-shift, *rate, *seed+2000+int64(i))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,66 +174,119 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Warm restart: restore every stream's adapted state over the freshly
+	// retrained backbone and continue from the recorded frame counts. The
+	// counts come from the checkpoint (not a Stats probe, whose barrier
+	// would join a restored in-flight round early and move its swap frame).
+	startAt := make([]int, *streams)
+	if *resume {
+		counts, err := srv.LoadCheckpoint(ckptPath)
+		if err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		if len(counts) != *streams {
+			log.Fatalf("resume: checkpoint has %d streams, want %d", len(counts), *streams)
+		}
+		for i, n := range counts {
+			if n > *frames {
+				log.Fatalf("resume: stream %d checkpointed at frame %d, beyond the -frames %d target", i, n, *frames)
+			}
+			startAt[i] = n
+		}
+		fmt.Printf("resumed from %s (stream frame counts %v)\n", ckptPath, startAt)
+	}
+
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < *streams; i++ {
-		i := i
-		wg.Add(1)
+	// Stats dumper, time-based, across the whole serving phase.
+	stopStats := make(chan struct{})
+	var statsWG sync.WaitGroup
+	if *statsEvery > 0 {
+		statsWG.Add(1)
 		go func() {
-			defer wg.Done()
-			for k, frame := range schedules[i] {
-				res, err := srv.ProcessFrame(i, frame)
-				if err != nil {
-					log.Fatalf("stream %d frame %d: %v", i, k, err)
-				}
-				if res.Adapted {
-					fmt.Printf("  stream %d frame %4d: adaptation triggered (pruned %d, created %d)\n",
-						i, k, res.PrunedNodes, res.CreatedNodes)
+			defer statsWG.Done()
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-ticker.C:
+					for i := 0; i < *streams; i++ {
+						st, err := srv.Stats(i)
+						if err != nil {
+							continue
+						}
+						scores, _ := srv.RecentScores(i)
+						mean := 0.0
+						for _, s := range scores {
+							mean += s
+						}
+						if len(scores) > 0 {
+							mean /= float64(len(scores))
+						}
+						fmt.Printf("[t+%5.1fs] stream %d: frames %4d, recent mean score %.3f, rounds %d (%d triggered)\n",
+							time.Since(start).Seconds(), i, st.Frames, mean, st.AdaptRounds, st.TriggeredRounds)
+					}
 				}
 			}
-			srv.CloseStream(i)
 		}()
 	}
 
-	// Periodic stats dump from the main goroutine while cameras run.
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-	if *statsEvery > 0 {
-		ticker := time.NewTicker(*statsEvery)
-	dump:
-		for {
-			select {
-			case <-done:
-				ticker.Stop()
-				break dump
-			case <-ticker.C:
-				for i := 0; i < *streams; i++ {
-					st, err := srv.Stats(i)
-					if err != nil {
-						continue
-					}
-					scores, _ := srv.RecentScores(i)
-					mean := 0.0
-					for _, s := range scores {
-						mean += s
-					}
-					if len(scores) > 0 {
-						mean /= float64(len(scores))
-					}
-					fmt.Printf("[t+%5.1fs] stream %d: frames %4d, recent mean score %.3f, rounds %d (%d triggered)\n",
-						time.Since(start).Seconds(), i, st.Frames, mean, st.AdaptRounds, st.TriggeredRounds)
-				}
+	// Serve in synchronized segments of -checkpoint-every frames: all
+	// cameras run a segment concurrently, then (when checkpointing is on)
+	// the quiescent deployment is checkpointed before the next segment.
+	// Without -checkpoint-dir the segments only add a few barriers.
+	served := 0
+	for seg := 0; ; seg++ {
+		segActive := false
+		var wg sync.WaitGroup
+		for i := 0; i < *streams; i++ {
+			lo := startAt[i] + seg**ckptEvery
+			hi := lo + *ckptEvery
+			if lo >= *frames {
+				continue
 			}
+			if hi > *frames {
+				hi = *frames
+			}
+			segActive = true
+			served += hi - lo
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					res, err := srv.ProcessFrame(i, schedules[i][k])
+					if err != nil {
+						log.Fatalf("stream %d frame %d: %v", i, k, err)
+					}
+					if res.Adapted {
+						fmt.Printf("  stream %d frame %4d: adaptation triggered (pruned %d, created %d)\n",
+							i, k, res.PrunedNodes, res.CreatedNodes)
+					}
+				}
+			}(i, lo, hi)
 		}
-	} else {
-		<-done
+		if !segActive {
+			break
+		}
+		wg.Wait()
+		if ckptPath != "" {
+			if err := srv.SaveCheckpoint(ckptPath); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+			fmt.Printf("checkpointed to %s after segment %d\n", ckptPath, seg)
+		}
 	}
+	for i := 0; i < *streams; i++ {
+		srv.CloseStream(i)
+	}
+	close(stopStats)
+	statsWG.Wait()
 	srv.Close()
 	elapsed := time.Since(start)
 
-	total := float64(*streams) * float64(*frames)
-	fmt.Printf("\n--- served %d streams × %d frames in %.2fs (%.0f frames/s aggregate) ---\n",
-		*streams, *frames, elapsed.Seconds(), total/elapsed.Seconds())
+	fmt.Printf("\n--- served %d streams × %d frames (%d this run) in %.2fs (%.0f frames/s aggregate) ---\n",
+		*streams, *frames, served, elapsed.Seconds(), float64(served)/elapsed.Seconds())
 	for i := 0; i < *streams; i++ {
 		st, err := srv.Stats(i)
 		if err != nil {

@@ -28,7 +28,9 @@ import (
 	"edgekg/internal/kg"
 	"edgekg/internal/kggen"
 	"edgekg/internal/retrieval"
+	"edgekg/internal/rng"
 	"edgekg/internal/serve"
+	"edgekg/internal/snapshot"
 	"edgekg/internal/tensor"
 )
 
@@ -153,12 +155,40 @@ func (s *System) deploy(adaptive bool) error {
 	if !adaptive {
 		cfg.AdaptEveryFrames = 0
 	}
-	rt, err := edge.NewRuntime(s.det, cfg, s.rng)
+	// The runtime gets its own serializable random source (not the
+	// System's master RNG): checkpointing must capture and replay the
+	// adapter's random stream, and the seed derivation matches stream 0
+	// of a 1-stream Serve deployment.
+	rt, err := edge.NewRuntime(s.det, cfg, rng.NewSource(sc.Seed+100))
 	if err != nil {
 		return err
 	}
 	s.runtime = rt
 	return nil
+}
+
+// SaveCheckpoint persists the deployed runtime's complete adaptation
+// state — adapted knowledge graphs, token banks, monitor window,
+// optimizer moments, RNG state, counters and cost ledger — to a file
+// with an atomic temp-then-rename write, so a process restart can resume
+// warm instead of cold-starting from the frozen backbone.
+func (s *System) SaveCheckpoint(path string) error {
+	if s.runtime == nil {
+		return fmt.Errorf("edgekg: deploy before checkpointing")
+	}
+	return s.runtime.Save(path)
+}
+
+// LoadCheckpoint restores a previously saved runtime checkpoint. Call it
+// after Train and Deploy* with the same options the checkpoint was taken
+// under (same seed, scale and deployment mode) — the frozen backbone is
+// rebuilt deterministically from the seed and only the adaptation delta
+// is restored. Mismatched checkpoints fail loudly.
+func (s *System) LoadCheckpoint(path string) error {
+	if s.runtime == nil {
+		return fmt.Errorf("edgekg: deploy before restoring a checkpoint")
+	}
+	return s.runtime.Load(path)
 }
 
 // Deployed reports whether an edge runtime is active.
@@ -403,7 +433,11 @@ func (ss *StreamServer) ProcessFrame(stream int, frame []float64) (FrameResult, 
 	if err := ss.srv.Submit(stream, pix); err != nil {
 		return FrameResult{}, err
 	}
-	res, ok := <-ss.srv.Results(stream)
+	results, err := ss.srv.Results(stream)
+	if err != nil {
+		return FrameResult{}, err
+	}
+	res, ok := <-results
 	if !ok {
 		return FrameResult{}, fmt.Errorf("edgekg: stream %d closed", stream)
 	}
@@ -466,6 +500,47 @@ func (ss *StreamServer) TestAUC(stream int, class string) (float64, error) {
 	return auc, evalErr
 }
 
+// SaveCheckpoint persists every stream's complete adaptation state to a
+// file (atomic temp-then-rename write). Safe on a live server: each
+// stream is captured between frames on its own processing loop, and an
+// in-flight background adaptation round keeps its frame-deterministic
+// swap schedule through the round trip.
+func (ss *StreamServer) SaveCheckpoint(path string) error {
+	cp, err := ss.srv.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return snapshot.Save(path, cp)
+}
+
+// LoadCheckpoint restores a checkpoint taken by SaveCheckpoint into this
+// server and returns each stream's restored frame count — the index the
+// camera should continue feeding from. The server must have been built by
+// the same System configuration (same training seed and ServeOptions) —
+// the backbone is rebuilt deterministically from the seed; only the
+// per-stream adaptation deltas are restored. Restore before submitting
+// frames.
+//
+// Use the returned counts rather than probing Stats: a checkpoint can
+// carry an adaptation round that was in flight at snapshot time, and a
+// Stats barrier would join it early — moving its swap off the recorded
+// frame and perturbing the resumed trajectory. The returned counts come
+// from the checkpoint itself and leave the swap schedule untouched.
+func (ss *StreamServer) LoadCheckpoint(path string) ([]int, error) {
+	cp, err := snapshot.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := ss.srv.Restore(cp); err != nil {
+		return nil, err
+	}
+	frames := make([]int, len(cp.Streams))
+	for i := range cp.Streams {
+		frames[i] = cp.Streams[i].Frames
+	}
+	return frames, nil
+}
+
 // CloseStream ends one stream's input; its loop drains and its final
 // statistics remain readable.
 func (ss *StreamServer) CloseStream(stream int) { ss.srv.CloseStream(stream) }
@@ -503,14 +578,29 @@ type StreamClass struct {
 }
 
 // NextStreamFrames synthesises n frames mixing Normal background with the
-// given anomaly class at the given rate.
+// given anomaly class at the given rate, drawing from the System's master
+// RNG (successive calls continue the stream).
 func (s *System) NextStreamFrames(class string, n int, anomalyRate float64) ([]StreamClass, error) {
+	return s.nextStreamFrames(class, n, anomalyRate, s.rng)
+}
+
+// NextStreamFramesSeeded is NextStreamFrames with a dedicated seed instead
+// of the master RNG: the result is a pure function of (class, n, rate,
+// seed), and a longer schedule from the same seed extends a shorter one
+// frame-for-frame. Warm restarts rely on this — a resumed process can
+// re-synthesise a camera's schedule to a larger frame target and the
+// prefix still matches what the checkpointed run served.
+func (s *System) NextStreamFramesSeeded(class string, n int, anomalyRate float64, seed int64) ([]StreamClass, error) {
+	return s.nextStreamFrames(class, n, anomalyRate, rand.New(rand.NewSource(seed)))
+}
+
+func (s *System) nextStreamFrames(class string, n int, anomalyRate float64, rng *rand.Rand) ([]StreamClass, error) {
 	cls, ok := concept.ClassByName(class)
 	if !ok {
 		return nil, fmt.Errorf("edgekg: unknown class %q", class)
 	}
 	sched := dataset.Schedule{Phases: []dataset.Phase{{Class: cls, Steps: n}}}
-	stream, err := dataset.NewStream(s.env.Gen, sched, anomalyRate, s.rng)
+	stream, err := dataset.NewStream(s.env.Gen, sched, anomalyRate, rng)
 	if err != nil {
 		return nil, err
 	}

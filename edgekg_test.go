@@ -257,3 +257,98 @@ func TestRetrainResetsDeployment(t *testing.T) {
 		t.Errorf("mission = %s", st.Mission)
 	}
 }
+
+func TestSystemCheckpointWarmRestart(t *testing.T) {
+	const frames = 20
+	const split = 9
+
+	// Frame schedule synthesised once, replayed identically by the
+	// "restarted process" (same system seed → same synthesis stream).
+	mkFrames := func(sys *System) [][]float64 {
+		t.Helper()
+		out := make([][]float64, frames)
+		for i := range out {
+			f, err := sys.SynthesizeFrame("Stealing")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = f
+		}
+		return out
+	}
+
+	// Uninterrupted arm.
+	sysA := trainedSystem(t)
+	if err := sysA.DeployAdaptive(); err != nil {
+		t.Fatal(err)
+	}
+	framesA := mkFrames(sysA)
+	var want []float64
+	for _, f := range framesA {
+		res, err := sysA.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Score)
+	}
+
+	// Interrupted arm: process to the split, checkpoint, discard the
+	// system, rebuild from the same options, restore and continue.
+	path := t.TempDir() + "/system.json"
+	sysB := trainedSystem(t)
+	if err := sysB.DeployAdaptive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	framesB := mkFrames(sysB)
+	var got []float64
+	for _, f := range framesB[:split] {
+		res, err := sysB.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Score)
+	}
+	if err := sysB.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	sysC := trainedSystem(t)
+	if err := sysC.DeployAdaptive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysC.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	framesC := mkFrames(sysC)
+	for _, f := range framesC[split:] {
+		res, err := sysC.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Score)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("resumed run scored %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: resumed score %v != uninterrupted %v", i, got[i], want[i])
+		}
+	}
+	if a, b := sysA.Stats(), sysC.Stats(); a != b {
+		t.Fatalf("resumed stats %+v != uninterrupted %+v", b, a)
+	}
+
+	// Checkpointing before deployment fails loudly.
+	sysD := trainedSystem(t)
+	if err := sysD.SaveCheckpoint(path); err == nil {
+		t.Error("checkpoint before deployment accepted")
+	}
+	if err := sysD.LoadCheckpoint(path); err == nil {
+		t.Error("restore before deployment accepted")
+	}
+}

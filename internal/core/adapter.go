@@ -503,6 +503,118 @@ func stackFrames(frames []*tensor.Tensor) *tensor.Tensor {
 	return tensor.ConcatRows(rows...)
 }
 
+// TrackerState is one node's convergence-tracker state in exportable form.
+type TrackerState struct {
+	LastDist  float64
+	HasLast   bool
+	IncStreak int
+}
+
+// AdapterState is the adapter's complete mutable state in exportable form:
+// convergence trackers, token-row norm targets, the created-node counter,
+// and the AdamW moment buffers keyed by token-parameter name. Together
+// with the detector's restored token banks and the adapter's RNG state it
+// resumes the continuous-learning loop bit-exactly.
+type AdapterState struct {
+	Created  int
+	Trackers []map[kg.NodeID]TrackerState
+	RowNorms []map[kg.NodeID][]float64
+	OptStep  int
+	OptM     map[string]*tensor.Tensor
+	OptV     map[string]*tensor.Tensor
+}
+
+// tokenParamNames returns the detector's token-parameter names in the same
+// order as the optimizer's parameter slice (nn.Values of TokenParams).
+func (a *Adapter) tokenParamNames() []string {
+	ps := a.det.TokenParams()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ExportState captures the adapter's full state. Tensor buffers are deep
+// copies, so subsequent rounds never mutate the exported state.
+func (a *Adapter) ExportState() AdapterState {
+	st := AdapterState{
+		Created:  a.created,
+		Trackers: make([]map[kg.NodeID]TrackerState, len(a.trackers)),
+		RowNorms: make([]map[kg.NodeID][]float64, len(a.rowNorms)),
+		OptStep:  a.opt.StepCount(),
+		OptM:     make(map[string]*tensor.Tensor, len(a.params)),
+		OptV:     make(map[string]*tensor.Tensor, len(a.params)),
+	}
+	for gi, trs := range a.trackers {
+		st.Trackers[gi] = make(map[kg.NodeID]TrackerState, len(trs))
+		for id, tr := range trs {
+			st.Trackers[gi][id] = TrackerState{LastDist: tr.lastDist, HasLast: tr.hasLast, IncStreak: tr.incStreak}
+		}
+	}
+	for gi, norms := range a.rowNorms {
+		st.RowNorms[gi] = make(map[kg.NodeID][]float64, len(norms))
+		for id, ns := range norms {
+			st.RowNorms[gi][id] = append([]float64(nil), ns...)
+		}
+	}
+	m, v := a.opt.Moments()
+	for i, name := range a.tokenParamNames() {
+		st.OptM[name] = m[i].Clone()
+		st.OptV[name] = v[i].Clone()
+	}
+	return st
+}
+
+// ImportState replaces the adapter's state with a previously exported one.
+// The detector's graphs and token banks must already hold their restored
+// state: the optimizer is rebuilt over the current token parameters and
+// the saved moments are matched to them by parameter name, failing loudly
+// on any mismatch.
+func (a *Adapter) ImportState(st AdapterState) error {
+	if len(st.Trackers) != a.det.NumGNNs() || len(st.RowNorms) != a.det.NumGNNs() {
+		return fmt.Errorf("core: adapter state covers %d/%d graphs, detector has %d",
+			len(st.Trackers), len(st.RowNorms), a.det.NumGNNs())
+	}
+	a.det.EnableAdaptation()
+	a.rebuildOptimizer()
+	names := a.tokenParamNames()
+	if len(st.OptM) != len(names) || len(st.OptV) != len(names) {
+		return fmt.Errorf("core: adapter state has %d/%d moment buffers, detector has %d token params",
+			len(st.OptM), len(st.OptV), len(names))
+	}
+	m, v := a.opt.Moments()
+	for i, name := range names {
+		sm, sv := st.OptM[name], st.OptV[name]
+		if sm == nil || sv == nil {
+			return fmt.Errorf("core: adapter state missing moments for token param %q", name)
+		}
+		if sm.Size() != m[i].Size() || sv.Size() != v[i].Size() {
+			return fmt.Errorf("core: adapter state moment shape mismatch for %q: %v/%v vs %v",
+				name, sm.Shape(), sv.Shape(), m[i].Shape())
+		}
+		copy(m[i].Data(), sm.Data())
+		copy(v[i].Data(), sv.Data())
+	}
+	a.opt.SetStepCount(st.OptStep)
+	a.created = st.Created
+	a.trackers = make([]map[kg.NodeID]*convTracker, len(st.Trackers))
+	a.rowNorms = make([]map[kg.NodeID][]float64, len(st.RowNorms))
+	for gi, trs := range st.Trackers {
+		a.trackers[gi] = make(map[kg.NodeID]*convTracker, len(trs))
+		for id, tr := range trs {
+			a.trackers[gi][id] = &convTracker{lastDist: tr.LastDist, hasLast: tr.HasLast, incStreak: tr.IncStreak}
+		}
+	}
+	for gi, norms := range st.RowNorms {
+		a.rowNorms[gi] = make(map[kg.NodeID][]float64, len(norms))
+		for id, ns := range norms {
+			a.rowNorms[gi][id] = append([]float64(nil), ns...)
+		}
+	}
+	return nil
+}
+
 // TrackerStreak exposes a node's current divergence streak (testing and
 // observability).
 func (a *Adapter) TrackerStreak(gi int, id kg.NodeID) int {

@@ -194,6 +194,66 @@ func (m *Monitor) Reset() {
 	m.hasRef = false
 }
 
+// MonitorState is the monitor's complete mutable state in exportable
+// form. Together with the construction parameters (window size, reference
+// lag, mode) it determines every future monitor decision, so a checkpoint
+// that round-trips it resumes the deployment's pseudo-label selection
+// bit-exactly.
+type MonitorState struct {
+	N         int
+	RefLag    int
+	Anchored  bool
+	Reference float64
+	HasRef    bool
+	Seq       int
+	Samples   []Sample
+	Means     []float64
+}
+
+// ExportState captures the monitor's full state. Bookkeeping slices are
+// copied; sample frames are shared (they are immutable once pushed).
+func (m *Monitor) ExportState() MonitorState {
+	return MonitorState{
+		N:         m.n,
+		RefLag:    m.refLag,
+		Anchored:  m.anchored,
+		Reference: m.reference,
+		HasRef:    m.hasRef,
+		Seq:       m.seq,
+		Samples:   append([]Sample(nil), m.buf...),
+		Means:     append([]float64(nil), m.means...),
+	}
+}
+
+// ImportState replaces the monitor's state with a previously exported one,
+// including the construction parameters. It rejects state that could not
+// have come from a valid monitor.
+func (m *Monitor) ImportState(s MonitorState) error {
+	if s.N < 2 {
+		return fmt.Errorf("core: monitor state window %d must be ≥2", s.N)
+	}
+	if s.RefLag < 1 {
+		return fmt.Errorf("core: monitor state reference lag %d must be ≥1", s.RefLag)
+	}
+	if len(s.Samples) > s.N {
+		return fmt.Errorf("core: monitor state has %d samples for window %d", len(s.Samples), s.N)
+	}
+	for i, smp := range s.Samples {
+		if smp.Frame == nil {
+			return fmt.Errorf("core: monitor state sample %d has no frame", i)
+		}
+	}
+	m.n = s.N
+	m.refLag = s.RefLag
+	m.anchored = s.Anchored
+	m.reference = s.Reference
+	m.hasRef = s.HasRef
+	m.seq = s.Seq
+	m.buf = append([]Sample(nil), s.Samples...)
+	m.means = append([]float64(nil), s.Means...)
+	return nil
+}
+
 // Clone returns an independent copy of the monitor's current state: the
 // sample window, the bounded mean history and the reference. Sample frames
 // are shared (they are immutable once pushed); all bookkeeping slices are

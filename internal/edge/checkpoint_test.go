@@ -1,0 +1,117 @@
+package edge
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/rng"
+	"edgekg/internal/tensor"
+)
+
+// TestRuntimeCheckpointResumeEquivalence pins warm restart for the classic
+// single-camera runtime: Save mid-run, rebuild the fixture from the seed
+// (the process-restart situation), Load, continue — the resumed trajectory
+// must be bit-identical to the uninterrupted one, including metered ops
+// (the synchronous runtime's exclusive metering is deterministic).
+func TestRuntimeCheckpointResumeEquivalence(t *testing.T) {
+	const seed = 21
+	const frames = 24
+	const split = 11
+
+	mkFrames := func() []*tensor.Tensor {
+		_, gen := buildFixture(t, seed)
+		fr := rand.New(rand.NewSource(777))
+		out := make([]*tensor.Tensor, frames)
+		for i := range out {
+			cls := concept.Stealing
+			if i >= 10 {
+				cls = concept.Robbery
+			}
+			out[i] = gen.Frame(fr, cls)
+		}
+		return out
+	}
+
+	run := func(rt *Runtime, stream []*tensor.Tensor, lo, hi int) []float64 {
+		t.Helper()
+		var scores []float64
+		for i := lo; i < hi; i++ {
+			if i == 4 {
+				rt.Monitor().SetReference(1.0)
+			}
+			score, _, err := rt.ProcessFrame(stream[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores = append(scores, score)
+		}
+		return scores
+	}
+
+	// Uninterrupted arm.
+	detA, _ := buildFixture(t, seed)
+	rtA, err := NewRuntime(detA, smallConfig(true), rng.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(rtA, mkFrames(), 0, frames)
+	wantStats := rtA.Stats()
+
+	// Interrupted arm: run to the split, save, discard everything.
+	path := filepath.Join(t.TempDir(), "edge.json")
+	detB, _ := buildFixture(t, seed)
+	rtB, err := NewRuntime(detB, smallConfig(true), rng.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := mkFrames()
+	got := run(rtB, stream, 0, split)
+	if err := rtB.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh fixture, warm restore, continue.
+	detC, _ := buildFixture(t, seed)
+	rtC, err := NewRuntime(detC, smallConfig(true), rng.NewSource(999)) // seed irrelevant: Load restores the RNG state
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtC.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, run(rtC, mkFrames(), split, frames)...)
+
+	if len(got) != len(want) {
+		t.Fatalf("resumed run produced %d scores, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: resumed score %v != uninterrupted %v", i, got[i], want[i])
+		}
+	}
+	gotStats := rtC.Stats()
+	if gotStats != wantStats {
+		t.Fatalf("resumed stats %+v != uninterrupted %+v", gotStats, wantStats)
+	}
+	if wantStats.AdaptRounds == 0 || wantStats.TriggeredRounds == 0 {
+		t.Fatal("fixture never adapted — equivalence is vacuous")
+	}
+	if gotStats.ScoringOps != wantStats.ScoringOps || gotStats.AdaptOps != wantStats.AdaptOps {
+		t.Fatalf("metered ops differ after resume: %+v vs %+v", gotStats, wantStats)
+	}
+}
+
+// TestRuntimeCheckpointRequiresSerializableRNG pins the loud failure when
+// a runtime built over a non-serializable random source is checkpointed.
+func TestRuntimeCheckpointRequiresSerializableRNG(t *testing.T) {
+	det, _ := buildFixture(t, 22)
+	rt, err := NewRuntime(det, smallConfig(true), rand.NewSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Checkpoint(); err == nil {
+		t.Fatal("checkpoint over a stdlib rand source accepted")
+	}
+}

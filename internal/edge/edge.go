@@ -20,6 +20,7 @@ import (
 	"edgekg/internal/core"
 	"edgekg/internal/flops"
 	"edgekg/internal/serve"
+	"edgekg/internal/snapshot"
 	"edgekg/internal/tensor"
 )
 
@@ -84,9 +85,11 @@ const (
 
 // NewRuntime deploys a detector. The detector is frozen (and token banks
 // unfrozen when adaptation is enabled) as a side effect, exactly like a
-// real deployment hand-off; adaptation mutates det in place.
-func NewRuntime(det *core.Detector, cfg Config, rng *rand.Rand) (*Runtime, error) {
-	st, err := serve.NewStream(0, det, cfg.streamConfig(), rng, nil)
+// real deployment hand-off; adaptation mutates det in place. src seeds
+// the adapter's randomness — pass a *rng.Source when the runtime must be
+// checkpointable (Checkpoint fails on other source types).
+func NewRuntime(det *core.Detector, cfg Config, src rand.Source) (*Runtime, error) {
+	st, err := serve.NewStream(0, det, cfg.streamConfig(), src, nil)
 	if err != nil {
 		return nil, fmt.Errorf("edge: %w", err)
 	}
@@ -144,3 +147,53 @@ func (r *Runtime) Stats() Stats {
 
 // Ledger exposes the phase cost ledger.
 func (r *Runtime) Ledger() *flops.Ledger { return r.st.Ledger() }
+
+// Checkpoint serializes the runtime's complete adaptation state — the
+// adapted graphs and token banks, monitor, adapter, RNG, counters and
+// ledger — as a 1-stream checkpoint. The runtime is synchronous, so no
+// round is ever in flight; the caller must simply not call it
+// concurrently with ProcessFrame.
+func (r *Runtime) Checkpoint() (*snapshot.Checkpoint, error) {
+	ss, err := r.st.Export()
+	if err != nil {
+		return nil, fmt.Errorf("edge: %w", err)
+	}
+	cp := snapshot.New(1)
+	cp.Streams[0] = *ss
+	return cp, nil
+}
+
+// Restore replaces the runtime's state with a checkpoint previously taken
+// by Checkpoint (or by a 1-stream server with the identical
+// configuration). The runtime must have been built over the same
+// backbone.
+func (r *Runtime) Restore(cp *snapshot.Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	if len(cp.Streams) != 1 {
+		return fmt.Errorf("edge: checkpoint has %d streams, runtime is single-stream", len(cp.Streams))
+	}
+	if err := r.st.Restore(&cp.Streams[0]); err != nil {
+		return fmt.Errorf("edge: %w", err)
+	}
+	return nil
+}
+
+// Save checkpoints the runtime to a file (atomic temp-then-rename write).
+func (r *Runtime) Save(path string) error {
+	cp, err := r.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return snapshot.Save(path, cp)
+}
+
+// Load restores the runtime from a checkpoint file.
+func (r *Runtime) Load(path string) error {
+	cp, err := snapshot.Load(path)
+	if err != nil {
+		return err
+	}
+	return r.Restore(cp)
+}

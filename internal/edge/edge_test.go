@@ -64,7 +64,7 @@ func smallConfig(adaptive bool) Config {
 func TestRuntimeScoresAndMeters(t *testing.T) {
 	det, gen := buildFixture(t, 1)
 	rng := rand.New(rand.NewSource(1))
-	rt, err := NewRuntime(det, smallConfig(true), rng)
+	rt, err := NewRuntime(det, smallConfig(true), rand.NewSource(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestRuntimeScoresAndMeters(t *testing.T) {
 func TestStaticRuntimeNeverAdapts(t *testing.T) {
 	det, gen := buildFixture(t, 2)
 	rng := rand.New(rand.NewSource(2))
-	rt, err := NewRuntime(det, smallConfig(false), rng)
+	rt, err := NewRuntime(det, smallConfig(false), rand.NewSource(12))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestRuntimeStatsDeviceDerived(t *testing.T) {
 	det, gen := buildFixture(t, 3)
 	rng := rand.New(rand.NewSource(3))
 	cfg := smallConfig(true)
-	rt, err := NewRuntime(det, cfg, rng)
+	rt, err := NewRuntime(det, cfg, rand.NewSource(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,15 +164,14 @@ func TestRuntimeStatsDeviceDerived(t *testing.T) {
 
 func TestRuntimeValidation(t *testing.T) {
 	det, _ := buildFixture(t, 4)
-	rng := rand.New(rand.NewSource(4))
 	bad := smallConfig(true)
 	bad.MonitorN = 1
-	if _, err := NewRuntime(det, bad, rng); err == nil {
+	if _, err := NewRuntime(det, bad, rand.NewSource(14)); err == nil {
 		t.Error("bad monitor config accepted")
 	}
 	bad = smallConfig(true)
 	bad.Adapt.LR = 0
-	if _, err := NewRuntime(det, bad, rng); err == nil {
+	if _, err := NewRuntime(det, bad, rand.NewSource(14)); err == nil {
 		t.Error("bad adapt config accepted")
 	}
 }

@@ -76,8 +76,7 @@ func runFig5Arm(env *Env, initial, shifted concept.Class, adaptive bool) ([]Fig5
 	if !adaptive {
 		cfg.AdaptEveryFrames = 0
 	}
-	runRng := rand.New(rand.NewSource(s.Seed + 202))
-	rt, err := edge.NewRuntime(det, cfg, runRng)
+	rt, err := edge.NewRuntime(det, cfg, rand.NewSource(s.Seed+202))
 	if err != nil {
 		return nil, 0, err
 	}

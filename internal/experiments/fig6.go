@@ -58,7 +58,7 @@ func RunFig6(env *Env, tracked, target string) (Fig6Result, error) {
 	// unlimited patience.
 	cfg.Adapt.Patience = 1 << 20
 	cfg.AdaptEveryFrames = s.AdaptEvery
-	rt, err := edge.NewRuntime(det, cfg, rand.New(rand.NewSource(s.Seed+202)))
+	rt, err := edge.NewRuntime(det, cfg, rand.NewSource(s.Seed+202))
 	if err != nil {
 		return res, err
 	}

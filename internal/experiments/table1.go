@@ -72,7 +72,7 @@ func RunTableI(env *Env, cfg TableIConfig) (TableIResult, error) {
 	ecfg.MonitorLag = s.MonitorLag
 	ecfg.Adapt = s.Adapt
 	ecfg.AdaptEveryFrames = dayFrames
-	rt, err := edge.NewRuntime(det, ecfg, rand.New(rand.NewSource(s.Seed+22)))
+	rt, err := edge.NewRuntime(det, ecfg, rand.NewSource(s.Seed+22))
 	if err != nil {
 		return res, err
 	}

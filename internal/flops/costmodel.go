@@ -146,6 +146,36 @@ func (l *Ledger) TotalOps() int64 {
 	return total
 }
 
+// PhaseTotals is one phase's accumulated costs in exportable form — what
+// a checkpoint persists so a warm-restarted deployment's cost tables
+// continue from the pre-restart totals.
+type PhaseTotals struct {
+	Ops    int64 `json:"ops"`
+	Bytes  int64 `json:"bytes"`
+	Events int64 `json:"events"`
+}
+
+// Export returns a copy of every phase's accumulated totals.
+func (l *Ledger) Export() map[string]PhaseTotals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]PhaseTotals, len(l.phases))
+	for name, p := range l.phases {
+		out[name] = PhaseTotals{Ops: p.ops, Bytes: p.bytes, Events: p.events}
+	}
+	return out
+}
+
+// Import replaces the ledger's contents with the given totals.
+func (l *Ledger) Import(totals map[string]PhaseTotals) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.phases = make(map[string]*phaseCost, len(totals))
+	for name, t := range totals {
+		l.phases[name] = &phaseCost{ops: t.Ops, bytes: t.Bytes, events: t.Events}
+	}
+}
+
 // Phases returns the recorded phase names, sorted.
 func (l *Ledger) Phases() []string {
 	l.mu.Lock()

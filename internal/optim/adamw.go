@@ -84,6 +84,16 @@ func (a *AdamW) LR() float64 { return a.cfg.LR }
 // StepCount returns how many updates have been applied.
 func (a *AdamW) StepCount() int { return a.t }
 
+// SetStepCount overrides the update counter — checkpoint restore uses it
+// so bias correction continues from the pre-restart step.
+func (a *AdamW) SetStepCount(t int) { a.t = t }
+
+// Moments returns the live first/second-moment buffers, index-aligned with
+// the params slice the optimizer was constructed over. Checkpointing reads
+// them out and restore copies saved state back in; mutating them outside
+// that use corrupts the optimizer trajectory.
+func (a *AdamW) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
 // SGD implements stochastic gradient descent with classical momentum; it is
 // the sanity baseline in the optimizer ablation benches.
 type SGD struct {
@@ -119,6 +129,10 @@ func (s *SGD) Step() {
 		}
 	}
 }
+
+// Velocities returns the live momentum buffers, index-aligned with the
+// params slice — the SGD counterpart of AdamW.Moments for checkpointing.
+func (s *SGD) Velocities() []*tensor.Tensor { return s.vel }
 
 // ZeroGrad implements Optimizer.
 func (s *SGD) ZeroGrad() { zeroGrads(s.params) }

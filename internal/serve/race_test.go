@@ -84,7 +84,7 @@ func TestServerConcurrentStreamsSoak(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for res := range srv.Results(i) {
+			for res := range resultsOf(t, srv, i) {
 				if res.Err != nil {
 					errs <- res.Err
 					return
@@ -141,15 +141,15 @@ func TestServerConcurrentStreamsSoak(t *testing.T) {
 		if counts[i] != frames {
 			t.Errorf("stream %d delivered %d results, want %d", i, counts[i], frames)
 		}
-		st := srv.Stream(i).Stats()
+		st := streamOf(t, srv, i).Stats()
 		if st.Frames != frames {
 			t.Errorf("stream %d processed %d frames, want %d", i, st.Frames, frames)
 		}
-		if err := srv.Stream(i).Err(); err != nil {
+		if err := streamOf(t, srv, i).Err(); err != nil {
 			t.Errorf("stream %d: %v", i, err)
 		}
 		totalRounds += st.AdaptRounds
-		if got := len(srv.Stream(i).Scores()); got != cfg.Stream.ScoreHistory {
+		if got := len(streamOf(t, srv, i).Scores()); got != cfg.Stream.ScoreHistory {
 			t.Errorf("stream %d retained %d scores, want %d", i, got, cfg.Stream.ScoreHistory)
 		}
 	}
@@ -233,14 +233,14 @@ func TestServerUnmetered(t *testing.T) {
 			}
 		}
 		for i := 0; i < 2; i++ {
-			if res := <-srv.Results(i); res.Err != nil {
+			if res := <-resultsOf(t, srv, i); res.Err != nil {
 				t.Fatal(res.Err)
 			}
 		}
 	}
 	srv.Shutdown()
 	for i := 0; i < 2; i++ {
-		st := srv.Stream(i).Stats()
+		st := streamOf(t, srv, i).Stats()
 		if st.Frames != 10 {
 			t.Errorf("stream %d frames %d, want 10", i, st.Frames)
 		}
@@ -271,14 +271,14 @@ func TestStreamScoreHistoryTrim(t *testing.T) {
 		if err := srv.Submit(0, f); err != nil {
 			t.Fatal(err)
 		}
-		res := <-srv.Results(0)
+		res := <-resultsOf(t, srv, 0)
 		all = append(all, res.Score)
 	}
 	srv.CloseStream(0)
-	for range srv.Results(0) {
+	for range resultsOf(t, srv, 0) {
 	}
 	srv.Shutdown()
-	got := srv.Stream(0).Scores()
+	got := streamOf(t, srv, 0).Scores()
 	want := all[len(all)-4:]
 	if len(got) != len(want) {
 		t.Fatalf("history length %d, want %d", len(got), len(want))

@@ -16,6 +16,7 @@ import (
 	"edgekg/internal/kggen"
 	"edgekg/internal/oracle"
 	"edgekg/internal/parallel"
+	"edgekg/internal/rng"
 	"edgekg/internal/serve"
 	"edgekg/internal/temporal"
 	"edgekg/internal/tensor"
@@ -85,6 +86,26 @@ func frameSchedule(gen *dataset.Generator, seed int64, n, driftAt int, a, b conc
 	return out
 }
 
+// streamOf fetches a stream context, failing the test on a bad id.
+func streamOf(t *testing.T, s *serve.Server, id int) *serve.Stream {
+	t.Helper()
+	st, err := s.Stream(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// resultsOf fetches a stream's result channel, failing the test on a bad id.
+func resultsOf(t *testing.T, s *serve.Server, id int) <-chan serve.Result {
+	t.Helper()
+	ch, err := s.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
 // frameTrace is one stream's observed trajectory.
 type frameTrace struct {
 	scores    []float64
@@ -109,7 +130,7 @@ func pump(t *testing.T, s *serve.Server, id int, frames []*tensor.Tensor, refAft
 		if err := s.Submit(id, f); err != nil {
 			t.Fatal(err)
 		}
-		res, ok := <-s.Results(id)
+		res, ok := <-resultsOf(t, s, id)
 		if !ok {
 			t.Fatalf("stream %d: results closed early", id)
 		}
@@ -179,11 +200,11 @@ func TestServerSingleStreamEquivalentToEdgeRuntime(t *testing.T) {
 	}
 	serveTrace := pump(t, srv, 0, stream, 4)
 	srv.CloseStream(0)
-	for range srv.Results(0) {
+	for range resultsOf(t, srv, 0) {
 	}
 	srv.Shutdown()
-	serveStats := srv.Stream(0).Stats()
-	serveNodes := nodeIDs(srv.Stream(0).Detector().Graphs()[0])
+	serveStats := streamOf(t, srv, 0).Stats()
+	serveNodes := nodeIDs(streamOf(t, srv, 0).Detector().Graphs()[0])
 
 	// The reference arm runs on an independent, identically-seeded build
 	// (the server arm adapted its own clone, not the backbone).
@@ -194,7 +215,7 @@ func TestServerSingleStreamEquivalentToEdgeRuntime(t *testing.T) {
 	ecfg.MonitorLag = 4
 	ecfg.AdaptEveryFrames = 8
 	ecfg.Adapt.Patience = 1
-	rt, err := edge.NewRuntime(det2, ecfg, rand.New(rand.NewSource(7)))
+	rt, err := edge.NewRuntime(det2, ecfg, rng.NewSource(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +316,7 @@ func multiStreamRun(t *testing.T, backbone *core.Detector, schedules [][]*tensor
 		go func() {
 			traces[i] = pump(t, srv, i, schedules[i], 4)
 			srv.CloseStream(i)
-			for range srv.Results(i) {
+			for range resultsOf(t, srv, i) {
 			}
 			done <- i
 		}()
@@ -306,10 +327,10 @@ func multiStreamRun(t *testing.T, backbone *core.Detector, schedules [][]*tensor
 	srv.Shutdown()
 	nodes := make([][]kg.NodeID, len(schedules))
 	for i := range schedules {
-		if err := srv.Stream(i).Err(); err != nil {
+		if err := streamOf(t, srv, i).Err(); err != nil {
 			t.Fatalf("stream %d: %v", i, err)
 		}
-		nodes[i] = nodeIDs(srv.Stream(i).Detector().Graphs()[0])
+		nodes[i] = nodeIDs(streamOf(t, srv, i).Detector().Graphs()[0])
 	}
 	return traces, nodes
 }
@@ -416,7 +437,7 @@ func TestStreamSnapshotSwapTiming(t *testing.T) {
 	}
 	staticTrace := pump(t, srvS, 0, stream, 4)
 	srvS.CloseStream(0)
-	for range srvS.Results(0) {
+	for range resultsOf(t, srvS, 0) {
 	}
 	srvS.Shutdown()
 
@@ -430,7 +451,7 @@ func TestStreamSnapshotSwapTiming(t *testing.T) {
 	}
 	lagTrace := pump(t, srvL, 0, stream, 4)
 	srvL.CloseStream(0)
-	for range srvL.Results(0) {
+	for range resultsOf(t, srvL, 0) {
 	}
 	srvL.Shutdown()
 
@@ -473,7 +494,7 @@ func TestServerAPIErrors(t *testing.T) {
 	if _, err := serve.NewServer(backbone, 1, bad); err == nil {
 		t.Error("bad monitor config accepted")
 	}
-	if _, err := serve.NewStream(0, backbone, streamCfg(4), rand.New(rand.NewSource(1)), nil); err == nil {
+	if _, err := serve.NewStream(0, backbone, streamCfg(4), rng.NewSource(1), nil); err == nil {
 		t.Error("exclusive metering with async adaptation accepted")
 	}
 

@@ -2,11 +2,12 @@ package serve
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 
 	"edgekg/internal/core"
 	"edgekg/internal/flops"
+	"edgekg/internal/rng"
+	"edgekg/internal/snapshot"
 	"edgekg/internal/tensor"
 )
 
@@ -36,10 +37,13 @@ func DefaultConfig() Config {
 }
 
 // item is one unit of per-stream work: a frame to score, or a control
-// barrier.
+// barrier. raw barriers run without joining an in-flight adaptation round
+// first — the checkpoint path uses them, because an early join would move
+// the round's swap frame and change the trajectory.
 type item struct {
 	pix  *tensor.Tensor
 	ctl  func(*Stream)
+	raw  bool
 	done chan struct{}
 }
 
@@ -142,7 +146,7 @@ func NewServer(backbone *core.Detector, n int, cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: stream %d clone: %w", i, err)
 		}
-		st, err := NewStream(i, det, cfg.Stream, rand.New(rand.NewSource(seed)), s.counter)
+		st, err := NewStream(i, det, cfg.Stream, rng.NewSource(seed), s.counter)
 		if err != nil {
 			return nil, fmt.Errorf("serve: stream %d: %w", i, err)
 		}
@@ -171,7 +175,12 @@ func (s *Server) loop(i int) {
 			// first so token banks, graphs and stats are quiescent. A join
 			// error is retained on the stream (Stream.Err) rather than
 			// injected as an extra Result, keeping results 1:1 with frames.
-			st.Sync()
+			// Raw barriers (checkpointing) skip the join: Stream.Export
+			// settles the round's computation itself without disturbing
+			// its swap schedule.
+			if !it.raw {
+				st.Sync()
+			}
 			it.ctl(st)
 			close(it.done)
 			continue
@@ -206,10 +215,16 @@ func (s *Server) send(stream int, it item) error {
 	return nil
 }
 
-// Results returns the stream's result channel. Results arrive in frame
-// order; the channel closes after CloseStream once the last frame and any
-// in-flight adaptation round have drained.
-func (s *Server) Results(stream int) <-chan Result { return s.out[stream] }
+// Results returns the stream's result channel, or an error for an unknown
+// stream id. Results arrive in frame order; the channel closes after
+// CloseStream once the last frame and any in-flight adaptation round have
+// drained.
+func (s *Server) Results(stream int) (<-chan Result, error) {
+	if stream < 0 || stream >= len(s.streams) {
+		return nil, fmt.Errorf("serve: no stream %d", stream)
+	}
+	return s.out[stream], nil
+}
 
 // Do runs fn on the stream's processing loop, between frames and with any
 // in-flight adaptation round joined — the safe way to read a live
@@ -227,6 +242,11 @@ func (s *Server) Results(stream int) <-chan Result { return s.out[stream] }
 // stream's Results to keep draining: calling Do from the goroutine that
 // consumes Results while frames are still queued deadlocks.
 func (s *Server) Do(stream int, fn func(*Stream)) error {
+	return s.barrier(stream, fn, false)
+}
+
+// barrier implements Do and the raw (non-joining) checkpoint barrier.
+func (s *Server) barrier(stream int, fn func(*Stream), raw bool) error {
 	if stream < 0 || stream >= len(s.streams) {
 		return fmt.Errorf("serve: no stream %d", stream)
 	}
@@ -236,7 +256,7 @@ func (s *Server) Do(stream int, fn func(*Stream)) error {
 		return nil
 	default:
 	}
-	it := item{ctl: fn, done: make(chan struct{})}
+	it := item{ctl: fn, raw: raw, done: make(chan struct{})}
 	if err := s.send(stream, it); err != nil {
 		// Closed: wait for the loop to drain, then run inline.
 		<-s.done[stream]
@@ -305,10 +325,65 @@ func (s *Server) Shutdown() {
 	})
 }
 
-// Stream returns the i-th stream context. Safe to use freely after
-// Shutdown (or CloseStream + drained Results); while the stream is live,
-// route access through Do.
-func (s *Server) Stream(i int) *Stream { return s.streams[i] }
+// Stream returns the i-th stream context, or an error for an unknown
+// stream id. The context is safe to use freely after Shutdown (or
+// CloseStream + drained Results); while the stream is live, route access
+// through Do.
+func (s *Server) Stream(i int) (*Stream, error) {
+	if i < 0 || i >= len(s.streams) {
+		return nil, fmt.Errorf("serve: no stream %d", i)
+	}
+	return s.streams[i], nil
+}
+
+// Checkpoint serializes every stream's complete adaptation state. Each
+// stream is captured on its own processing loop between frames (a raw
+// barrier that, unlike Do, does not join an in-flight adaptation round
+// early — the round's computation is completed but its swap still lands
+// at the configured frame), so a live server can be checkpointed while
+// cameras keep submitting: each stream's snapshot is taken at whatever
+// frame its loop has reached. Restore the result with Server.Restore on a
+// server built over the identical backbone and configuration.
+func (s *Server) Checkpoint() (*snapshot.Checkpoint, error) {
+	cp := snapshot.New(len(s.streams))
+	for i := range s.streams {
+		var ss *snapshot.StreamState
+		var err error
+		if berr := s.barrier(i, func(st *Stream) { ss, err = st.Export() }, true); berr != nil {
+			return nil, berr
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp.Streams[i] = *ss
+	}
+	return cp, nil
+}
+
+// Restore replaces every stream's state with the checkpoint's, applied on
+// each stream's processing loop. The server must have been built over the
+// same backbone (same training seed) with the same stream count and
+// per-stream configuration the checkpoint was taken under; mismatches
+// fail loudly and may leave earlier streams restored — restore into a
+// fresh server before submitting frames.
+func (s *Server) Restore(cp *snapshot.Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	if len(cp.Streams) != len(s.streams) {
+		return fmt.Errorf("serve: checkpoint has %d streams, server has %d", len(cp.Streams), len(s.streams))
+	}
+	for i := range s.streams {
+		var err error
+		if berr := s.barrier(i, func(st *Stream) { err = st.Restore(&cp.Streams[i]) }, true); berr != nil {
+			return berr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // TotalOps returns the ops recorded by the server's shared counter (0 in
 // exclusive single-stream metering, where the per-stream ledger is the

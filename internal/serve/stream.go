@@ -19,12 +19,15 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"edgekg/internal/core"
 	"edgekg/internal/flops"
 	"edgekg/internal/parallel"
+	"edgekg/internal/rng"
+	"edgekg/internal/snapshot"
 	"edgekg/internal/tensor"
 )
 
@@ -108,6 +111,9 @@ type Stream struct {
 	adapter *core.Adapter
 	cfg     StreamConfig
 	ledger  *flops.Ledger
+	// src is the adapter's random source. When it is a *rng.Source the
+	// stream is checkpointable (the state round-trips through Export).
+	src rand.Source
 
 	// shared selects the metering mode: nil meters phases exclusively via
 	// flops.Count (exact; requires that nothing else computes concurrently,
@@ -143,10 +149,22 @@ type pendingRound struct {
 // (token banks unfrozen when adaptation is enabled) as a side effect. det
 // is used directly — callers wanting per-stream isolation over a shared
 // backbone pass a core.Detector.CloneShared copy, which is what Server
-// does. shared selects the metering mode (see the field doc); exclusive
-// metering is only valid with synchronous adaptation, because a
-// background round's flops.Count swap would race the scoring meter.
-func NewStream(id int, det *core.Detector, cfg StreamConfig, rng *rand.Rand, shared *flops.Counter) (*Stream, error) {
+// does. src seeds the adapter's randomness; pass a *rng.Source when the
+// stream must be checkpointable (Export fails on other source types,
+// whose state cannot be captured). shared selects the metering mode (see
+// the field doc); exclusive metering is only valid with synchronous
+// adaptation, because a background round's flops.Count swap would race
+// the scoring meter.
+func NewStream(id int, det *core.Detector, cfg StreamConfig, src rand.Source, shared *flops.Counter) (*Stream, error) {
+	if cfg.AdaptEveryFrames < 0 {
+		return nil, fmt.Errorf("serve: adaptation cadence %d must be ≥0", cfg.AdaptEveryFrames)
+	}
+	if cfg.AdaptLagFrames < 0 {
+		return nil, fmt.Errorf("serve: adaptation lag %d must be ≥0", cfg.AdaptLagFrames)
+	}
+	if cfg.ScoreHistory < 0 {
+		return nil, fmt.Errorf("serve: score history %d must be ≥0", cfg.ScoreHistory)
+	}
 	if shared == nil && cfg.AdaptLagFrames > 0 {
 		return nil, fmt.Errorf("serve: exclusive metering requires synchronous adaptation (AdaptLagFrames 0, got %d)", cfg.AdaptLagFrames)
 	}
@@ -160,9 +178,9 @@ func NewStream(id int, det *core.Detector, cfg StreamConfig, rng *rand.Rand, sha
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	st := &Stream{id: id, det: det, mon: mon, cfg: cfg, ledger: flops.NewLedger(), shared: shared, scoreDet: det}
+	st := &Stream{id: id, det: det, mon: mon, cfg: cfg, ledger: flops.NewLedger(), src: src, shared: shared, scoreDet: det}
 	if cfg.AdaptEveryFrames > 0 {
-		adapter, err := core.NewAdapter(det, cfg.Adapt, rng)
+		adapter, err := core.NewAdapter(det, cfg.Adapt, rand.New(src))
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
@@ -194,10 +212,12 @@ func (st *Stream) Ledger() *flops.Ledger { return st.ledger }
 // min(ScoreHistory, processed) scores (empty when retention is disabled).
 func (st *Stream) Scores() []float64 {
 	h := st.cfg.ScoreHistory
-	if len(st.scores) > h {
-		return append([]float64(nil), st.scores[len(st.scores)-h:]...)
+	// h ≤ 0 disables retention: nothing is ever recorded, and the slice
+	// expression below would be out of range for negative h.
+	if h <= 0 || len(st.scores) <= h {
+		return append([]float64(nil), st.scores...)
 	}
-	return append([]float64(nil), st.scores...)
+	return append([]float64(nil), st.scores[len(st.scores)-h:]...)
 }
 
 // meter runs fn and records its cost under phase, in the stream's
@@ -354,6 +374,166 @@ type Stats struct {
 	// EnergyPerAdaptJ and AdaptLatencyS follow from the device profile.
 	EnergyPerAdaptJ float64
 	AdaptLatencyS   float64
+}
+
+// configPin summarises the stream's configuration for checkpoint
+// validation.
+func (st *Stream) configPin() snapshot.ConfigPin {
+	return snapshot.ConfigPin{
+		MonitorN:          st.cfg.MonitorN,
+		MonitorLag:        st.cfg.MonitorLag,
+		AnchoredReference: st.cfg.AnchoredReference,
+		AdaptEveryFrames:  st.cfg.AdaptEveryFrames,
+		AdaptLagFrames:    st.cfg.AdaptLagFrames,
+		ScoreHistory:      st.cfg.ScoreHistory,
+	}
+}
+
+// Export serializes the stream's complete adaptation state. Like every
+// Stream method it must not race the processing goroutine — call it
+// through Server.Checkpoint (whose barrier does not join a pending round
+// early) or after the stream has drained.
+//
+// An in-flight background adaptation round is handled by completing its
+// computation (waiting on the worker-pool task) while preserving its swap
+// schedule: the live detector already carries the round's effect, the
+// snapshot additionally records the pre-round scoring state and the frame
+// at which the swap becomes visible, so the restored stream replays the
+// exact trajectory of an uninterrupted run — the round still lands at its
+// configured AdaptLagFrames offset.
+func (st *Stream) Export() (*snapshot.StreamState, error) {
+	src, ok := st.src.(*rng.Source)
+	if !ok {
+		return nil, fmt.Errorf("serve: stream %d was built over a %T random source; checkpointing requires *rng.Source", st.id, st.src)
+	}
+	if st.pending != nil {
+		// Complete the round's computation without swapping it in.
+		st.pending.g.Wait()
+	}
+	ss := &snapshot.StreamState{
+		ID:              st.id,
+		Config:          st.configPin(),
+		Frames:          st.frames,
+		AdaptRounds:     st.adaptRounds,
+		TriggeredRounds: st.triggered,
+		PrunedNodes:     st.pruned,
+		CreatedNodes:    st.created,
+		RNG:             src.State(),
+		Scores:          append(snapshot.Floats(nil), st.scores...),
+		Monitor:         snapshot.EncodeMonitor(st.mon.ExportState()),
+		Ledger:          st.ledger.Export(),
+	}
+	if st.lastErr != nil {
+		ss.LastErr = st.lastErr.Error()
+	}
+	det, err := snapshot.CaptureDetector(st.det)
+	if err != nil {
+		return nil, fmt.Errorf("serve: stream %d: %w", st.id, err)
+	}
+	ss.Detector = det
+	if st.adapter != nil {
+		ss.Adapter = snapshot.EncodeAdapter(st.adapter.ExportState())
+	}
+	if st.pending != nil {
+		scoreDet, err := snapshot.CaptureDetector(st.scoreDet)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stream %d pending round: %w", st.id, err)
+		}
+		ss.Pending = &snapshot.PendingState{
+			SwapFrame: st.pending.swapFrame,
+			Report:    snapshot.EncodeReport(st.pending.rep),
+			ScoreDet:  scoreDet,
+		}
+		if st.pending.err != nil {
+			ss.Pending.Err = st.pending.err.Error()
+		}
+	}
+	return ss, nil
+}
+
+// Restore replaces the stream's state with a previously exported one. The
+// stream must have been constructed over the same backbone and with the
+// same configuration the checkpoint was taken under (validated against
+// the recorded pin). Any in-flight round of the current state is joined
+// and discarded — the checkpoint's state wins wholesale.
+func (st *Stream) Restore(ss *snapshot.StreamState) error {
+	src, ok := st.src.(*rng.Source)
+	if !ok {
+		return fmt.Errorf("serve: stream %d was built over a %T random source; restore requires *rng.Source", st.id, st.src)
+	}
+	if pin := st.configPin(); pin != ss.Config {
+		return fmt.Errorf("serve: stream %d config %+v does not match checkpoint config %+v", st.id, pin, ss.Config)
+	}
+	if st.adapter == nil && ss.Adapter != nil {
+		return fmt.Errorf("serve: stream %d is static but checkpoint carries adapter state", st.id)
+	}
+	if st.adapter != nil && ss.Adapter == nil {
+		return fmt.Errorf("serve: stream %d is adaptive but checkpoint has no adapter state", st.id)
+	}
+	// Settle any in-flight round before overwriting the state it mutates.
+	if st.pending != nil {
+		st.pending.g.Wait()
+		st.pending = nil
+	}
+	if err := snapshot.RestoreDetector(st.det, ss.Detector); err != nil {
+		return fmt.Errorf("serve: stream %d: %w", st.id, err)
+	}
+	monState, err := snapshot.DecodeMonitor(ss.Monitor)
+	if err != nil {
+		return fmt.Errorf("serve: stream %d: %w", st.id, err)
+	}
+	if err := st.mon.ImportState(monState); err != nil {
+		return fmt.Errorf("serve: stream %d: %w", st.id, err)
+	}
+	if st.adapter != nil {
+		adState, err := snapshot.DecodeAdapter(ss.Adapter)
+		if err != nil {
+			return fmt.Errorf("serve: stream %d: %w", st.id, err)
+		}
+		if err := st.adapter.ImportState(adState); err != nil {
+			return fmt.Errorf("serve: stream %d: %w", st.id, err)
+		}
+	} else {
+		// Restored banks come in trainable; re-assert the static
+		// deployment's full freeze.
+		st.det.Deploy()
+	}
+	src.Restore(ss.RNG)
+	st.frames = ss.Frames
+	st.adaptRounds = ss.AdaptRounds
+	st.triggered = ss.TriggeredRounds
+	st.pruned = ss.PrunedNodes
+	st.created = ss.CreatedNodes
+	st.scores = append([]float64(nil), ss.Scores...)
+	st.lastErr = nil
+	if ss.LastErr != "" {
+		st.lastErr = errors.New(ss.LastErr)
+	}
+	st.ledger.Import(ss.Ledger)
+	st.scoreDet = st.det
+	if ss.Pending != nil {
+		if st.cfg.AdaptLagFrames <= 0 {
+			return fmt.Errorf("serve: stream %d checkpoint has a pending round but adaptation is synchronous", st.id)
+		}
+		// The pending round's computation already happened before the
+		// snapshot (its effect is in the restored live detector); scoring
+		// continues on the recorded pre-round state until the swap frame,
+		// where the regular join path delivers the recorded report.
+		snap, err := st.det.CloneShared()
+		if err != nil {
+			return fmt.Errorf("serve: stream %d pending round: %w", st.id, err)
+		}
+		if err := snapshot.RestoreDetector(snap, ss.Pending.ScoreDet); err != nil {
+			return fmt.Errorf("serve: stream %d pending round: %w", st.id, err)
+		}
+		p := &pendingRound{swapFrame: ss.Pending.SwapFrame, rep: snapshot.DecodeReport(ss.Pending.Report)}
+		if ss.Pending.Err != "" {
+			p.err = errors.New(ss.Pending.Err)
+		}
+		st.scoreDet = snap
+		st.pending = p
+	}
+	return nil
 }
 
 // Stats returns the stream's accumulated statistics. Like every Stream

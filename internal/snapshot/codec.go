@@ -1,0 +1,107 @@
+package snapshot
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"edgekg/internal/tensor"
+)
+
+// Floats is a []float64 that marshals as base64-encoded little-endian
+// IEEE-754 bit patterns instead of decimal JSON numbers. Checkpoints must
+// round-trip bit-exactly — a resumed trajectory is compared bitwise
+// against the uninterrupted one — and the bit-pattern encoding guarantees
+// that for every value, including negative zero, subnormals, infinities
+// and NaN payloads, where decimal formatting either loses the distinction
+// or refuses to marshal.
+type Floats []float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Floats) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 8*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return json.Marshal(base64.StdEncoding.EncodeToString(buf))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Floats) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("snapshot: float payload is not a string: %w", err)
+	}
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("snapshot: float payload is not base64: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return fmt.Errorf("snapshot: float payload length %d is not a multiple of 8", len(buf))
+	}
+	out := make(Floats, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	*f = out
+	return nil
+}
+
+// F64 is a float64 scalar that marshals as its 16-hex-digit IEEE-754 bit
+// pattern — the scalar counterpart of Floats, for fields that must
+// round-trip bit-exactly (and must not abort a checkpoint save when a
+// degenerate trajectory leaves a NaN behind, which encoding/json refuses
+// to marshal as a number).
+type F64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f F64) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fmt.Sprintf("%016x", math.Float64bits(float64(f))))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *F64) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("snapshot: float scalar is not a string: %w", err)
+	}
+	bits, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("snapshot: float scalar %q is not a 64-bit hex pattern: %w", s, err)
+	}
+	*f = F64(math.Float64frombits(bits))
+	return nil
+}
+
+// Tensor is the wire form of a tensor.Tensor.
+type Tensor struct {
+	Shape []int  `json:"shape"`
+	Data  Floats `json:"data"`
+}
+
+// EncodeTensor converts a tensor to wire form, copying its data.
+func EncodeTensor(t *tensor.Tensor) Tensor {
+	return Tensor{Shape: t.Shape(), Data: append(Floats(nil), t.Data()...)}
+}
+
+// DecodeTensor converts a wire tensor back, validating shape/data
+// consistency.
+func DecodeTensor(w Tensor) (*tensor.Tensor, error) {
+	if len(w.Shape) == 0 {
+		return nil, fmt.Errorf("snapshot: tensor has no shape")
+	}
+	size := 1
+	for _, d := range w.Shape {
+		if d < 0 {
+			return nil, fmt.Errorf("snapshot: tensor has negative dimension in shape %v", w.Shape)
+		}
+		size *= d
+	}
+	if size != len(w.Data) {
+		return nil, fmt.Errorf("snapshot: tensor shape %v wants %d values, payload has %d", w.Shape, size, len(w.Data))
+	}
+	return tensor.FromSlice(append([]float64(nil), w.Data...), w.Shape...), nil
+}

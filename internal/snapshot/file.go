@@ -1,0 +1,91 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Save writes a checkpoint atomically: the document is marshalled, written
+// to a temporary file in the target directory, synced to stable storage,
+// and renamed over the destination. A crash at any point leaves either the
+// previous good checkpoint or the new one — never a torn file — because
+// rename within a directory is atomic on POSIX filesystems.
+func Save(path string, cp *Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: create temp checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file so aborted writes
+	// never accumulate next to the checkpoint.
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot: install checkpoint: %w", err)
+	}
+	// Sync the directory so the rename itself is durable: without it a
+	// power loss can roll the directory entry back to the previous
+	// checkpoint even though Save returned. Best-effort on filesystems
+	// that reject directory fsync; real errors surface.
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil && !errors.Is(serr, syscall.EINVAL) && !errors.Is(serr, syscall.ENOTSUP) {
+			return fmt.Errorf("snapshot: sync checkpoint directory: %w", serr)
+		}
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint. It fails loudly on torn or
+// foreign files (JSON decode error) and on format/version mismatch; it
+// never returns a partially decoded checkpoint.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read checkpoint: %w", err)
+	}
+	// Probe the header first so a version mismatch is reported as such
+	// even if the stream payload of a future version does not decode.
+	var header struct {
+		Format  string `json:"format"`
+		Version int    `json:"version"`
+	}
+	if err := json.Unmarshal(data, &header); err != nil {
+		return nil, fmt.Errorf("snapshot: corrupt checkpoint %s: %w", path, err)
+	}
+	probe := &Checkpoint{Format: header.Format, Version: header.Version}
+	if err := probe.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("snapshot: corrupt checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}

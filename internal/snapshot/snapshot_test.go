@@ -1,0 +1,279 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgekg/internal/flops"
+	"edgekg/internal/kg"
+	"edgekg/internal/tensor"
+)
+
+// TestFloatsBitExactRoundTrip pins the codec guarantee the resume
+// equivalence suite stands on: every float64 bit pattern — negative zero,
+// subnormals, infinities, NaN payloads — survives the JSON round trip
+// unchanged.
+func TestFloatsBitExactRoundTrip(t *testing.T) {
+	vals := Floats{
+		0, math.Copysign(0, -1), 1.0 / 3.0, -math.Pi,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.Float64frombits(0x7FF8DEADBEEF0001), // NaN with payload
+	}
+	data, err := json.Marshal(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Floats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(vals) {
+		t.Fatalf("round trip changed length: %d -> %d", len(vals), len(back))
+	}
+	for i := range vals {
+		if math.Float64bits(back[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("value %d: %x -> %x", i, math.Float64bits(vals[i]), math.Float64bits(back[i]))
+		}
+	}
+}
+
+// TestTensorCodec pins shape validation on the tensor wire form.
+func TestTensorCodec(t *testing.T) {
+	src := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	w := EncodeTensor(src)
+	back, err := DecodeTensor(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != 2 || back.Cols() != 3 {
+		t.Fatalf("shape %v after round trip", back.Shape())
+	}
+	for i, v := range back.Data() {
+		if v != src.Data()[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, v, src.Data()[i])
+		}
+	}
+	// Mutating the decoded tensor must not alias the wire payload.
+	back.Data()[0] = 99
+	if w.Data[0] == 99 {
+		t.Fatal("decoded tensor aliases wire payload")
+	}
+	if _, err := DecodeTensor(Tensor{Shape: []int{2, 2}, Data: Floats{1, 2, 3}}); err == nil {
+		t.Fatal("shape/data mismatch accepted")
+	}
+	if _, err := DecodeTensor(Tensor{Shape: nil, Data: Floats{1}}); err == nil {
+		t.Fatal("missing shape accepted")
+	}
+	if _, err := DecodeTensor(Tensor{Shape: []int{-1, 2}, Data: Floats{}}); err == nil {
+		t.Fatal("negative dimension accepted")
+	}
+}
+
+// tinyCheckpoint builds a synthetic, structurally plausible checkpoint.
+func tinyCheckpoint() *Checkpoint {
+	cp := New(1)
+	cp.Streams[0] = StreamState{
+		ID:     0,
+		Frames: 7,
+		Scores: Floats{0.25, 0.5},
+		Ledger: map[string]flops.PhaseTotals{"scoring": {Ops: 10, Bytes: 20, Events: 7}},
+		Monitor: MonitorState{
+			N: 4, RefLag: 1, Anchored: true, Reference: 0.9, HasRef: true, Seq: 7,
+			Frames: []Tensor{EncodeTensor(tensor.FromSlice([]float64{1, 2}, 1, 2))},
+			Scores: Floats{0.5}, Seqs: []int{6}, Means: Floats{0.5},
+		},
+		Detector: DetectorState{Graphs: []GraphState{{Graph: json.RawMessage(`{}`)}}},
+	}
+	return cp
+}
+
+// TestSaveLoadRoundTrip pins the file layer: save, load, compare.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	want := tinyCheckpoint()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version || got.Format != Format {
+		t.Fatalf("header %q/%d after round trip", got.Format, got.Version)
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("checkpoint changed across save/load:\n%s\nvs\n%s", a, b)
+	}
+	// Determinism: marshalling the same checkpoint twice yields identical
+	// bytes (struct field order + sorted map keys).
+	c, _ := json.Marshal(want)
+	if string(a) != string(c) {
+		t.Fatal("serialization is not deterministic")
+	}
+}
+
+// TestTornWriteFailsCleanlyAndPreviousCheckpointSurvives simulates the
+// crash-safety scenario: a checkpoint file truncated mid-stream must fail
+// restore with the versioned-format ("corrupt") error — never a panic or a
+// partially applied state — and the previous good checkpoint, plus any
+// abandoned temp file from a crash before rename, must leave the good
+// checkpoint loadable.
+func TestTornWriteFailsCleanlyAndPreviousCheckpointSurvives(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "checkpoint.json")
+	if err := Save(good, tinyCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn copy: the same bytes truncated mid-document.
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(torn); err == nil {
+		t.Fatal("torn checkpoint loaded without error")
+	} else if !strings.Contains(err.Error(), "corrupt checkpoint") {
+		t.Fatalf("torn checkpoint error %q does not identify corruption", err)
+	}
+
+	// Crash before rename: a stale temp file next to the good checkpoint
+	// (what a killed Save leaves behind) must not affect loading it.
+	if err := os.WriteFile(good+".tmp-123", data[:10], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(good); err != nil {
+		t.Fatalf("previous good checkpoint no longer loads: %v", err)
+	}
+}
+
+// TestVersionAndFormatMismatchFailLoudly pins the header checks.
+func TestVersionAndFormatMismatchFailLoudly(t *testing.T) {
+	dir := t.TempDir()
+
+	future := tinyCheckpoint()
+	future.Version = Version + 7
+	path := filepath.Join(dir, "future.json")
+	data, _ := json.Marshal(future)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil {
+		t.Fatal("future-version checkpoint loaded")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch error %q does not mention the version", err)
+	}
+
+	foreign := filepath.Join(dir, "foreign.json")
+	if err := os.WriteFile(foreign, []byte(`{"some":"json"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(foreign); err == nil {
+		t.Fatal("foreign JSON loaded as a checkpoint")
+	}
+
+	// Save refuses to write a bad header in the first place.
+	if err := Save(filepath.Join(dir, "bad.json"), future); err == nil {
+		t.Fatal("Save accepted a mismatched version header")
+	}
+}
+
+// TestSaveIsAtomic pins that Save replaces the destination in one step: a
+// reader always sees either the old or the new full document. (The rename
+// syscall gives this; the test guards the temp-then-rename structure.)
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := Save(path, tinyCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	second := tinyCheckpoint()
+	second.Streams[0].Frames = 99
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Streams[0].Frames != 99 {
+		t.Fatalf("second save not visible: frames %d", got.Streams[0].Frames)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("unexpected files after save: %v", names)
+	}
+}
+
+// TestScalarFloatsSurviveNaN pins that the scalar float fields (monitor
+// reference, tracker distances, pending-round report) use the bit-pattern
+// codec too: a degenerate trajectory carrying NaN must still checkpoint
+// and round-trip bit-exactly instead of aborting json.Marshal.
+func TestScalarFloatsSurviveNaN(t *testing.T) {
+	cp := tinyCheckpoint()
+	cp.Streams[0].Monitor.Reference = F64(math.NaN())
+	cp.Streams[0].Adapter = &AdapterState{
+		Trackers: []map[kg.NodeID]Tracker{{3: {LastDist: F64(math.Inf(1)), HasLast: true}}},
+		RowNorms: []map[kg.NodeID]Floats{{}},
+		OptM:     map[string]Tensor{},
+		OptV:     map[string]Tensor{},
+	}
+	cp.Streams[0].Pending = &PendingState{
+		SwapFrame: 12,
+		Report: Report{
+			Triggered:     true,
+			K:             2,
+			DeltaM:        F64(math.NaN()),
+			Loss:          F64(math.Inf(-1)),
+			NodeDistances: []map[kg.NodeID]F64{{7: F64(math.NaN())}},
+		},
+		ScoreDet: DetectorState{Graphs: []GraphState{{Graph: json.RawMessage(`{}`)}}},
+	}
+	path := filepath.Join(t.TempDir(), "nan.json")
+	if err := Save(path, cp); err != nil {
+		t.Fatalf("checkpoint with NaN scalars failed to save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(got.Streams[0].Monitor.Reference)) {
+		t.Error("NaN reference did not round-trip")
+	}
+	if !math.IsNaN(float64(got.Streams[0].Pending.Report.DeltaM)) {
+		t.Error("NaN report DeltaM did not round-trip")
+	}
+	if !math.IsInf(float64(got.Streams[0].Pending.Report.Loss), -1) {
+		t.Error("-Inf report loss did not round-trip")
+	}
+	if !math.IsNaN(float64(got.Streams[0].Pending.Report.NodeDistances[0][7])) {
+		t.Error("NaN node distance did not round-trip")
+	}
+	if !math.IsInf(float64(got.Streams[0].Adapter.Trackers[0][3].LastDist), 1) {
+		t.Error("+Inf tracker distance did not round-trip")
+	}
+	dec := DecodeReport(got.Streams[0].Pending.Report)
+	if !math.IsNaN(dec.DeltaM) || dec.K != 2 || !dec.Triggered {
+		t.Errorf("decoded report %+v lost fields", dec)
+	}
+}
