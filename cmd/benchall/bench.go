@@ -34,6 +34,14 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	FLOPsPerOp  int64   `json:"flops_per_op"`
+	// MemBytesPerStream is the memory-ledger resident bytes charged per
+	// stream (StreamServeMem benches only): the copy-on-write vs. eager
+	// clone density comparison.
+	MemBytesPerStream int64 `json:"mem_bytes_per_stream,omitempty"`
+	// HeapBytesPerStream is the measured process heap growth per stream
+	// for the same deployment (GC-settled delta; noisier than the ledger
+	// figure but ledger-independent).
+	HeapBytesPerStream int64 `json:"heap_bytes_per_stream,omitempty"`
 }
 
 // benchReport is the BENCH_<n>.json schema.
@@ -239,6 +247,92 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 			}
 		})
 		srv.Shutdown()
+	}
+
+	// Stream memory density: bytes/stream (memory ledger + GC-settled heap
+	// delta) and the cost of one serving tick, copy-on-write versus eager
+	// deep-copy per-stream clones. Unadapted streams under COW alias the
+	// backbone's graphs and token banks, so their charged bytes collapse to
+	// the monitor window — the 10-100× streams-per-process headroom.
+	sframe := env.Gen.Frame(rng, concept.Robbery)
+	memBench := func(nStreams int, eager bool) error {
+		mode := "COW"
+		if eager {
+			mode = "Eager"
+		}
+		name := fmt.Sprintf("StreamServeMem%s%d", mode, nStreams)
+		scfg := serve.DefaultConfig()
+		scfg.Stream.AdaptEveryFrames = 0
+		scfg.Stream.EagerClone = eager
+		scfg.Unmetered = true
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		srv, err := serve.NewServer(serveDet, nStreams, scfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		defer srv.Shutdown()
+		tick := func() {
+			for i := 0; i < nStreams; i++ {
+				if err := srv.Submit(i, sframe); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < nStreams; i++ {
+				ch, err := srv.Results(i)
+				if err != nil {
+					panic(err)
+				}
+				if res, ok := <-ch; !ok || res.Err != nil {
+					panic(fmt.Sprintf("stream %d: ok=%v err=%v", i, ok, res.Err))
+				}
+			}
+		}
+		tick()
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+		heap := (int64(m1.HeapAlloc) - int64(m0.HeapAlloc)) / int64(nStreams)
+		if heap < 0 {
+			heap = 0
+		}
+		// Resident bytes via the on-demand per-stream breakdown (the shared
+		// ledger only refreshes per frame on budgeted servers).
+		var ledger int64
+		for i := 0; i < nStreams; i++ {
+			stats, err := srv.StreamStats(i)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			ledger += stats.ResidentBytes
+		}
+		ledger /= int64(nStreams)
+		res := benchResult{Name: name, Iterations: 1, MemBytesPerStream: ledger, HeapBytesPerStream: heap}
+		if smoke {
+			fmt.Printf("%-20s smoke ok %12d ledger B/stream %10d heap B/stream\n", name, ledger, heap)
+		} else {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					tick()
+				}
+			})
+			res.Iterations = r.N
+			res.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+			res.AllocsPerOp = r.AllocsPerOp()
+			res.BytesPerOp = r.AllocedBytesPerOp()
+			fmt.Printf("%-20s %12.0f ns/op %8d allocs/op %12d ledger B/stream %10d heap B/stream\n",
+				name, res.NsPerOp, res.AllocsPerOp, ledger, heap)
+		}
+		report.Results = append(report.Results, res)
+		return nil
+	}
+	for _, nStreams := range []int{8, 64} {
+		for _, eager := range []bool{false, true} {
+			if err := memBench(nStreams, eager); err != nil {
+				return err
+			}
+		}
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")

@@ -28,6 +28,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -54,6 +55,9 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 64, "checkpoint cadence in frames per stream (requires -checkpoint-dir)")
 		resume     = flag.Bool("resume", false, "warm-restart from -checkpoint-dir's checkpoint before serving")
 		smoke      = flag.Bool("smoke", false, "tiny CI configuration: 2 streams, 48 frames, short training")
+		memBudget  = flag.String("mem-budget", "", "per-process resident-memory budget, e.g. 64K, 2M, 1G (empty disables eviction)")
+		spillDir   = flag.String("spill-dir", "", "directory for evicted-stream spill files (default: a temp dir when -mem-budget is set)")
+		eagerClone = flag.Bool("eager-clone", false, "deep-copy per-stream state at deployment instead of copy-on-write sharing")
 	)
 	flag.Parse()
 
@@ -115,6 +119,23 @@ func main() {
 		}
 		ckptPath = filepath.Join(*ckptDir, "checkpoint.json")
 	}
+	budgetBytes, err := parseBytes(*memBudget)
+	if err != nil {
+		log.Fatalf("-mem-budget %q: %v", *memBudget, err)
+	}
+	if budgetBytes > 0 && *spillDir == "" {
+		dir, err := os.MkdirTemp("", "edgekg-spill-*")
+		if err != nil {
+			log.Fatalf("-mem-budget: creating default spill dir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		*spillDir = dir
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			log.Fatalf("-spill-dir: %v", err)
+		}
+	}
 
 	opts := edgekg.DefaultOptions()
 	opts.Seed = *seed
@@ -169,6 +190,9 @@ func main() {
 		AdaptEveryFrames: *adaptEvery,
 		AdaptLagFrames:   *adaptLag,
 		ScoreHistory:     64,
+		EagerClone:       *eagerClone,
+		MemBudgetBytes:   budgetBytes,
+		SpillDir:         *spillDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -287,6 +311,7 @@ func main() {
 
 	fmt.Printf("\n--- served %d streams × %d frames (%d this run) in %.2fs (%.0f frames/s aggregate) ---\n",
 		*streams, *frames, served, elapsed.Seconds(), float64(served)/elapsed.Seconds())
+	evictions := 0
 	for i := 0; i < *streams; i++ {
 		st, err := srv.Stats(i)
 		if err != nil {
@@ -296,11 +321,58 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("stream %d: frames=%d rounds=%d triggered=%d pruned=%d created=%d scoringFLOPs=%.2e AUC(%s)=%.4f\n",
+		fmt.Printf("stream %d: frames=%d rounds=%d triggered=%d pruned=%d created=%d scoringFLOPs=%.2e resident=%s evictions=%d AUC(%s)=%.4f\n",
 			i, st.Frames, st.AdaptRounds, st.TriggeredRounds, st.PrunedNodes, st.CreatedNodes,
-			float64(st.ScoringFLOPs), *shifted, auc)
+			float64(st.ScoringFLOPs), fmtBytes(st.ResidentBytes), st.Evictions, *shifted, auc)
 		if st.Frames != *frames {
 			log.Fatalf("stream %d processed %d frames, want %d", i, st.Frames, *frames)
 		}
+		evictions += st.Evictions
+	}
+	resident, budget := srv.MemStats()
+	if budget > 0 {
+		fmt.Printf("memory: resident %s of %s budget, %d evictions\n", fmtBytes(resident), fmtBytes(budget), evictions)
+		if evictions == 0 {
+			fmt.Println("memory: budget never exceeded (no evictions exercised)")
+		}
+	} else {
+		fmt.Printf("memory: resident %s (unbudgeted)\n", fmtBytes(resident))
+	}
+}
+
+// parseBytes reads a byte count with an optional K/M/G binary suffix.
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want an integer with optional K/M/G suffix")
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("must be ≥0")
+	}
+	return n * mult, nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }

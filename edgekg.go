@@ -336,6 +336,12 @@ type DeploymentStats struct {
 	ScoringFLOPs    int64
 	AdaptFLOPs      int64
 	EnergyPerAdaptJ float64
+	// ResidentBytes is the memory charged to this deployment by the
+	// serving ledger (zero for the single-stream edge runtime, and zero
+	// while a stream's state is spilled); Evictions counts the stream's
+	// spill round-trips under a memory budget.
+	ResidentBytes int64
+	Evictions     int
 }
 
 // Stats returns the deployment statistics (zero value before deployment).
@@ -375,6 +381,18 @@ type ServeOptions struct {
 	ScoreHistory int
 	// Seeds optionally fixes each stream's adaptation seed.
 	Seeds []int64
+	// EagerClone deep-copies each stream's graphs and token banks at
+	// deployment instead of the default lazy copy-on-write sharing with
+	// the frozen backbone. Scoring is bit-identical either way; eager
+	// cloning is the reference arm of the memory benchmarks.
+	EagerClone bool
+	// MemBudgetBytes caps the process's charged per-stream resident
+	// bytes: past the budget, idle streams are spilled to SpillDir and
+	// rehydrated bit-exactly on their next frame. 0 disables the budget.
+	MemBudgetBytes int64
+	// SpillDir is where evicted streams checkpoint their state (required
+	// with MemBudgetBytes > 0).
+	SpillDir string
 }
 
 // StreamServer is a running multi-camera deployment: one process, one
@@ -409,8 +427,11 @@ func (s *System) Serve(opts ServeOptions) (*StreamServer, error) {
 	}
 	cfg.Stream.AdaptLagFrames = opts.AdaptLagFrames
 	cfg.Stream.ScoreHistory = opts.ScoreHistory
+	cfg.Stream.EagerClone = opts.EagerClone
 	cfg.Seeds = opts.Seeds
 	cfg.BaseSeed = sc.Seed + 100
+	cfg.MemBudgetBytes = opts.MemBudgetBytes
+	cfg.SpillDir = opts.SpillDir
 	srv, err := serve.NewServer(s.det, opts.Streams, cfg)
 	if err != nil {
 		return nil, err
@@ -469,7 +490,16 @@ func (ss *StreamServer) Stats(stream int) (DeploymentStats, error) {
 		ScoringFLOPs:    st.ScoringOps,
 		AdaptFLOPs:      st.AdaptOps,
 		EnergyPerAdaptJ: st.EnergyPerAdaptJ,
+		ResidentBytes:   st.ResidentBytes,
+		Evictions:       st.Evictions,
 	}, nil
+}
+
+// MemStats reports the serving process's charged resident bytes and the
+// configured budget (0 when unbudgeted).
+func (ss *StreamServer) MemStats() (resident, budget int64) {
+	l := ss.srv.MemLedger()
+	return l.Total(), l.Budget()
 }
 
 // RecentScores returns a copy of the stream's retained score history

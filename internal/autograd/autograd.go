@@ -18,6 +18,7 @@ package autograd
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"edgekg/internal/parallel"
 	"edgekg/internal/tensor"
@@ -33,7 +34,13 @@ type Value struct {
 	Grad *tensor.Tensor
 
 	requiresGrad bool
-	parents      []*Value
+	// shared is nonzero while Data may be aliased by a copy-on-write
+	// sibling leaf (CloneCOW): in-place writers must call EnsurePrivate
+	// first. Accessed atomically (a plain uint32 rather than atomic.Bool so
+	// Value stays freely copyable): sibling streams fault concurrently with
+	// backbone re-clones during stream rehydration.
+	shared  uint32
+	parents []*Value
 	// parentsBack inlines parent storage for ops with ≤3 parents (the
 	// overwhelming majority), so building a tape node does not allocate a
 	// parent slice.
@@ -71,6 +78,48 @@ func (v *Value) SetRequiresGrad(b bool) {
 	if !b {
 		v.Grad = nil
 	}
+}
+
+// CloneCOW returns a leaf aliasing v's Data under copy-on-write: both
+// sides are marked shared and whichever side writes first materializes a
+// private tensor via EnsurePrivate, leaving the other side's bits
+// untouched. The clone carries its own requires-grad flag and Grad field,
+// so freezing, unfreezing or accumulating gradients on one side never
+// affects the other — which is what lets per-stream serving clones alias
+// a frozen backbone's token pages until they actually adapt.
+func (v *Value) CloneCOW() *Value {
+	c := NewLeaf(v.Data, v.requiresGrad)
+	c.MarkShared()
+	v.MarkShared()
+	return c
+}
+
+// SharedData reports whether v's Data may be aliased by a COW sibling.
+func (v *Value) SharedData() bool { return atomic.LoadUint32(&v.shared) != 0 }
+
+// MarkShared flags v's Data as COW-aliased. It reports whether this call
+// changed the flag (false when v was already shared), which lets a failed
+// multi-part clone roll back exactly the marks it introduced and nothing
+// more.
+func (v *Value) MarkShared() bool { return atomic.CompareAndSwapUint32(&v.shared, 0, 1) }
+
+// UnmarkShared clears the COW flag without copying. Only valid when every
+// alias created against this mark has been discarded unused — the
+// clone-failure rollback path (see gnn.Model.DiscardClone).
+func (v *Value) UnmarkShared() { atomic.StoreUint32(&v.shared, 0) }
+
+// EnsurePrivate gives v exclusive ownership of its Data, cloning the
+// tensor when it is COW-aliased. Aliases keep the old tensor — a sibling
+// concurrently reading (a stream scoring on its snapshot) never observes
+// the writer's updates. It reports whether a copy was made, so callers
+// holding raw row slices know to re-fetch them.
+func (v *Value) EnsurePrivate() bool {
+	if atomic.LoadUint32(&v.shared) == 0 {
+		return false
+	}
+	v.Data = v.Data.Clone()
+	atomic.StoreUint32(&v.shared, 0)
+	return true
 }
 
 // Op returns the name of the operation that produced v ("leaf" for leaves).

@@ -177,7 +177,12 @@ func bankRowNorms(bank *tensor.Tensor) []float64 {
 	return out
 }
 
-// renormalize rescales every token row back to its recorded norm.
+// renormalize rescales every token row back to its recorded norm. Rows
+// already at their target norm are skipped outright: the skip is bit-exact
+// (cur is computed by the same code that recorded the norm, so an
+// untouched row reproduces it to the last bit and scale is exactly 1) and
+// it keeps renormalization write-free on banks the optimizer left alone —
+// which is what preserves their copy-on-write sharing across rounds.
 func (a *Adapter) renormalize() {
 	for gi, m := range a.det.gnns {
 		for _, id := range m.Tokens().NodeIDs() {
@@ -185,7 +190,8 @@ func (a *Adapter) renormalize() {
 			if !ok {
 				continue
 			}
-			bank := m.Tokens().Bank(id).Data
+			bv := m.Tokens().Bank(id)
+			bank := bv.Data
 			for r := 0; r < bank.Rows() && r < len(norms); r++ {
 				row := bank.Row(r)
 				s := 0.0
@@ -197,6 +203,15 @@ func (a *Adapter) renormalize() {
 					continue
 				}
 				scale := norms[r] / cur
+				if scale == 1 {
+					continue
+				}
+				// First real write to a COW-shared page: take a private
+				// copy and re-fetch the row from the new tensor.
+				if bv.EnsurePrivate() {
+					bank = bv.Data
+					row = bank.Row(r)
+				}
 				for j := range row {
 					row[j] *= scale
 				}
@@ -436,7 +451,8 @@ func (a *Adapter) applySemanticPull(before []map[kg.NodeID]*tensor.Tensor, dir *
 			if !ok {
 				continue
 			}
-			bank := m.Tokens().Bank(id).Data
+			bv := m.Tokens().Bank(id)
+			bank := bv.Data
 			rows := bank.Rows()
 			if old.Rows() != rows {
 				continue
@@ -451,7 +467,13 @@ func (a *Adapter) applySemanticPull(before []map[kg.NodeID]*tensor.Tensor, dir *
 				}
 				delta = math.Sqrt(delta)
 				if delta == 0 {
+					// Untouched row: no write, so a COW-shared page (one
+					// the optimizer never updated) stays shared.
 					continue
+				}
+				if bv.EnsurePrivate() {
+					bank = bv.Data
+					row = bank.Row(r)
 				}
 				step := a.cfg.SemanticPull * delta
 				for j := range row {
@@ -560,10 +582,29 @@ func (a *Adapter) ExportState() AdapterState {
 	}
 	m, v := a.opt.Moments()
 	for i, name := range a.tokenParamNames() {
-		st.OptM[name] = m[i].Clone()
-		st.OptV[name] = v[i].Clone()
+		// Lazily-absent moment buffers are identically zero; export them as
+		// zero tensors so the checkpoint format is unchanged — and the
+		// export itself does not materialize per-stream buffers.
+		st.OptM[name] = momentOrZeros(m[i], a.params[i])
+		st.OptV[name] = momentOrZeros(v[i], a.params[i])
 	}
 	return st
+}
+
+func momentOrZeros(t *tensor.Tensor, p *autograd.Value) *tensor.Tensor {
+	if t != nil {
+		return t.Clone()
+	}
+	return tensor.New(p.Data.Shape()...)
+}
+
+func allZero(t *tensor.Tensor) bool {
+	for _, v := range t.Data() {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ImportState replaces the adapter's state with a previously exported one.
@@ -583,18 +624,25 @@ func (a *Adapter) ImportState(st AdapterState) error {
 		return fmt.Errorf("core: adapter state has %d/%d moment buffers, detector has %d token params",
 			len(st.OptM), len(st.OptV), len(names))
 	}
-	m, v := a.opt.Moments()
 	for i, name := range names {
 		sm, sv := st.OptM[name], st.OptV[name]
 		if sm == nil || sv == nil {
 			return fmt.Errorf("core: adapter state missing moments for token param %q", name)
 		}
-		if sm.Size() != m[i].Size() || sv.Size() != v[i].Size() {
+		want := a.params[i].Data.Size()
+		if sm.Size() != want || sv.Size() != want {
 			return fmt.Errorf("core: adapter state moment shape mismatch for %q: %v/%v vs %v",
-				name, sm.Shape(), sv.Shape(), m[i].Shape())
+				name, sm.Shape(), sv.Shape(), a.params[i].Data.Shape())
 		}
-		copy(m[i].Data(), sm.Data())
-		copy(v[i].Data(), sv.Data())
+		// All-zero saved moments restore to the lazily-absent state —
+		// numerically identical, and a rehydrated unadapted stream keeps
+		// its copy-on-write footprint instead of materializing buffers.
+		if allZero(sm) && allZero(sv) {
+			continue
+		}
+		m, v := a.opt.EnsureMoment(i)
+		copy(m.Data(), sm.Data())
+		copy(v.Data(), sv.Data())
 	}
 	a.opt.SetStepCount(st.OptStep)
 	a.created = st.Created
@@ -613,6 +661,21 @@ func (a *Adapter) ImportState(st AdapterState) error {
 		}
 	}
 	return nil
+}
+
+// MemBytes estimates the adapter's resident bytes for the memory ledger:
+// allocated optimizer moment buffers (lazy — zero until a round actually
+// updates a parameter) plus row-norm targets and convergence trackers.
+func (a *Adapter) MemBytes() int64 {
+	b := a.opt.MomentBytes()
+	const trackerOverhead = 64 // convTracker + map entry
+	for gi := range a.rowNorms {
+		for _, ns := range a.rowNorms[gi] {
+			b += int64(len(ns)) * 8
+		}
+		b += int64(len(a.trackers[gi])) * trackerOverhead
+	}
+	return b
 }
 
 // TrackerStreak exposes a node's current divergence streak (testing and

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/kg"
+	"edgekg/internal/kggen"
+	"edgekg/internal/oracle"
+	"edgekg/internal/tensor"
+
+	"edgekg/internal/concept"
+)
+
+// twoKGDetector builds a 2-mission detector so clone failure paths have a
+// successfully-cloned GNN to roll back.
+func twoKGDetector(t *testing.T) *Detector {
+	t.Helper()
+	r := newRig(t, "Stealing", 21)
+	rng := rand.New(rand.NewSource(22))
+	llm := oracle.NewSim(concept.Builtin(), rng, oracle.Config{EdgeProb: 0.9})
+	tok := r.space.Tokenizer()
+	opts := kggen.Options{Depth: 2, InitialFanout: 4, Fanout: 3, MaxCorrectionIters: 3, Tokenize: tok.Encode}
+	g2, _, err := kggen.Generate(llm, "Robbery", opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(rng, r.space, []*kg.Graph{r.graph, g2}, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+func TestDetectorCloneCOWScoresBitIdentical(t *testing.T) {
+	det := twoKGDetector(t)
+	det.SetTraining(false)
+	eager, err := det.CloneShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := det.CloneCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager.SetTraining(false)
+	lazy.SetTraining(false)
+	rng := rand.New(rand.NewSource(23))
+	video := tensor.RandN(rng, 1, 8, det.Space().PixDim())
+	se := eager.ScoreVideo(video)
+	sl := lazy.ScoreVideo(video)
+	for i := range se {
+		if se[i] != sl[i] {
+			t.Fatalf("frame %d: COW score %v != eager score %v", i, sl[i], se[i])
+		}
+	}
+	if lazy.Mem().Owned() != 0 {
+		t.Errorf("unadapted COW clone owns %d bytes after scoring, want 0", lazy.Mem().Owned())
+	}
+	if eager.Mem().Owned() == 0 {
+		t.Error("eager clone reports no owned bytes")
+	}
+}
+
+func TestCloneCOWMidLoopFailureRollsBack(t *testing.T) {
+	det := twoKGDetector(t)
+	// Sabotage the SECOND GNN so CloneCOW succeeds on GNN 0 and fails on
+	// GNN 1: the rollback must release GNN 0's freshly-placed marks.
+	victim := det.GNN(1)
+	victimID := victim.Tokens().NodeIDs()[0]
+	victim.Tokens().Remove(victimID)
+
+	if _, err := det.CloneCOW(); err == nil {
+		t.Fatal("CloneCOW succeeded on a detector with a missing bank page")
+	}
+	first := det.GNN(0)
+	for _, id := range first.Tokens().NodeIDs() {
+		if first.Tokens().Bank(id).SharedData() {
+			t.Errorf("GNN 0 node %d: page left marked shared by the failed clone", id)
+		}
+	}
+	if first.Graph().Shared() {
+		t.Error("GNN 0 graph left marked shared by the failed clone")
+	}
+}
+
+func TestCloneCOWFailureKeepsPriorSiblingMarks(t *testing.T) {
+	det := twoKGDetector(t)
+	// An older healthy sibling's sharing must survive a later failed clone:
+	// rollback may release only the marks the failed attempt introduced.
+	sibling, err := det.CloneCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := det.GNN(1)
+	victim.Tokens().Remove(victim.Tokens().NodeIDs()[0])
+	if _, err := det.CloneCOW(); err == nil {
+		t.Fatal("CloneCOW succeeded on a detector with a missing bank page")
+	}
+	first := det.GNN(0)
+	for _, id := range first.Tokens().NodeIDs() {
+		if !first.Tokens().Bank(id).SharedData() {
+			t.Errorf("GNN 0 node %d: mark shared with live sibling was released", id)
+		}
+	}
+	if !first.Graph().Shared() {
+		t.Error("GNN 0 graph mark shared with live sibling was released")
+	}
+	_ = sibling
+}
+
+func TestCloneSharedFailureReleasesPartialClone(t *testing.T) {
+	det := twoKGDetector(t)
+	victim := det.GNN(1)
+	victim.Tokens().Remove(victim.Tokens().NodeIDs()[0])
+	c, err := det.CloneShared()
+	if err == nil {
+		t.Fatal("CloneShared succeeded on a detector with a missing bank page")
+	}
+	if c != nil {
+		t.Fatal("CloneShared returned a partial clone alongside its error")
+	}
+}

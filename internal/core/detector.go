@@ -112,11 +112,77 @@ func (d *Detector) CloneShared() (*Detector, error) {
 	for i, m := range d.gnns {
 		cm, err := m.CloneShared()
 		if err != nil {
+			// Release the half-built clone: models built so far are
+			// discarded wholesale (eager clones hold no marks on their
+			// source), never returned partially wired.
+			c.gnns = nil
 			return nil, fmt.Errorf("core: clone GNN %d: %w", i, err)
 		}
 		c.gnns[i] = cm
 	}
 	return c, nil
+}
+
+// CloneCOW is CloneShared with lazy copy-on-write semantics: the clone
+// aliases every mission graph's storage and token-bank tensors until they
+// are actually mutated (see gnn.Model.CloneCOW), so an unadapted clone
+// costs O(nodes) wrappers instead of a full deep copy — the enabler for
+// hundreds of streams per process. Scoring through the clone is
+// bit-identical to CloneShared, under the same frozen-backbone contract.
+//
+// A mid-loop failure releases the partially-built clone: shared marks the
+// earlier per-GNN clones placed on the receiver are rolled back, so the
+// receiver neither leaks half-clones nor pays spurious COW faults later.
+func (d *Detector) CloneCOW() (*Detector, error) {
+	c := &Detector{space: d.space, temp: d.temp, head: d.head, cfg: d.cfg}
+	c.gnns = make([]*gnn.Model, len(d.gnns))
+	for i, m := range d.gnns {
+		cm, err := m.CloneCOW()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				c.gnns[j].DiscardClone()
+			}
+			c.gnns = nil
+			return nil, fmt.Errorf("core: clone GNN %d: %w", i, err)
+		}
+		c.gnns[i] = cm
+	}
+	return c, nil
+}
+
+// DiscardClone rolls back the COW marks this clone placed on its source —
+// call it on an unused CloneCOW result that will never be served (e.g. a
+// server constructor failing after cloning some streams), so the source
+// does not keep paying copy-on-write faults for a dead alias. No-op on
+// eager clones.
+func (d *Detector) DiscardClone() {
+	for _, m := range d.gnns {
+		m.DiscardClone()
+	}
+}
+
+// DetectorMem is the detector's per-stream resident-bytes breakdown:
+// privately owned graph/bank state versus state COW-shared with the
+// backbone or sibling clones (not charged to the stream).
+type DetectorMem struct {
+	BankOwned, BankShared   int64
+	GraphOwned, GraphShared int64
+}
+
+// Owned returns the bytes privately owned by this detector clone.
+func (dm DetectorMem) Owned() int64 { return dm.BankOwned + dm.GraphOwned }
+
+// Mem aggregates the per-GNN memory footprint for the serving ledger.
+func (d *Detector) Mem() DetectorMem {
+	var dm DetectorMem
+	for _, m := range d.gnns {
+		mm := m.Mem()
+		dm.BankOwned += mm.BankOwned
+		dm.BankShared += mm.BankShared
+		dm.GraphOwned += mm.GraphOwned
+		dm.GraphShared += mm.GraphShared
+	}
+	return dm
 }
 
 // Space returns the frozen joint embedding model.

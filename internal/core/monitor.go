@@ -185,6 +185,20 @@ func (m *Monitor) BottomK(k int) []Sample {
 	return sorted[:k]
 }
 
+// MemBytes estimates the monitor's resident bytes for the memory ledger.
+// The retained window frames dominate: every pushed frame is held until it
+// leaves the ring, so a full window costs N × frame size regardless of how
+// small the rest of the stream state is.
+func (m *Monitor) MemBytes() int64 {
+	var b int64
+	for _, s := range m.buf {
+		if s.Frame != nil {
+			b += int64(s.Frame.Size()) * 8
+		}
+	}
+	return b + int64(len(m.means))*8
+}
+
 // Reset clears all state including any anchored reference.
 func (m *Monitor) Reset() {
 	m.buf = nil

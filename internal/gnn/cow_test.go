@@ -1,0 +1,135 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/tensor"
+)
+
+func TestTokenBankCloneCOWSharesPages(t *testing.T) {
+	m, _, g := newTestModel(t)
+	tb := m.Tokens()
+	clone, undo := tb.CloneCOW()
+	defer undo()
+
+	for _, id := range tb.NodeIDs() {
+		src, c := tb.Bank(id), clone.Bank(id)
+		if src.Data != c.Data {
+			t.Fatalf("node %d: clone does not alias the source tensor", id)
+		}
+		if !src.SharedData() || !c.SharedData() {
+			t.Fatalf("node %d: pages not marked shared on both sides", id)
+		}
+	}
+	_ = g
+
+	// A write fault on one clone page isolates exactly that page.
+	id := tb.NodeIDs()[0]
+	cb := clone.Bank(id)
+	before := tb.Bank(id).Data.Clone()
+	cb.EnsurePrivate()
+	cb.Data.Row(0)[0] += 1000
+	if !tensor.AllClose(tb.Bank(id).Data, before, 0) {
+		t.Error("clone-side write reached the source page")
+	}
+	if cb.SharedData() {
+		t.Error("faulted page still marked shared")
+	}
+	if !tb.Bank(id).SharedData() {
+		t.Error("source page lost its mark on a clone-side fault")
+	}
+}
+
+func TestModelCloneCOWForwardMatchesCloneShared(t *testing.T) {
+	m, space, _ := newTestModel(t)
+	m.SetTraining(false)
+	eager, err := m.CloneShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := m.CloneCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager.SetTraining(false)
+	lazy.SetTraining(false)
+	rng := rand.New(rand.NewSource(7))
+	frames := tensor.RandN(rng, 1, 3, space.Dim())
+	oe := eager.Forward(autograd.Constant(frames))
+	ol := lazy.Forward(autograd.Constant(frames))
+	om := m.Forward(autograd.Constant(frames))
+	if !tensor.AllClose(oe.Data, ol.Data, 0) {
+		t.Error("COW clone forward differs bitwise from eager clone")
+	}
+	if !tensor.AllClose(om.Data, ol.Data, 0) {
+		t.Error("COW clone forward differs bitwise from source model")
+	}
+}
+
+func TestModelCloneCOWMemStartsShared(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	c, err := m.CloneCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := c.Mem()
+	if mem.BankOwned != 0 || mem.GraphOwned != 0 {
+		t.Errorf("fresh COW clone owns bytes: banks %d graphs %d", mem.BankOwned, mem.GraphOwned)
+	}
+	if mem.BankShared == 0 || mem.GraphShared == 0 {
+		t.Errorf("fresh COW clone reports no shared bytes: banks %d graphs %d", mem.BankShared, mem.GraphShared)
+	}
+
+	// Fault one bank page: owned grows by exactly that page, the rest
+	// stays shared.
+	id := c.Tokens().NodeIDs()[0]
+	b := c.Tokens().Bank(id)
+	b.EnsurePrivate()
+	after := c.Mem()
+	page := int64(b.Data.Size()) * 8
+	if after.BankOwned != page {
+		t.Errorf("owned bank bytes %d after one fault, want %d", after.BankOwned, page)
+	}
+	if after.BankShared != mem.BankShared-page {
+		t.Errorf("shared bank bytes %d, want %d", after.BankShared, mem.BankShared-page)
+	}
+}
+
+func TestModelCloneCOWFailureRollsBackMarks(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	// Break clonability: drop one reasoning node's bank page so
+	// verifyClonable fails, then confirm no source page kept a mark that
+	// the failed clone placed.
+	id := m.Tokens().NodeIDs()[0]
+	m.Tokens().Remove(id)
+	if _, err := m.CloneCOW(); err == nil {
+		t.Fatal("CloneCOW succeeded on a model with a missing bank page")
+	}
+	for _, nid := range m.Tokens().NodeIDs() {
+		if m.Tokens().Bank(nid).SharedData() {
+			t.Errorf("node %d: source page left marked shared by a failed clone", nid)
+		}
+	}
+	if m.Graph().Shared() {
+		t.Error("source graph left marked shared by a failed clone")
+	}
+}
+
+func TestDiscardCloneReleasesMarks(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	c, err := m.CloneCOW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DiscardClone()
+	for _, id := range m.Tokens().NodeIDs() {
+		if m.Tokens().Bank(id).SharedData() {
+			t.Errorf("node %d: source page still marked after DiscardClone", id)
+		}
+	}
+	if m.Graph().Shared() {
+		t.Error("source graph still marked after DiscardClone")
+	}
+}

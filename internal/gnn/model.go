@@ -34,6 +34,10 @@ type Model struct {
 	// mutated in place.
 	bankCache []*autograd.Value
 	bankGen   uint64
+
+	// cowUndo, set only on clones produced by CloneCOW, rolls back the
+	// shared marks that clone placed on its source (DiscardClone).
+	cowUndo func()
 }
 
 // layer is one hierarchical GNN layer: φ_l (dense), M_l/A_l (messages and
@@ -113,6 +117,9 @@ func (m *Model) NumLayers() int { return len(m.layers) }
 // deployed-detector contract. This is what gives every serving stream its
 // own adaptation state over one resident backbone.
 func (m *Model) CloneShared() (*Model, error) {
+	if err := m.verifyClonable(); err != nil {
+		return nil, err
+	}
 	g := m.graph.Clone()
 	lo, err := buildLayout(g)
 	if err != nil {
@@ -126,6 +133,92 @@ func (m *Model) CloneShared() (*Model, error) {
 		lo:     lo,
 		width:  m.width,
 	}, nil
+}
+
+// CloneCOW is CloneShared with lazy copy-on-write semantics: the clone
+// aliases the receiver's graph storage and token-bank tensors by reference
+// and materializes private copies only of what actually mutates — a graph
+// faults wholesale on its first structural change, a token page on its
+// first in-place write. The layout is shared too: it is immutable between
+// Rebinds, Rebind replaces rather than mutates it, and its per-batch
+// replication cache is mutex-guarded, so concurrent streams can share one.
+// An unadapted clone therefore holds only O(nodes) wrapper state.
+//
+// Scoring through the clone is bit-identical to a CloneShared deep copy
+// (the tensors are the same bits), and the same frozen-backbone contract
+// applies. On failure the receiver is left exactly as before the call.
+func (m *Model) CloneCOW() (*Model, error) {
+	if err := m.verifyClonable(); err != nil {
+		return nil, err
+	}
+	graphWasShared := m.graph.Shared()
+	g := m.graph.CloneCOW()
+	tokens, undoBanks := m.tokens.CloneCOW()
+	c := &Model{
+		graph:  g,
+		space:  m.space,
+		tokens: tokens,
+		layers: m.layers,
+		lo:     m.lo,
+		width:  m.width,
+	}
+	src := m
+	c.cowUndo = func() {
+		undoBanks()
+		if !graphWasShared {
+			src.graph.UnmarkShared()
+		}
+	}
+	return c, nil
+}
+
+// DiscardClone rolls back the COW marks a CloneCOW call placed on its
+// source. Only valid on a clone that was never used (nothing scored or
+// adapted through it), and it releases only marks that clone itself
+// introduced — state already shared with older siblings stays shared.
+// Multi-GNN clone failure paths use it so an aborted partial clone does
+// not leave the source faulting (copying) on every future write. No-op on
+// eager clones and on sources.
+func (m *Model) DiscardClone() {
+	if m.cowUndo != nil {
+		m.cowUndo()
+		m.cowUndo = nil
+	}
+}
+
+// verifyClonable checks the clone invariant that every reasoning node in
+// the layout has a token bank. A model whose bank set drifted out of sync
+// with its graph would otherwise hand out clones that fail much later,
+// inside their first forward; failing at clone time lets the caller
+// release the partial clone instead of leaking it.
+func (m *Model) verifyClonable() error {
+	for _, id := range m.lo.reasonIDs {
+		if !m.tokens.Has(id) {
+			return fmt.Errorf("gnn: clone: reasoning node %d has no token bank", id)
+		}
+	}
+	return nil
+}
+
+// Mem reports the model's per-stream resident bytes, split into privately
+// owned state and state COW-shared with the backbone or siblings.
+type Mem struct {
+	BankOwned, BankShared   int64
+	GraphOwned, GraphShared int64
+}
+
+// Mem returns the model's memory footprint for the serving ledger. Shared
+// columns count aliased bytes a stream is not charged for.
+func (m *Model) Mem() Mem {
+	var mm Mem
+	mm.BankOwned, mm.BankShared = m.tokens.PageBytes()
+	gb := m.graph.ApproxMemBytes()
+	if m.graph.Shared() {
+		mm.GraphShared = gb
+	} else {
+		mm.GraphOwned = gb
+	}
+	return mm
 }
 
 // Rebind re-indexes the model after the KG's structure changed (node

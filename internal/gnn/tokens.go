@@ -138,6 +138,51 @@ func (tb *TokenBank) Clone() *TokenBank {
 	return c
 }
 
+// CloneCOW returns a copy-on-write clone of the bank: fresh per-node
+// Value wrappers (private requires-grad flags and gradients) aliasing the
+// receiver's token tensors. Both sides' pages are marked shared; the first
+// in-place write to a page — an optimizer step, renormalization, the
+// semantic pull — takes a private copy of just that page via
+// autograd.Value.EnsurePrivate, while Install always replaces the map
+// entry with a fresh private tensor. An unadapted clone therefore costs
+// O(nodes) wrapper overhead instead of a deep copy of every token matrix.
+//
+// The returned undo function rolls back exactly the shared marks this call
+// introduced on the receiver (pages already shared with older siblings
+// stay shared) — the release hook for a failed multi-graph detector clone.
+func (tb *TokenBank) CloneCOW() (*TokenBank, func()) {
+	c := &TokenBank{dim: tb.dim, banks: make(map[kg.NodeID]*autograd.Value, len(tb.banks))}
+	var marked []*autograd.Value
+	for id, b := range tb.banks {
+		cb := autograd.NewLeaf(b.Data, b.RequiresGrad())
+		cb.MarkShared()
+		if b.MarkShared() {
+			marked = append(marked, b)
+		}
+		c.banks[id] = cb
+	}
+	return c, func() {
+		for _, b := range marked {
+			b.UnmarkShared()
+		}
+	}
+}
+
+// PageBytes returns the bank's resident tensor bytes split into pages this
+// bank privately owns and pages COW-shared with a sibling or the backbone
+// — the memory ledger charges a stream only for the owned part.
+func (tb *TokenBank) PageBytes() (owned, shared int64) {
+	for _, b := range tb.banks {
+		n := int64(b.Data.Size()) * 8
+		if b.SharedData() {
+			shared += n
+		} else {
+			owned += n
+		}
+	}
+	return owned, shared
+}
+
 // Params implements nn.Module: one named parameter per node, sorted by id
 // for deterministic state dictionaries.
 func (tb *TokenBank) Params() []nn.Param {

@@ -14,6 +14,7 @@ package kg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within one Graph. IDs are never reused, so a
@@ -74,6 +75,14 @@ type Graph struct {
 	in     map[NodeID]map[NodeID]bool
 	nextID NodeID
 	depth  int // number of reasoning levels (levels 1..depth)
+
+	// shared is nonzero while the node/edge storage above may be aliased
+	// by a copy-on-write sibling (CloneCOW): every mutator calls fault()
+	// first, which deep-copies the storage and clears the flag, so the
+	// sibling keeps the original bits. Accessed atomically (a plain uint32
+	// so Graph values stay assignable, e.g. in UnmarshalJSON): sibling
+	// streams' fault checks can race backbone re-clones during rehydration.
+	shared uint32
 }
 
 // New returns an empty graph for the given mission with the given number
@@ -123,6 +132,7 @@ func (g *Graph) AddNode(concept string, level int, tokenIDs []int) (*Node, error
 
 // insert performs the raw node insertion.
 func (g *Graph) insert(concept string, level int, kind Kind, tokenIDs []int) *Node {
+	g.fault()
 	n := &Node{
 		ID:       g.nextID,
 		Concept:  concept,
@@ -157,6 +167,7 @@ func (g *Graph) AddEdge(src, dst NodeID) error {
 	if g.out[src][dst] {
 		return fmt.Errorf("kg: edge %d→%d: %w", src, dst, ErrDuplicateEdge)
 	}
+	g.fault()
 	g.out[src][dst] = true
 	g.in[dst][src] = true
 	return nil
@@ -164,6 +175,10 @@ func (g *Graph) AddEdge(src, dst NodeID) error {
 
 // RemoveEdge deletes an edge if present.
 func (g *Graph) RemoveEdge(src, dst NodeID) {
+	if !g.out[src][dst] {
+		return
+	}
+	g.fault()
 	delete(g.out[src], dst)
 	delete(g.in[dst], src)
 }
@@ -178,6 +193,7 @@ func (g *Graph) RemoveNode(id NodeID) error {
 	if n.Kind != Reasoning {
 		return fmt.Errorf("kg: cannot remove %s node %d: %w", n.Kind, id, ErrTerminalNode)
 	}
+	g.fault()
 	for dst := range g.out[id] {
 		delete(g.in[dst], id)
 	}
@@ -311,6 +327,7 @@ func (g *Graph) ReattachTerminalEdges() {
 	if s := g.SensorNode(); s != nil {
 		for _, n := range g.NodesAtLevel(1) {
 			if !g.out[s.ID][n.ID] {
+				g.fault()
 				g.out[s.ID][n.ID] = true
 				g.in[n.ID][s.ID] = true
 			}
@@ -319,11 +336,99 @@ func (g *Graph) ReattachTerminalEdges() {
 	if e := g.EmbeddingTerminal(); e != nil {
 		for _, n := range g.NodesAtLevel(g.depth) {
 			if !g.out[n.ID][e.ID] {
+				g.fault()
 				g.out[n.ID][e.ID] = true
 				g.in[e.ID][n.ID] = true
 			}
 		}
 	}
+}
+
+// CloneCOW returns a copy-on-write view of g: the clone aliases g's node
+// and edge storage by reference until either side mutates, at which point
+// the mutating side deep-copies the storage first (fault) and the other
+// side keeps the original bits. Both sides are marked shared; an unmutated
+// clone therefore costs O(1) memory regardless of graph size — which is
+// what lets hundreds of serving streams share one frozen backbone KG.
+func (g *Graph) CloneCOW() *Graph {
+	c := &Graph{
+		Mission: g.Mission,
+		nodes:   g.nodes,
+		order:   g.order,
+		out:     g.out,
+		in:      g.in,
+		nextID:  g.nextID,
+		depth:   g.depth,
+	}
+	g.MarkShared()
+	c.MarkShared()
+	return c
+}
+
+// Shared reports whether the graph's storage may be COW-aliased by a
+// sibling (memory accounting treats a shared graph as costing nothing).
+func (g *Graph) Shared() bool { return atomic.LoadUint32(&g.shared) != 0 }
+
+// MarkShared flags the storage as COW-aliased, reporting whether this call
+// changed the flag — the hook a failed multi-graph clone uses to roll back
+// exactly the marks it introduced.
+func (g *Graph) MarkShared() bool { return atomic.CompareAndSwapUint32(&g.shared, 0, 1) }
+
+// UnmarkShared clears the COW flag without copying. Only valid when every
+// alias created against this mark has been discarded unused (the
+// clone-failure rollback path).
+func (g *Graph) UnmarkShared() { atomic.StoreUint32(&g.shared, 0) }
+
+// fault materializes a private copy of the node/edge storage when it is
+// COW-shared. Every mutator calls it before its first write, so a mutation
+// on one side of a COW pair never reaches the other: the writer pays one
+// deep copy, readers keep the original. No-op on a private graph. The
+// *Node values are part of the copied storage, so mutators must re-fetch
+// node pointers after faulting.
+func (g *Graph) fault() {
+	if atomic.LoadUint32(&g.shared) == 0 {
+		return
+	}
+	nodes := make(map[NodeID]*Node, len(g.nodes))
+	for id, n := range g.nodes {
+		cp := *n
+		cp.TokenIDs = append([]int(nil), n.TokenIDs...)
+		nodes[id] = &cp
+	}
+	g.nodes = nodes
+	g.out = copyEdgeSet(g.out)
+	g.in = copyEdgeSet(g.in)
+	g.order = append([]NodeID(nil), g.order...)
+	atomic.StoreUint32(&g.shared, 0)
+}
+
+func copyEdgeSet(set map[NodeID]map[NodeID]bool) map[NodeID]map[NodeID]bool {
+	out := make(map[NodeID]map[NodeID]bool, len(set))
+	for id, ds := range set {
+		m := make(map[NodeID]bool, len(ds))
+		for d := range ds {
+			m[d] = true
+		}
+		out[id] = m
+	}
+	return out
+}
+
+// ApproxMemBytes estimates the resident heap bytes of the graph's node and
+// edge storage — the memory ledger's graph term. The per-node and per-edge
+// constants approximate Go map-entry and struct overhead; the estimate is
+// for budgeting, not exact accounting.
+func (g *Graph) ApproxMemBytes() int64 {
+	const (
+		nodeOverhead = 160 // Node struct + nodes/out/in map entries + order slot
+		edgeOverhead = 32  // two boolean map entries
+	)
+	b := int64(len(g.nodes)) * nodeOverhead
+	for _, n := range g.nodes {
+		b += int64(len(n.Concept)) + int64(len(n.TokenIDs))*8
+	}
+	b += int64(g.NumEdges()) * edgeOverhead
+	return b
 }
 
 // Clone returns a deep copy of the graph.

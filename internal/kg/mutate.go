@@ -114,6 +114,7 @@ func (g *Graph) RepairConnectivity(rng *rand.Rand) {
 		if len(g.in[n.ID]) == 0 {
 			if cands := g.NodesAtLevel(n.Level - 1); len(cands) > 0 {
 				src := cands[rng.Intn(len(cands))]
+				g.fault()
 				g.out[src.ID][n.ID] = true
 				g.in[n.ID][src.ID] = true
 			}
@@ -121,6 +122,7 @@ func (g *Graph) RepairConnectivity(rng *rand.Rand) {
 		if len(g.out[n.ID]) == 0 {
 			if cands := g.NodesAtLevel(n.Level + 1); len(cands) > 0 {
 				dst := cands[rng.Intn(len(cands))]
+				g.fault()
 				g.out[n.ID][dst.ID] = true
 				g.in[dst.ID][n.ID] = true
 			}
@@ -131,10 +133,13 @@ func (g *Graph) RepairConnectivity(rng *rand.Rand) {
 // SetConcept rewrites a node's concept text and token ids — the retrieval
 // stage uses it to install decoded interpretable words after adaptation.
 func (g *Graph) SetConcept(id NodeID, concept string, tokenIDs []int) error {
-	n := g.Node(id)
-	if n == nil {
+	if g.Node(id) == nil {
 		return fmt.Errorf("kg: set concept on node %d: %w", id, ErrNoSuchNode)
 	}
+	// Node values live in the COW-shared storage: fault first, then
+	// re-fetch the (now private) node before mutating it in place.
+	g.fault()
+	n := g.Node(id)
 	n.Concept = concept
 	n.TokenIDs = append([]int(nil), tokenIDs...)
 	return nil

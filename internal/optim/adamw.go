@@ -33,15 +33,15 @@ type AdamW struct {
 }
 
 // NewAdamW returns an AdamW over params. Parameters whose gradients are nil
-// at Step time (e.g. frozen branches) are skipped that step.
+// at Step time (e.g. frozen branches) are skipped that step. Moment buffers
+// are allocated lazily on a parameter's first update: a zero-valued moment
+// and an absent one are numerically identical, and continuous-adaptation
+// deployments hold one optimizer per stream over mostly-idle parameters —
+// eager buffers would double every idle stream's token-bank footprint.
 func NewAdamW(params []*autograd.Value, cfg AdamWConfig) *AdamW {
 	a := &AdamW{cfg: cfg, params: params}
 	a.m = make([]*tensor.Tensor, len(params))
 	a.v = make([]*tensor.Tensor, len(params))
-	for i, p := range params {
-		a.m[i] = tensor.New(p.Data.Shape()...)
-		a.v[i] = tensor.New(p.Data.Shape()...)
-	}
 	return a
 }
 
@@ -54,6 +54,14 @@ func (a *AdamW) Step() {
 	for i, p := range a.params {
 		if p.Grad == nil || !p.RequiresGrad() {
 			continue
+		}
+		// The update writes the parameter tensor in place; a COW-aliased
+		// parameter (per-stream serving clone) materializes a private copy
+		// here, leaving its siblings' bits untouched.
+		p.EnsurePrivate()
+		if a.m[i] == nil {
+			a.m[i] = tensor.New(p.Data.Shape()...)
+			a.v[i] = tensor.New(p.Data.Shape()...)
 		}
 		pd := p.Data.Data()
 		gd := p.Grad.Data()
@@ -89,10 +97,34 @@ func (a *AdamW) StepCount() int { return a.t }
 func (a *AdamW) SetStepCount(t int) { a.t = t }
 
 // Moments returns the live first/second-moment buffers, index-aligned with
-// the params slice the optimizer was constructed over. Checkpointing reads
-// them out and restore copies saved state back in; mutating them outside
-// that use corrupts the optimizer trajectory.
+// the params slice the optimizer was constructed over. Buffers are lazily
+// allocated: a nil entry means that parameter has never been updated and
+// its moments are identically zero. Checkpointing reads them out and
+// restore copies saved state back in; mutating them outside that use
+// corrupts the optimizer trajectory.
 func (a *AdamW) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
+// EnsureMoment materializes and returns parameter i's moment buffers —
+// the checkpoint-restore hook for writing saved nonzero moments back in.
+func (a *AdamW) EnsureMoment(i int) (m, v *tensor.Tensor) {
+	if a.m[i] == nil {
+		a.m[i] = tensor.New(a.params[i].Data.Shape()...)
+		a.v[i] = tensor.New(a.params[i].Data.Shape()...)
+	}
+	return a.m[i], a.v[i]
+}
+
+// MomentBytes returns the resident bytes of the allocated moment buffers —
+// the memory ledger's optimizer term. Lazily-absent buffers cost nothing.
+func (a *AdamW) MomentBytes() int64 {
+	var b int64
+	for i := range a.m {
+		if a.m[i] != nil {
+			b += int64(a.m[i].Size()+a.v[i].Size()) * 8
+		}
+	}
+	return b
+}
 
 // SGD implements stochastic gradient descent with classical momentum; it is
 // the sanity baseline in the optimizer ablation benches.
@@ -120,6 +152,7 @@ func (s *SGD) Step() {
 		if p.Grad == nil || !p.RequiresGrad() {
 			continue
 		}
+		p.EnsurePrivate()
 		pd := p.Data.Data()
 		gd := p.Grad.Data()
 		vd := s.vel[i].Data()

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"edgekg/internal/core"
 	"edgekg/internal/flops"
@@ -28,6 +29,16 @@ type Config struct {
 	Seeds []int64
 	// BaseSeed derives missing per-stream seeds. Defaults to 1.
 	BaseSeed int64
+	// MemBudgetBytes caps the charged per-stream resident bytes across
+	// the process (see flops.MemLedger). When the total exceeds the
+	// budget after a frame, the least-recently-active resident stream is
+	// spilled to SpillDir and rehydrated bit-exactly at its next frame.
+	// 0 disables the budget (the ledger still accounts).
+	MemBudgetBytes int64
+	// SpillDir is where evicted streams checkpoint their state. Required
+	// when MemBudgetBytes > 0; setting it without a budget arms manual
+	// eviction (Server.EvictStream) only.
+	SpillDir string
 }
 
 // DefaultConfig returns a serving configuration with the default
@@ -48,14 +59,19 @@ type item struct {
 }
 
 // Server multiplexes N camera streams through one process. It deploys the
-// backbone detector frozen, takes one core.Detector.CloneShared copy per
-// stream (per-stream graphs + token banks over the shared read-only
-// compute backbone), and runs one processing loop per stream: frames
-// arrive on per-stream channels, scoring interleaves across streams on
-// the shared worker pool, and each stream's adaptation rounds run
-// asynchronously (parallel.Group) with snapshot/swap semantics so no
-// stream's scoring ever blocks on another stream — or on its own
-// adaptation.
+// backbone detector frozen, takes one copy-on-write clone
+// (core.Detector.CloneCOW — per-stream graphs + token banks aliasing the
+// backbone until first write, full deep copies under
+// StreamConfig.EagerClone) per stream over the shared read-only compute
+// backbone, and runs one processing loop per stream: frames arrive on
+// per-stream channels, scoring interleaves across streams on the shared
+// worker pool, and each stream's adaptation rounds run asynchronously
+// (parallel.Group) with snapshot/swap semantics so no stream's scoring
+// ever blocks on another stream — or on its own adaptation.
+//
+// A memory ledger charges each stream its privately-owned bytes; under a
+// configured budget the server spills idle streams to disk and rehydrates
+// them bit-exactly on their next frame.
 //
 // One goroutine submits per stream (Submit/Do are serialised per stream
 // by the caller, like a camera feed); results must be consumed from
@@ -76,6 +92,14 @@ type Server struct {
 	counter   *flops.Counter
 	installed bool
 	shutdown  sync.Once
+
+	mem *flops.MemLedger
+	// lastActive[i] is the global tick of stream i's most recent frame;
+	// evictQueued[i] is nonzero while an eviction request is queued on
+	// stream i's loop. Both are touched from every stream loop (atomics).
+	lastActive  []int64
+	evictQueued []int32
+	tick        int64
 }
 
 // NewServer deploys backbone and starts n stream loops. The backbone is
@@ -99,16 +123,22 @@ func NewServer(backbone *core.Detector, n int, cfg Config) (*Server, error) {
 	if cfg.BaseSeed == 0 {
 		cfg.BaseSeed = 1
 	}
+	if cfg.MemBudgetBytes > 0 && cfg.SpillDir == "" {
+		return nil, fmt.Errorf("serve: memory budget %d requires a spill directory", cfg.MemBudgetBytes)
+	}
 	backbone.Deploy()
 
 	s := &Server{
-		cfg:     cfg,
-		streams: make([]*Stream, n),
-		in:      make([]chan item, n),
-		out:     make([]chan Result, n),
-		done:    make([]chan struct{}, n),
-		closed:  make([]bool, n),
-		closeMu: make([]sync.RWMutex, n),
+		cfg:         cfg,
+		streams:     make([]*Stream, n),
+		in:          make([]chan item, n),
+		out:         make([]chan Result, n),
+		done:        make([]chan struct{}, n),
+		closed:      make([]bool, n),
+		closeMu:     make([]sync.RWMutex, n),
+		mem:         flops.NewMemLedger(cfg.MemBudgetBytes),
+		lastActive:  make([]int64, n),
+		evictQueued: make([]int32, n),
 	}
 	// Per-stream FLOPs attribution under concurrency reads deltas of one
 	// shared counter (see Stream.meter); a single synchronous stream keeps
@@ -137,18 +167,39 @@ func NewServer(backbone *core.Detector, n int, cfg Config) (*Server, error) {
 			flops.SetActive(nil)
 		}
 	}()
+	// A constructor failure after some streams are cloned rolls their COW
+	// marks back, so the caller's backbone does not keep paying
+	// copy-on-write faults for dead aliases.
+	discardBuilt := func(n int) {
+		for j := 0; j < n; j++ {
+			s.streams[j].det.DiscardClone()
+		}
+	}
+	rebuild := func() (*core.Detector, error) {
+		if cfg.Stream.EagerClone {
+			return backbone.CloneShared()
+		}
+		return backbone.CloneCOW()
+	}
 	for i := 0; i < n; i++ {
 		seed := cfg.BaseSeed + int64(i)
 		if i < len(cfg.Seeds) {
 			seed = cfg.Seeds[i]
 		}
-		det, err := backbone.CloneShared()
+		det, err := rebuild()
 		if err != nil {
+			discardBuilt(i)
 			return nil, fmt.Errorf("serve: stream %d clone: %w", i, err)
 		}
 		st, err := NewStream(i, det, cfg.Stream, rng.NewSource(seed), s.counter)
 		if err != nil {
+			det.DiscardClone()
+			discardBuilt(i)
 			return nil, fmt.Errorf("serve: stream %d: %w", i, err)
+		}
+		st.SetMemLedger(s.mem)
+		if cfg.SpillDir != "" {
+			st.EnableSpill(cfg.SpillDir, rebuild)
 		}
 		s.streams[i] = st
 		s.in[i] = make(chan item, cfg.QueueDepth)
@@ -185,10 +236,88 @@ func (s *Server) loop(i int) {
 			close(it.done)
 			continue
 		}
-		s.out[i] <- st.Process(it.pix)
+		res := st.Process(it.pix)
+		atomic.StoreInt64(&s.lastActive[i], atomic.AddInt64(&s.tick, 1))
+		s.maybeEvict(i)
+		s.out[i] <- res
 	}
 	st.Sync()
 }
+
+// maybeEvict runs after stream self's frame: when the ledger is over
+// budget it asks the least-recently-active resident stream — never self,
+// which just proved it is live — to spill, via a raw control barrier
+// enqueued on the victim's own loop (raw so a pending round's swap
+// schedule survives the spill). The enqueue is non-blocking: a full victim
+// queue drops the attempt, and a later frame retries while the process
+// stays over budget. A single-stream server therefore never evicts.
+func (s *Server) maybeEvict(self int) {
+	if s.cfg.SpillDir == "" {
+		return
+	}
+	if _, over := s.mem.OverBudget(); !over {
+		return
+	}
+	victim, best := -1, int64(1<<62)
+	for j := range s.streams {
+		if j == self || atomic.LoadInt32(&s.evictQueued[j]) != 0 {
+			continue
+		}
+		if s.mem.Stream(j).Resident() == 0 {
+			continue // already spilled (or never reported)
+		}
+		if t := atomic.LoadInt64(&s.lastActive[j]); t < best {
+			victim, best = j, t
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	if !atomic.CompareAndSwapInt32(&s.evictQueued[victim], 0, 1) {
+		return
+	}
+	it := item{raw: true, done: make(chan struct{}), ctl: func(st *Stream) {
+		defer atomic.StoreInt32(&s.evictQueued[st.id], 0)
+		if err := st.Evict(); err != nil {
+			st.lastErr = err
+		}
+	}}
+	if !s.trySend(victim, it) {
+		atomic.StoreInt32(&s.evictQueued[victim], 0)
+	}
+}
+
+// trySend is send without blocking: false when the stream is closed or
+// its queue is full.
+func (s *Server) trySend(stream int, it item) bool {
+	s.closeMu[stream].RLock()
+	defer s.closeMu[stream].RUnlock()
+	if s.closed[stream] {
+		return false
+	}
+	select {
+	case s.in[stream] <- it:
+		return true
+	default:
+		return false
+	}
+}
+
+// EvictStream spills stream i's heavy state synchronously through a raw
+// barrier on its loop (preserving a pending round's swap schedule): the
+// deterministic counterpart to budget-driven eviction, for tests and
+// operational tooling. The stream rehydrates bit-exactly at its next
+// frame. Requires Config.SpillDir.
+func (s *Server) EvictStream(stream int) error {
+	var err error
+	if berr := s.barrier(stream, func(st *Stream) { err = st.Evict() }, true); berr != nil {
+		return berr
+	}
+	return err
+}
+
+// MemLedger exposes the server's resident-bytes ledger.
+func (s *Server) MemLedger() *flops.MemLedger { return s.mem }
 
 // NumStreams returns the stream count.
 func (s *Server) NumStreams() int { return len(s.streams) }

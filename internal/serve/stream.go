@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"edgekg/internal/core"
 	"edgekg/internal/flops"
@@ -64,6 +66,14 @@ type StreamConfig struct {
 	// ScoreHistory keeps the most recent scores for observability
 	// (Stream.Scores). 0 disables recording.
 	ScoreHistory int
+	// EagerClone restores the pre-COW behaviour: every per-stream
+	// detector clone (deployment, round snapshot, rehydration) is a full
+	// deep copy instead of a lazy copy-on-write alias of the backbone.
+	// Scoring is bit-identical either way; eager cloning exists as the
+	// reference arm for the memory benchmarks and as an escape hatch. Not
+	// part of the checkpoint config pin — a checkpoint taken under either
+	// mode restores under the other.
+	EagerClone bool
 }
 
 // DefaultStreamConfig returns the experiment suite's per-stream settings:
@@ -135,6 +145,24 @@ type Stream struct {
 	created     int
 	scores      []float64
 	lastErr     error
+
+	// mem, when set, receives this stream's resident-bytes breakdown
+	// after every state change (see Server memory budget).
+	mem *flops.MemLedger
+	// Spill support: an evicted stream checkpoints its heavy state to
+	// spillPath under spillDir and rebuilds it lazily — bit-exactly, via
+	// the warm-restart path — at the next frame. rebuild re-clones the
+	// shared backbone.
+	spillDir  string
+	rebuild   func() (*core.Detector, error)
+	evicted   bool
+	spillPath string
+	evictions int
+	// spilledPending records that the spill file carries a completed-but-
+	// unswapped adaptation round, so Sync knows an evicted stream still
+	// has a round to settle (rehydrate + join) — otherwise drain-time
+	// stats would miss rounds on evicted streams but not on resident ones.
+	spilledPending bool
 }
 
 // pendingRound is one in-flight background adaptation.
@@ -194,13 +222,194 @@ func NewStream(id int, det *core.Detector, cfg StreamConfig, src rand.Source, sh
 // ID returns the stream's id.
 func (st *Stream) ID() int { return st.id }
 
-// Detector returns the stream's live per-stream detector state. While a
-// background round is in flight the adapter is mutating it; use
-// Server.Do (or call Sync first) before reading token banks or graphs.
-func (st *Stream) Detector() *core.Detector { return st.det }
+// Detector returns the stream's live per-stream detector state,
+// rehydrating it first if the stream was evicted (nil if rehydration
+// fails; the error is retained on Err). While a background round is in
+// flight the adapter is mutating it; use Server.Do (or call Sync first)
+// before reading token banks or graphs.
+func (st *Stream) Detector() *core.Detector {
+	if st.evicted {
+		if err := st.EnsureResident(); err != nil {
+			st.lastErr = err
+			return nil
+		}
+	}
+	return st.det
+}
 
-// Monitor returns the stream's score monitor.
-func (st *Stream) Monitor() *core.Monitor { return st.mon }
+// Monitor returns the stream's score monitor, rehydrating an evicted
+// stream first (nil if rehydration fails; the error is retained on Err).
+func (st *Stream) Monitor() *core.Monitor {
+	if st.evicted {
+		if err := st.EnsureResident(); err != nil {
+			st.lastErr = err
+			return nil
+		}
+	}
+	return st.mon
+}
+
+// SetMemLedger registers the process-wide memory ledger this stream
+// reports its resident-bytes breakdown to after every settled state
+// change. Call before the first frame.
+func (st *Stream) SetMemLedger(l *flops.MemLedger) {
+	st.mem = l
+	st.updateMem()
+}
+
+// EnableSpill arms eviction: the stream may be asked (Evict) to
+// checkpoint its heavy state into dir and release it, rebuilding
+// bit-exactly at the next frame. rebuild must return a fresh per-stream
+// clone of the same backbone the stream was deployed over.
+func (st *Stream) EnableSpill(dir string, rebuild func() (*core.Detector, error)) {
+	st.spillDir = dir
+	st.rebuild = rebuild
+}
+
+// Evicted reports whether the stream's heavy state is currently spilled.
+func (st *Stream) Evicted() bool { return st.evicted }
+
+// clone copies the live detector for a scoring snapshot or a pending-round
+// restore, in the stream's configured clone mode: lazy copy-on-write by
+// default, full deep copy under EagerClone.
+func (st *Stream) clone() (*core.Detector, error) {
+	if st.cfg.EagerClone {
+		return st.det.CloneShared()
+	}
+	return st.det.CloneCOW()
+}
+
+// MemBreakdown computes the stream's current resident-bytes breakdown.
+// Zero while evicted. Like every Stream method it must not race the
+// processing goroutine.
+func (st *Stream) MemBreakdown() flops.MemBreakdown {
+	var b flops.MemBreakdown
+	if st.evicted {
+		return b
+	}
+	dm := st.det.Mem()
+	b.Banks, b.Graphs = dm.BankOwned, dm.GraphOwned
+	b.SharedBanks, b.SharedGraphs = dm.BankShared, dm.GraphShared
+	b.Monitor = st.mon.MemBytes()
+	if st.adapter != nil {
+		b.Adapter = st.adapter.MemBytes()
+	}
+	// len, not cap: append's growth schedule is an allocator detail that
+	// differs between an uninterrupted run and a checkpoint-restored one,
+	// and the resident figure must be resume-invariant like every other
+	// stat.
+	b.History = int64(len(st.scores)) * 8
+	if st.pending != nil && st.scoreDet != st.det {
+		// The round snapshot's privately-owned pages; pages it still
+		// shares with the live detector or the backbone are uncharged.
+		pm := st.scoreDet.Mem()
+		b.Pending = pm.Owned()
+	}
+	return b
+}
+
+// updateMem reports the current breakdown to the process ledger. Only
+// called from points where no background round is mutating the detector
+// (before dispatch, after join, after evict or rehydrate), because the
+// breakdown walks graph and bank storage.
+func (st *Stream) updateMem() {
+	if st.mem == nil {
+		return
+	}
+	st.mem.Update(st.id, st.MemBreakdown())
+}
+
+// Evict checkpoints the stream's heavy state (detector, monitor, adapter,
+// any pending round) to the spill directory and releases it, leaving only
+// counters, the score history and the FLOPs ledger resident, so Stats and
+// Scores stay cheap. The next frame — or any state accessor — rehydrates
+// bit-exactly through the warm-restart path, preserving a pending round's
+// swap schedule. No-op when already evicted.
+func (st *Stream) Evict() error {
+	if st.evicted {
+		return nil
+	}
+	if st.spillDir == "" || st.rebuild == nil {
+		return fmt.Errorf("serve: stream %d has no spill directory configured", st.id)
+	}
+	ss, err := st.Export()
+	if err != nil {
+		return fmt.Errorf("serve: evict stream %d: %w", st.id, err)
+	}
+	cp := snapshot.New(1)
+	cp.Streams[0] = *ss
+	path := filepath.Join(st.spillDir, fmt.Sprintf("stream-%d.spill.json", st.id))
+	if err := snapshot.Save(path, cp); err != nil {
+		return fmt.Errorf("serve: evict stream %d: %w", st.id, err)
+	}
+	st.det, st.scoreDet, st.adapter, st.mon, st.pending = nil, nil, nil, nil, nil
+	st.evicted = true
+	st.spillPath = path
+	st.spilledPending = ss.Pending != nil
+	st.evictions++
+	st.updateMem()
+	return nil
+}
+
+// materialize rebuilds an evicted stream's containers over a fresh
+// backbone clone, mirroring NewStream. The caller restores checkpointed
+// state on top; any randomness consumed during construction is overwritten
+// by the checkpoint's recorded RNG state, so rehydration is bit-exact.
+func (st *Stream) materialize() error {
+	det, err := st.rebuild()
+	if err != nil {
+		return fmt.Errorf("serve: rehydrate stream %d: %w", st.id, err)
+	}
+	var mon *core.Monitor
+	if st.cfg.AnchoredReference {
+		mon, err = core.NewAnchoredMonitor(st.cfg.MonitorN)
+	} else {
+		mon, err = core.NewMonitor(st.cfg.MonitorN, st.cfg.MonitorLag)
+	}
+	if err != nil {
+		return fmt.Errorf("serve: rehydrate stream %d: %w", st.id, err)
+	}
+	st.det, st.mon, st.scoreDet = det, mon, det
+	if st.cfg.AdaptEveryFrames > 0 {
+		adapter, err := core.NewAdapter(det, st.cfg.Adapt, rand.New(st.src))
+		if err != nil {
+			st.det, st.mon, st.scoreDet = nil, nil, nil
+			return fmt.Errorf("serve: rehydrate stream %d: %w", st.id, err)
+		}
+		st.adapter = adapter
+	} else {
+		det.Deploy()
+	}
+	st.evicted = false
+	st.spilledPending = false
+	return nil
+}
+
+// EnsureResident rehydrates an evicted stream from its spill file. No-op
+// when resident. On failure the stream keeps the error; scoring surfaces
+// it on the next Result.
+func (st *Stream) EnsureResident() error {
+	if !st.evicted {
+		return nil
+	}
+	if err := st.materialize(); err != nil {
+		return err
+	}
+	cp, err := snapshot.Load(st.spillPath)
+	if err != nil {
+		return fmt.Errorf("serve: rehydrate stream %d: %w", st.id, err)
+	}
+	if len(cp.Streams) != 1 {
+		return fmt.Errorf("serve: rehydrate stream %d: spill file has %d streams", st.id, len(cp.Streams))
+	}
+	if err := st.Restore(&cp.Streams[0]); err != nil {
+		return fmt.Errorf("serve: rehydrate stream %d: %w", st.id, err)
+	}
+	os.Remove(st.spillPath)
+	st.spillPath = ""
+	st.updateMem()
+	return nil
+}
 
 // Adaptive reports whether this stream runs the adaptation loop.
 func (st *Stream) Adaptive() bool { return st.adapter != nil }
@@ -241,6 +450,14 @@ func (st *Stream) meter(phase string, fn func()) {
 func (st *Stream) Process(pix *tensor.Tensor) Result {
 	res := Result{Stream: st.id, Seq: st.frames}
 
+	if st.evicted {
+		if err := st.EnsureResident(); err != nil {
+			st.lastErr = err
+			res.Err = err
+			return res
+		}
+	}
+
 	// A finished-or-due round becomes visible before this frame is scored:
 	// the swap point is frame-count-defined, so the trajectory does not
 	// depend on how fast the background round actually ran.
@@ -278,9 +495,11 @@ func (st *Stream) Process(pix *tensor.Tensor) Result {
 			if err != nil {
 				st.lastErr = fmt.Errorf("serve: adaptation round: %w", err)
 				res.Err = st.lastErr
+				st.updateMem()
 				return res
 			}
 			st.account(rep)
+			st.updateMem()
 			return res
 		}
 		// An overdue round (lag ≥ cadence, or a slow consumer) joins
@@ -294,6 +513,15 @@ func (st *Stream) Process(pix *tensor.Tensor) Result {
 		}
 		st.begin()
 	}
+	if st.pending == nil && st.mem != nil && st.mem.Budget() > 0 {
+		// The eviction policy needs fresh totals after every frame, but
+		// the breakdown walks graph and bank storage — unbudgeted servers
+		// refresh only at the rarer settled points (attach, round
+		// dispatch/join, evict, rehydrate) and Stats computes on demand.
+		// While a round is in flight the ledger keeps the pre-round
+		// figures — the adapter is mutating the detector concurrently.
+		st.updateMem()
+	}
 	return res
 }
 
@@ -305,13 +533,16 @@ func (st *Stream) Process(pix *tensor.Tensor) Result {
 func (st *Stream) begin() {
 	p := &pendingRound{swapFrame: st.frames + st.cfg.AdaptLagFrames}
 	st.pending = p
-	snap, err := st.det.CloneShared()
+	snap, err := st.clone()
 	if err != nil {
 		p.err = fmt.Errorf("snapshot: %w", err)
 		return
 	}
 	monSnap := st.mon.Clone()
 	st.scoreDet = snap
+	// Account before dispatch: once the round is running the adapter owns
+	// the detector and the breakdown cannot be read safely.
+	st.updateMem()
 	p.g.Go(func() {
 		st.meter(PhaseAdaptation, func() {
 			p.rep, p.err = st.adapter.Step(monSnap)
@@ -350,9 +581,20 @@ func (st *Stream) account(rep core.AdaptReport) {
 }
 
 // Sync joins any in-flight adaptation round regardless of its swap frame,
-// so the stream's detector state is settled. It returns the joined
-// round's error, if any.
+// so the stream's detector state is settled. An evicted stream whose
+// spill file carries a completed-but-unswapped round rehydrates first —
+// settling must account that round exactly as it would on a resident
+// stream. It returns the joined round's error, if any.
 func (st *Stream) Sync() error {
+	if st.evicted {
+		if !st.spilledPending {
+			return nil
+		}
+		if err := st.EnsureResident(); err != nil {
+			st.lastErr = err
+			return err
+		}
+	}
 	if st.pending == nil {
 		return nil
 	}
@@ -374,6 +616,10 @@ type Stats struct {
 	// EnergyPerAdaptJ and AdaptLatencyS follow from the device profile.
 	EnergyPerAdaptJ float64
 	AdaptLatencyS   float64
+	// ResidentBytes is the memory charged to the stream (zero while its
+	// state is spilled); Evictions counts spill round-trips.
+	ResidentBytes int64
+	Evictions     int
 }
 
 // configPin summarises the stream's configuration for checkpoint
@@ -402,6 +648,11 @@ func (st *Stream) configPin() snapshot.ConfigPin {
 // exact trajectory of an uninterrupted run — the round still lands at its
 // configured AdaptLagFrames offset.
 func (st *Stream) Export() (*snapshot.StreamState, error) {
+	if st.evicted {
+		if err := st.EnsureResident(); err != nil {
+			return nil, err
+		}
+	}
 	src, ok := st.src.(*rng.Source)
 	if !ok {
 		return nil, fmt.Errorf("serve: stream %d was built over a %T random source; checkpointing requires *rng.Source", st.id, st.src)
@@ -464,6 +715,17 @@ func (st *Stream) Restore(ss *snapshot.StreamState) error {
 	if pin := st.configPin(); pin != ss.Config {
 		return fmt.Errorf("serve: stream %d config %+v does not match checkpoint config %+v", st.id, pin, ss.Config)
 	}
+	if st.evicted {
+		// The checkpoint replaces the spilled state wholesale: rebuild the
+		// containers but skip loading the spill file.
+		if err := st.materialize(); err != nil {
+			return err
+		}
+		if st.spillPath != "" {
+			os.Remove(st.spillPath)
+			st.spillPath = ""
+		}
+	}
 	if st.adapter == nil && ss.Adapter != nil {
 		return fmt.Errorf("serve: stream %d is static but checkpoint carries adapter state", st.id)
 	}
@@ -519,7 +781,7 @@ func (st *Stream) Restore(ss *snapshot.StreamState) error {
 		// snapshot (its effect is in the restored live detector); scoring
 		// continues on the recorded pre-round state until the swap frame,
 		// where the regular join path delivers the recorded report.
-		snap, err := st.det.CloneShared()
+		snap, err := st.clone()
 		if err != nil {
 			return fmt.Errorf("serve: stream %d pending round: %w", st.id, err)
 		}
@@ -533,6 +795,9 @@ func (st *Stream) Restore(ss *snapshot.StreamState) error {
 		st.scoreDet = snap
 		st.pending = p
 	}
+	// A restored pending round has no live goroutine mutating the
+	// detector, so the breakdown is safe to read here.
+	st.updateMem()
 	return nil
 }
 
@@ -549,6 +814,8 @@ func (st *Stream) Stats() Stats {
 		CreatedNodes:    st.created,
 		ScoringOps:      st.ledger.PhaseOps(PhaseScoring),
 		AdaptOps:        st.ledger.PhaseOps(PhaseAdaptation),
+		ResidentBytes:   st.MemBreakdown().Resident(),
+		Evictions:       st.evictions,
 	}
 	if st.adaptRounds > 0 {
 		s.AdaptOpsPerRound = s.AdaptOps / int64(st.adaptRounds)
