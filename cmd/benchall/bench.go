@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"testing"
@@ -14,8 +17,10 @@ import (
 	"edgekg/internal/dataset"
 	"edgekg/internal/experiments"
 	"edgekg/internal/flops"
+	"edgekg/internal/netserve"
 	"edgekg/internal/parallel"
 	"edgekg/internal/serve"
+	"edgekg/internal/shard"
 	"edgekg/internal/tensor"
 )
 
@@ -42,6 +47,14 @@ type benchResult struct {
 	// for the same deployment (GC-settled delta; noisier than the ledger
 	// figure but ledger-independent).
 	HeapBytesPerStream int64 `json:"heap_bytes_per_stream,omitempty"`
+	// Fleet figures (NetServe bench only): end-to-end per-frame latency
+	// percentiles through the HTTP API and shard router, fleet
+	// throughput, and how many submits admission control shed.
+	ThroughputFPS float64 `json:"throughput_fps,omitempty"`
+	P50Ms         float64 `json:"p50_ms,omitempty"`
+	P99Ms         float64 `json:"p99_ms,omitempty"`
+	P999Ms        float64 `json:"p999_ms,omitempty"`
+	Shed          int64   `json:"shed,omitempty"`
 }
 
 // benchReport is the BENCH_<n>.json schema.
@@ -333,6 +346,88 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 				return err
 			}
 		}
+	}
+
+	// The networked serving tier end to end: a 2-shard fleet (two
+	// serve.Servers behind the HTTP/JSON API on loopback TCP) driven
+	// through the shard router by the closed-loop load generator — 8
+	// camera streams submitting concurrently, scoring only. One run is
+	// the measurement (percentiles need the whole latency population,
+	// not a timing loop): per-frame latency through HTTP round trip +
+	// scoring, and fleet throughput.
+	netServeBench := func() error {
+		const nshards, nkeys = 2, 8
+		nframes := 128
+		if smoke {
+			nframes = 8
+		}
+		var cleanup []func()
+		defer func() {
+			for _, f := range cleanup {
+				f()
+			}
+		}()
+		backends := make([]shard.Backend, nshards)
+		for s := 0; s < nshards; s++ {
+			scfg := serve.DefaultConfig()
+			scfg.Stream.AdaptEveryFrames = 0
+			scfg.Unmetered = true
+			srv, err := serve.NewServer(serveDet, nkeys, scfg)
+			if err != nil {
+				return fmt.Errorf("NetServe shard %d: %w", s, err)
+			}
+			cleanup = append(cleanup, srv.Shutdown)
+			h, err := netserve.NewHandler(srv, netserve.Options{FrameSize: env.Space.PixDim()})
+			if err != nil {
+				return fmt.Errorf("NetServe shard %d: %w", s, err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fmt.Errorf("NetServe shard %d: %w", s, err)
+			}
+			hs := &http.Server{Handler: h}
+			go hs.Serve(ln)
+			cleanup = append(cleanup, func() { hs.Close() })
+			backends[s] = shard.NetBackend(netserve.NewClient("http://"+ln.Addr().String()), nkeys)
+		}
+		router, err := shard.New(backends, shard.Config{})
+		if err != nil {
+			return err
+		}
+		keys := make([]string, nkeys)
+		schedules := make(map[string][][]float64, nkeys)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("cam-%d", i)
+			sched := make([][]float64, nframes)
+			for j := range sched {
+				sched[j] = env.Gen.Frame(rng, concept.Robbery).Data()
+			}
+			schedules[keys[i]] = sched
+		}
+		rep, err := shard.Run(context.Background(), router, shard.Scenario{
+			Keys:   keys,
+			Frames: nframes,
+			Frame:  func(key string, seq int) []float64 { return schedules[key][seq] },
+		})
+		if err != nil {
+			return fmt.Errorf("NetServe run: %w", err)
+		}
+		name := fmt.Sprintf("NetServe%dx%d", nshards, nkeys)
+		report.Results = append(report.Results, benchResult{
+			Name:          name,
+			Iterations:    rep.OK,
+			ThroughputFPS: rep.Throughput,
+			P50Ms:         rep.P50Ms,
+			P99Ms:         rep.P99Ms,
+			P999Ms:        rep.P999Ms,
+			Shed:          int64(rep.Shed),
+		})
+		fmt.Printf("%-20s %12.0f frames/s p50=%.2fms p99=%.2fms p999=%.2fms (%d frames, shed %d)\n",
+			name, rep.Throughput, rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.OK, rep.Shed)
+		return nil
+	}
+	if err := netServeBench(); err != nil {
+		return err
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")

@@ -7,20 +7,22 @@
 // frame and video scoring, batched temporal forward, train steps —
 // single-clip, 4-clip sequential accumulation and 4-clip data-parallel —
 // adaptation steps, single-tape and sharded, the multi-stream serving
-// tick at 1/4/8 cameras, and the stream memory-density comparison —
+// tick at 1/4/8 cameras, the stream memory-density comparison —
 // copy-on-write versus eager per-stream clones at 8/64 cameras, reporting
-// ledger and heap bytes per stream) and emits a machine-readable JSON
-// report (-json, default BENCH_6.json) recording
-// ns/op, allocs/op, bytes/op and FLOPs per operation, so successive PRs
-// have a comparable performance trajectory. -smoke runs each benchmark
-// body once without the timing loop, which is how CI keeps the bench code
-// from rotting.
+// ledger and heap bytes per stream — and the networked serving tier end
+// to end: 8 camera streams over a 2-shard fleet behind the HTTP API,
+// reporting fleet throughput and p50/p99/p999 per-frame latency) and
+// emits a machine-readable JSON report (-json, default BENCH_7.json)
+// recording ns/op, allocs/op, bytes/op and FLOPs per operation, so
+// successive PRs have a comparable performance trajectory. -smoke runs
+// each benchmark body once without the timing loop, which is how CI
+// keeps the bench code from rotting.
 //
 // Usage:
 //
 //	benchall -exp all -scale quick
 //	benchall -exp fig5b -scale full -csv out/
-//	benchall -exp bench -json BENCH_6.json
+//	benchall -exp bench -json BENCH_7.json
 //	benchall -exp bench -smoke -json /tmp/bench-smoke.json
 package main
 
@@ -42,7 +44,7 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: fig5a1 | fig5a2 | fig5b | fig6 | table1 | bench | all")
 		scale    = flag.String("scale", "quick", "preset sizing: quick | full")
 		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
-		jsonPath = flag.String("json", "BENCH_6.json", "micro-benchmark JSON report path (empty disables)")
+		jsonPath = flag.String("json", "BENCH_7.json", "micro-benchmark JSON report path (empty disables)")
 		smoke    = flag.Bool("smoke", false, "bench smoke mode: run each benchmark body once, no timing loop (CI)")
 	)
 	flag.Parse()

@@ -1,0 +1,281 @@
+// Command loadgen drives a fleet of cmd/serve -listen workers through the
+// shard router: it synthesises per-camera frame schedules with the same
+// seed derivation cmd/serve's self-driving mode uses, hashes the camera
+// keys across the workers, and submits frames either open-loop (a fixed
+// arrival rate per camera, with optional bursts — latency is measured
+// from each frame's scheduled arrival, so queueing delay counts and
+// coordinated omission does not hide overload) or closed-loop (-rate 0:
+// lockstep submit/receive, nothing shed — the mode deterministic
+// continuity checks use).
+//
+// A run can migrate one camera between shards mid-stream via the
+// checkpoint path (-migrate key@frame:shard); with -out the per-camera
+// score traces land in a JSON report, and -expect compares a later run's
+// traces against such a report bit-exactly — which is how CI asserts that
+// a migrated stream's trajectory is identical to one that never moved.
+//
+// Usage:
+//
+//	loadgen -workers http://127.0.0.1:9701,http://127.0.0.1:9702 \
+//	        -streams 8 -frames 48 -out baseline.json
+//	loadgen -workers ... -streams 8 -frames 48 \
+//	        -migrate cam-0@17:1 -expect baseline.json -shutdown
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"edgekg"
+	"edgekg/internal/netserve"
+	"edgekg/internal/shard"
+)
+
+// report is the JSON artifact a run writes with -out and checks with
+// -expect.
+type report struct {
+	Workers       int                  `json:"workers"`
+	Streams       int                  `json:"streams"`
+	Frames        int                  `json:"frames"`
+	Sent          int                  `json:"sent"`
+	OK            int                  `json:"ok"`
+	Shed          int                  `json:"shed"`
+	Failed        int                  `json:"failed"`
+	ElapsedS      float64              `json:"elapsed_s"`
+	ThroughputFPS float64              `json:"throughput_fps"`
+	P50Ms         float64              `json:"p50_ms"`
+	P99Ms         float64              `json:"p99_ms"`
+	P999Ms        float64              `json:"p999_ms"`
+	MaxMs         float64              `json:"max_ms"`
+	Traces        map[string][]float64 `json:"traces,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		workers     = flag.String("workers", "http://127.0.0.1:9701", "comma-separated worker base URLs (one per shard)")
+		streams     = flag.Int("streams", 8, "camera stream count across the fleet")
+		frames      = flag.Int("frames", 48, "frames per camera")
+		rate        = flag.Float64("rate", 0, "open-loop arrival rate per camera in frames/s (0 = closed-loop lockstep)")
+		burstEvery  = flag.Int("burst-every", 0, "every Nth open-loop arrival starts a burst (0 disables)")
+		burstSize   = flag.Int("burst-size", 0, "arrivals sharing the burst instant")
+		initial     = flag.String("initial", "Stealing", "anomaly class every camera starts on")
+		shifted     = flag.String("shifted", "Robbery", "anomaly class cameras drift to")
+		driftAt     = flag.Int("drift-at", 16, "frame index at which camera 0's trend shifts")
+		stagger     = flag.Int("stagger", 8, "extra drift delay per camera index")
+		anomalyRate = flag.Float64("anomaly-rate", 0.5, "anomaly rate of each camera")
+		seed        = flag.Int64("seed", 42, "seed (must match the workers' -seed for comparable runs)")
+		migrate     = flag.String("migrate", "", "migrate one camera mid-run: key@frame:toshard (e.g. cam-0@17:1)")
+		maxInflight = flag.Int("max-inflight", 0, "router admission bound per shard (0 = 2× the shard's slots)")
+		out         = flag.String("out", "", "write the run report (counters, latency percentiles, score traces) to this JSON file")
+		expect      = flag.String("expect", "", "compare this run's score traces bit-exactly against a previous -out report")
+		wait        = flag.Duration("wait", 120*time.Second, "how long to wait for every worker to become ready")
+		checkpoint  = flag.Bool("checkpoint", false, "ask every worker for a full-deployment checkpoint after the run")
+		shutdown    = flag.Bool("shutdown", false, "ask every worker to shut down after the run")
+	)
+	flag.Parse()
+
+	switch {
+	case *streams < 1:
+		log.Fatalf("-streams %d: camera count must be ≥1", *streams)
+	case *frames < 1:
+		log.Fatalf("-frames %d: frame count must be ≥1", *frames)
+	case *anomalyRate < 0 || *anomalyRate > 1:
+		log.Fatalf("-anomaly-rate %v: must be in [0,1]", *anomalyRate)
+	case *expect != "" && *rate > 0:
+		log.Fatal("-expect needs a closed-loop run (-rate 0): open-loop sheds leave trace gaps")
+	}
+
+	// Connect the fleet: every worker must be up and agree on the frame
+	// size before any load flows.
+	urls := strings.Split(*workers, ",")
+	ctx := context.Background()
+	backends := make([]shard.Backend, len(urls))
+	slots := 0
+	for i, u := range urls {
+		c := netserve.NewClient(strings.TrimSpace(u))
+		wctx, cancel := context.WithTimeout(ctx, *wait)
+		h, err := c.WaitReady(wctx)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		backends[i] = shard.NetBackend(c, h.Streams)
+		slots += h.Streams
+		fmt.Printf("shard %d: %s (%d slots, frame size %d)\n", i, u, h.Streams, h.FrameSize)
+	}
+	if *streams > slots {
+		log.Fatalf("-streams %d exceeds the fleet's %d slots", *streams, slots)
+	}
+	router, err := shard.New(backends, shard.Config{MaxInflight: *maxInflight})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesise each camera's schedule with the derivation cmd/serve's
+	// self-driving mode uses: per-camera seeds, drift at driftAt+i·stagger.
+	sys, err := edgekg.NewSystem(edgekg.Options{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys := make([]string, *streams)
+	schedules := make(map[string][][]float64, *streams)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cam-%d", i)
+		shift := *driftAt + i**stagger
+		if shift > *frames {
+			shift = *frames
+		}
+		pre, err := sys.NextStreamFramesSeeded(*initial, shift, *anomalyRate, *seed+1000+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		post, err := sys.NextStreamFramesSeeded(*shifted, *frames-shift, *anomalyRate, *seed+2000+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched := make([][]float64, 0, *frames)
+		for _, f := range pre {
+			sched = append(sched, f.Frame)
+		}
+		for _, f := range post {
+			sched = append(sched, f.Frame)
+		}
+		schedules[keys[i]] = sched
+	}
+
+	sc := shard.Scenario{
+		Keys:       keys,
+		Frames:     *frames,
+		Rate:       *rate,
+		BurstEvery: *burstEvery,
+		BurstSize:  *burstSize,
+		Frame:      func(key string, seq int) []float64 { return schedules[key][seq] },
+	}
+	if *migrate != "" {
+		key, at, to, err := parseMigrate(*migrate)
+		if err != nil {
+			log.Fatalf("-migrate %q: %v", *migrate, err)
+		}
+		if to < 0 || to >= len(backends) {
+			log.Fatalf("-migrate %q: fleet has %d shards", *migrate, len(backends))
+		}
+		sc.MigrateKey, sc.MigrateAt, sc.MigrateTo = key, at, to
+		fmt.Printf("will migrate %s to shard %d before its frame %d\n", key, to, at)
+	}
+
+	rep, err := shard.Run(ctx, router, sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- %d cameras × %d frames over %d shards in %.2fs ---\n",
+		*streams, *frames, len(backends), rep.Elapsed.Seconds())
+	fmt.Printf("sent=%d ok=%d shed=%d failed=%d throughput=%.0f frames/s\n",
+		rep.Sent, rep.OK, rep.Shed, rep.Failed, rep.Throughput)
+	fmt.Printf("latency from scheduled arrival: p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms\n",
+		rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MaxMs)
+
+	full := report{
+		Workers: len(backends), Streams: *streams, Frames: *frames,
+		Sent: rep.Sent, OK: rep.OK, Shed: rep.Shed, Failed: rep.Failed,
+		ElapsedS: rep.Elapsed.Seconds(), ThroughputFPS: rep.Throughput,
+		P50Ms: rep.P50Ms, P99Ms: rep.P99Ms, P999Ms: rep.P999Ms, MaxMs: rep.MaxMs,
+		Traces: rep.Traces,
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(full, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if *expect != "" {
+		if err := compareTraces(*expect, rep.Traces); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traces match %s bit-exactly (%d cameras)\n", *expect, len(rep.Traces))
+	}
+	if *checkpoint {
+		for i := range backends {
+			path, err := router.Backend(i).(interface {
+				Checkpoint(context.Context) (string, error)
+			}).Checkpoint(ctx)
+			if err != nil {
+				log.Fatalf("shard %d checkpoint: %v", i, err)
+			}
+			fmt.Printf("shard %d checkpointed to %s\n", i, path)
+		}
+	}
+	if *shutdown {
+		for i := range backends {
+			if err := router.Backend(i).(interface{ Shutdown(context.Context) error }).Shutdown(ctx); err != nil {
+				log.Fatalf("shard %d shutdown: %v", i, err)
+			}
+		}
+		fmt.Println("fleet shut down")
+	}
+}
+
+// parseMigrate reads "key@frame:toshard".
+func parseMigrate(s string) (key string, at, to int, err error) {
+	atIdx := strings.LastIndex(s, "@")
+	colIdx := strings.LastIndex(s, ":")
+	if atIdx < 1 || colIdx < atIdx+2 || colIdx == len(s)-1 {
+		return "", 0, 0, fmt.Errorf("want key@frame:toshard")
+	}
+	key = s[:atIdx]
+	at, err = strconv.Atoi(s[atIdx+1 : colIdx])
+	if err != nil || at < 0 {
+		return "", 0, 0, fmt.Errorf("bad frame index %q", s[atIdx+1:colIdx])
+	}
+	to, err = strconv.Atoi(s[colIdx+1:])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("bad shard index %q", s[colIdx+1:])
+	}
+	return key, at, to, nil
+}
+
+// compareTraces checks this run's score traces against a previous report
+// bit-exactly: same cameras, same lengths, identical float bits.
+func compareTraces(path string, got map[string][]float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want report
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(want.Traces) == 0 {
+		return fmt.Errorf("%s has no traces (was it a closed-loop -out run?)", path)
+	}
+	if len(got) != len(want.Traces) {
+		return fmt.Errorf("this run has %d traces, %s has %d", len(got), path, len(want.Traces))
+	}
+	for key, w := range want.Traces {
+		g, ok := got[key]
+		if !ok {
+			return fmt.Errorf("camera %q missing from this run", key)
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("camera %q: %d frames vs %d in %s", key, len(g), len(w), path)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				return fmt.Errorf("camera %q frame %d: score %v differs from %v in %s — the migrated trajectory diverged", key, i, g[i], w[i], path)
+			}
+		}
+	}
+	return nil
+}

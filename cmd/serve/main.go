@@ -58,6 +58,8 @@ func main() {
 		memBudget  = flag.String("mem-budget", "", "per-process resident-memory budget, e.g. 64K, 2M, 1G (empty disables eviction)")
 		spillDir   = flag.String("spill-dir", "", "directory for evicted-stream spill files (default: a temp dir when -mem-budget is set)")
 		eagerClone = flag.Bool("eager-clone", false, "deep-copy per-stream state at deployment instead of copy-on-write sharing")
+		listen     = flag.String("listen", "", "serve the HTTP/JSON API on this address (e.g. 127.0.0.1:9701) instead of self-driving synthetic cameras; cmd/loadgen is the driver")
+		maxPending = flag.Int("max-pending", 8, "with -listen: frame submits queued per stream slot before shedding with 429")
 	)
 	flag.Parse()
 
@@ -106,6 +108,8 @@ func main() {
 		log.Fatalf("-checkpoint-every %d: checkpoint cadence must be ≥1", *ckptEvery)
 	case *resume && *ckptDir == "":
 		log.Fatal("-resume requires -checkpoint-dir")
+	case *maxPending < 1:
+		log.Fatalf("-max-pending %d: must be ≥1", *maxPending)
 	}
 	if *adaptEvery > 0 && *adaptLag >= *adaptEvery {
 		// Supported (the engine force-joins an overdue round at the next
@@ -159,31 +163,10 @@ func main() {
 	// of (class, seed) and a longer -frames target extends a shorter one
 	// frame-for-frame, which is what lets -resume replay the exact frames
 	// the checkpointed run served and continue past them.
-	fmt.Printf("synthesising %d streams × %d frames (drift at %d + %d·i)...\n", *streams, *frames, *driftAt, *stagger)
-	schedules := make([][][]float64, *streams)
-	for i := range schedules {
-		shift := *driftAt + i**stagger
-		if shift > *frames {
-			shift = *frames
-		}
-		pre, err := sys.NextStreamFramesSeeded(*initial, shift, *rate, *seed+1000+int64(i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		post, err := sys.NextStreamFramesSeeded(*shifted, *frames-shift, *rate, *seed+2000+int64(i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		sched := make([][]float64, 0, *frames)
-		for _, f := range pre {
-			sched = append(sched, f.Frame)
-		}
-		for _, f := range post {
-			sched = append(sched, f.Frame)
-		}
-		schedules[i] = sched
+	var schedules [][][]float64
+	if *listen == "" {
+		schedules = synthSchedules(sys, *streams, *frames, *rate, *initial, *shifted, *driftAt, *stagger, *seed)
 	}
-
 	srv, err := sys.Serve(edgekg.ServeOptions{
 		Streams:          *streams,
 		Adaptive:         *adaptEvery > 0,
@@ -256,6 +239,28 @@ func main() {
 		}()
 	}
 
+	// Networked mode: expose the HTTP/JSON API and let remote drivers
+	// (cmd/loadgen, a shard router) submit frames, poll stats, trigger
+	// checkpoints and migrate streams. Blocks until a client POSTs
+	// /v1/shutdown; there is no fixed frame target, so the final dump
+	// reports whatever the drivers pushed.
+	if *listen != "" {
+		err := srv.NetListen(*listen, edgekg.NetServeOptions{
+			MaxPending:     *maxPending,
+			CheckpointPath: ckptPath,
+			Ready:          func(addr string) { fmt.Printf("listening on %s (%d streams)\n", addr, *streams) },
+		})
+		close(stopStats)
+		statsWG.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- shutdown after %.2fs ---\n", time.Since(start).Seconds())
+		dumpStats(srv, *streams)
+		srv.Close()
+		return
+	}
+
 	// Serve in synchronized segments of -checkpoint-every frames: all
 	// cameras run a segment concurrently, then (when checkpointing is on)
 	// the quiescent deployment is checkpointed before the next segment.
@@ -321,9 +326,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("stream %d: frames=%d rounds=%d triggered=%d pruned=%d created=%d scoringFLOPs=%.2e resident=%s evictions=%d AUC(%s)=%.4f\n",
+		fmt.Printf("stream %d: frames=%d rounds=%d triggered=%d pruned=%d created=%d scoringFLOPs=%.2e resident=%s evictions=%d AUC(%s)=%.4f%s\n",
 			i, st.Frames, st.AdaptRounds, st.TriggeredRounds, st.PrunedNodes, st.CreatedNodes,
-			float64(st.ScoringFLOPs), fmtBytes(st.ResidentBytes), st.Evictions, *shifted, auc)
+			float64(st.ScoringFLOPs), fmtBytes(st.ResidentBytes), st.Evictions, *shifted, auc, fmtLastErr(st.LastErr))
 		if st.Frames != *frames {
 			log.Fatalf("stream %d processed %d frames, want %d", i, st.Frames, *frames)
 		}
@@ -338,6 +343,76 @@ func main() {
 	} else {
 		fmt.Printf("memory: resident %s (unbudgeted)\n", fmtBytes(resident))
 	}
+}
+
+// synthSchedules synthesises every camera's frame schedule up front
+// (deterministic, and keeps the shared master RNG out of the camera
+// goroutines): the trend starts at initial and shifts to shifted at a
+// staggered per-stream frame index. Each segment draws from its own
+// per-stream seed — not the shared master RNG — so a schedule is a pure
+// function of (class, seed) and a longer frames target extends a shorter
+// one frame-for-frame, which is what lets -resume replay the exact frames
+// the checkpointed run served and continue past them. cmd/loadgen uses
+// the same derivation, so a networked run scores the same frames a
+// self-driving one does.
+func synthSchedules(sys *edgekg.System, streams, frames int, rate float64, initial, shifted string, driftAt, stagger int, seed int64) [][][]float64 {
+	fmt.Printf("synthesising %d streams × %d frames (drift at %d + %d·i)...\n", streams, frames, driftAt, stagger)
+	schedules := make([][][]float64, streams)
+	for i := range schedules {
+		shift := driftAt + i*stagger
+		if shift > frames {
+			shift = frames
+		}
+		pre, err := sys.NextStreamFramesSeeded(initial, shift, rate, seed+1000+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		post, err := sys.NextStreamFramesSeeded(shifted, frames-shift, rate, seed+2000+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched := make([][]float64, 0, frames)
+		for _, f := range pre {
+			sched = append(sched, f.Frame)
+		}
+		for _, f := range post {
+			sched = append(sched, f.Frame)
+		}
+		schedules[i] = sched
+	}
+	return schedules
+}
+
+// dumpStats prints the per-stream deployment statistics and the memory
+// report — the network-mode epilogue, with no fixed frame target to check
+// against and no AUC probe (the drivers own the trend schedule).
+func dumpStats(srv *edgekg.StreamServer, streams int) {
+	evictions := 0
+	for i := 0; i < streams; i++ {
+		st, err := srv.Stats(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stream %d: frames=%d rounds=%d triggered=%d pruned=%d created=%d scoringFLOPs=%.2e resident=%s evictions=%d%s\n",
+			i, st.Frames, st.AdaptRounds, st.TriggeredRounds, st.PrunedNodes, st.CreatedNodes,
+			float64(st.ScoringFLOPs), fmtBytes(st.ResidentBytes), st.Evictions, fmtLastErr(st.LastErr))
+		evictions += st.Evictions
+	}
+	resident, budget := srv.MemStats()
+	if budget > 0 {
+		fmt.Printf("memory: resident %s of %s budget, %d evictions\n", fmtBytes(resident), fmtBytes(budget), evictions)
+	} else {
+		fmt.Printf("memory: resident %s (unbudgeted)\n", fmtBytes(resident))
+	}
+}
+
+// fmtLastErr renders a stream's retained error for the stats dump: empty
+// when the stream never failed, loud when a background eviction did.
+func fmtLastErr(s string) string {
+	if s == "" {
+		return ""
+	}
+	return fmt.Sprintf(" lastErr=%q", s)
 }
 
 // parseBytes reads a byte count with an optional K/M/G binary suffix.

@@ -17,8 +17,12 @@
 package edgekg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"time"
 
 	"edgekg/internal/concept"
 	"edgekg/internal/core"
@@ -27,6 +31,7 @@ import (
 	"edgekg/internal/experiments"
 	"edgekg/internal/kg"
 	"edgekg/internal/kggen"
+	"edgekg/internal/netserve"
 	"edgekg/internal/retrieval"
 	"edgekg/internal/rng"
 	"edgekg/internal/serve"
@@ -342,6 +347,10 @@ type DeploymentStats struct {
 	// spill round-trips under a memory budget.
 	ResidentBytes int64
 	Evictions     int
+	// LastErr is the stream's most recent retained error (a failed
+	// background eviction or rehydration has no per-frame result to
+	// surface on, so it lands here); empty when everything succeeded.
+	LastErr string
 }
 
 // Stats returns the deployment statistics (zero value before deployment).
@@ -492,6 +501,7 @@ func (ss *StreamServer) Stats(stream int) (DeploymentStats, error) {
 		EnergyPerAdaptJ: st.EnergyPerAdaptJ,
 		ResidentBytes:   st.ResidentBytes,
 		Evictions:       st.Evictions,
+		LastErr:         st.LastErr,
 	}, nil
 }
 
@@ -579,6 +589,67 @@ func (ss *StreamServer) CloseStream(stream int) { ss.srv.CloseStream(stream) }
 // RecentScores and TestAUC remain usable afterwards (they run inline on
 // the drained streams); ProcessFrame does not.
 func (ss *StreamServer) Close() { ss.srv.Shutdown() }
+
+// NetServeOptions configures the networked serving tier in front of a
+// StreamServer (see internal/netserve for the API surface).
+type NetServeOptions struct {
+	// MaxPending bounds the frame submits queued per stream slot, the one
+	// being scored included; beyond it the worker sheds with HTTP 429.
+	// Defaults to 8.
+	MaxPending int
+	// BarrierTimeout bounds how long observer endpoints (stats, scores,
+	// export) wait for a busy stream's loop before answering 503.
+	// Defaults to 10s.
+	BarrierTimeout time.Duration
+	// CheckpointPath, when set, is where POST /v1/checkpoint writes the
+	// full-deployment checkpoint.
+	CheckpointPath string
+	// Ready, when set, receives the bound listen address (useful with
+	// ":0") just before the server starts accepting.
+	Ready func(addr string)
+}
+
+// NetListen exposes the deployment's HTTP/JSON serving API on addr: frame
+// submit, per-stream stats and scores, memory report, checkpoint and
+// evict triggers, and single-stream state export/restore — the unit of
+// checkpoint-based migration between worker processes. It blocks until a
+// client POSTs /v1/shutdown (in-flight requests finish), then returns;
+// the caller still owns Close. The deployment stays drivable locally
+// through ProcessFrame for slots the network side does not use, but one
+// slot must have a single driver — network or local, not both.
+func (ss *StreamServer) NetListen(addr string, opts NetServeOptions) error {
+	h, err := netserve.NewHandler(ss.srv, netserve.Options{
+		FrameSize:      ss.sys.FrameSize(),
+		MaxPending:     opts.MaxPending,
+		BarrierTimeout: opts.BarrierTimeout,
+		CheckpointPath: opts.CheckpointPath,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("edgekg: listen %s: %w", addr, err)
+	}
+	if opts.Ready != nil {
+		opts.Ready(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-h.ShutdownRequested():
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+		<-errc // always http.ErrServerClosed after Shutdown/Close
+		return nil
+	case err := <-errc:
+		return fmt.Errorf("edgekg: serving %s: %w", addr, err)
+	}
+}
 
 // GenerateKGOnly runs mission-specific KG generation without training and
 // returns the graph's JSON — what cmd/kggen prints.

@@ -1,0 +1,199 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrBusy reports a 429 from the worker: the target slot's submit queue
+// is full and the frame was shed. The shard router counts these as load
+// shedding rather than failures.
+var ErrBusy = errors.New("netserve: worker busy")
+
+// Client is the typed consumer of one worker's HTTP API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the worker at base (e.g.
+// "http://127.0.0.1:9701"). The underlying HTTP client has no request
+// timeout — frame submits queue behind a slot's scoring and adaptation;
+// per-call bounds come from the caller's context.
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// do issues one request and decodes the JSON reply into out (when out is
+// non-nil). Non-2xx replies decode the ErrorReply body; 429 maps to
+// ErrBusy.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return ErrBusy
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorReply
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("netserve: %s %s: %s", method, path, er.Error)
+		}
+		return fmt.Errorf("netserve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health probes the worker, returning its shape.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// WaitReady polls Health until the worker answers or the deadline lapses
+// — workers train their backbone before listening, so the first probe can
+// trail the process start by a while.
+func (c *Client) WaitReady(ctx context.Context) (Health, error) {
+	for {
+		probe, cancel := context.WithTimeout(ctx, 2*time.Second)
+		h, err := c.Health(probe)
+		cancel()
+		if err == nil && h.OK {
+			return h, nil
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+			return Health{}, fmt.Errorf("netserve: worker %s not ready: %w", c.base, err)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// SubmitFrame scores one frame on a slot, blocking until the result (or
+// ErrBusy when the slot's queue is full).
+func (c *Client) SubmitFrame(ctx context.Context, slot int, frame []float64) (FrameReply, error) {
+	var rep FrameReply
+	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/streams/%d/frames", slot), FrameRequest{Frame: frame}, &rep)
+	return rep, err
+}
+
+// Stats fetches one slot's statistics.
+func (c *Client) Stats(ctx context.Context, slot int) (StatsReply, error) {
+	var rep StatsReply
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/streams/%d/stats", slot), nil, &rep)
+	return rep, err
+}
+
+// Scores fetches one slot's retained score history.
+func (c *Client) Scores(ctx context.Context, slot int) ([]float64, error) {
+	var rep ScoresReply
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/streams/%d/scores", slot), nil, &rep)
+	return rep.Scores, err
+}
+
+// Evict spills one slot's heavy state to the worker's spill directory.
+func (c *Client) Evict(ctx context.Context, slot int) error {
+	return c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/streams/%d/evict", slot), nil, nil)
+}
+
+// ExportRaw captures one slot's complete adaptation state as the
+// snapshot JSON bytes — passed to RestoreRaw verbatim, so a migration
+// never re-encodes the state it moves.
+func (c *Client) ExportRaw(ctx context.Context, slot int) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/streams/%d/export", c.base, slot), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorReply
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("netserve: export slot %d: %s", slot, er.Error)
+		}
+		return nil, fmt.Errorf("netserve: export slot %d: HTTP %d", slot, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// RestoreRaw installs exported snapshot bytes into a slot.
+func (c *Client) RestoreRaw(ctx context.Context, slot int, state []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, fmt.Sprintf("%s/v1/streams/%d/restore", c.base, slot), bytes.NewReader(state))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er ErrorReply
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("netserve: restore slot %d: %s", slot, er.Error)
+		}
+		return fmt.Errorf("netserve: restore slot %d: HTTP %d", slot, resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Mem fetches the worker's memory report.
+func (c *Client) Mem(ctx context.Context) (MemReply, error) {
+	var rep MemReply
+	err := c.do(ctx, http.MethodGet, "/v1/mem", nil, &rep)
+	return rep, err
+}
+
+// Checkpoint asks the worker to write its full-deployment checkpoint,
+// returning the path it wrote.
+func (c *Client) Checkpoint(ctx context.Context) (string, error) {
+	var rep CheckpointReply
+	err := c.do(ctx, http.MethodPost, "/v1/checkpoint", nil, &rep)
+	return rep.Path, err
+}
+
+// Shutdown asks the worker process to drain and exit its serving loop.
+func (c *Client) Shutdown(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/shutdown", nil, nil)
+}

@@ -1,0 +1,349 @@
+// Package netserve puts a network boundary in front of the multi-stream
+// serving runtime: an HTTP/JSON API over serve.Server exposing frame
+// submit, score/result retrieval, per-stream and memory/ledger stats,
+// checkpoint and evict triggers, and single-stream state export/restore —
+// the unit of checkpoint-based migration between worker processes. The
+// sibling Client is the typed consumer; internal/shard builds the
+// many-process router on top of both.
+//
+// Frame submits are serialized per stream slot (one camera, one ordered
+// feed) behind a bounded gate: when more than MaxPending submits are
+// queued on one slot the handler sheds the excess with 429 instead of
+// queueing unboundedly — admission control at the worker. Observer
+// endpoints (stats, scores, export) run deadline-bound raw barriers on
+// the stream's loop, so they neither deadlock against a busy pipeline
+// (Server.DoContext) nor join an in-flight adaptation round early —
+// polling a live worker does not perturb any stream's trajectory.
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgekg/internal/serve"
+	"edgekg/internal/snapshot"
+	"edgekg/internal/tensor"
+)
+
+// Options configures a Handler.
+type Options struct {
+	// FrameSize is the expected raw frame-feature length (required).
+	FrameSize int
+	// MaxPending bounds the submits queued per stream slot, the one being
+	// scored included; beyond it the handler sheds with 429. Defaults
+	// to 8.
+	MaxPending int
+	// BarrierTimeout bounds how long an observer endpoint waits for a
+	// stream's loop to reach its barrier before giving up with 503.
+	// Defaults to 10s.
+	BarrierTimeout time.Duration
+	// CheckpointPath, when set, is where POST /v1/checkpoint writes the
+	// full-deployment checkpoint (the -checkpoint-dir wiring).
+	CheckpointPath string
+}
+
+// Handler serves the HTTP API over one serve.Server.
+type Handler struct {
+	srv  *serve.Server
+	opts Options
+	mux  *http.ServeMux
+	// gates[i] serializes slot i's submit+result round trips and counts
+	// the waiters the MaxPending admission bound applies to.
+	gates    []slotGate
+	results  []<-chan serve.Result
+	shutdown chan struct{}
+	shutOnce sync.Once
+}
+
+type slotGate struct {
+	mu      sync.Mutex
+	waiters int32
+}
+
+// NewHandler builds the API over srv. srv must outlive the handler; the
+// caller still owns Shutdown.
+func NewHandler(srv *serve.Server, opts Options) (*Handler, error) {
+	if opts.FrameSize < 1 {
+		return nil, fmt.Errorf("netserve: frame size %d must be ≥1", opts.FrameSize)
+	}
+	if opts.MaxPending < 1 {
+		opts.MaxPending = 8
+	}
+	if opts.BarrierTimeout <= 0 {
+		opts.BarrierTimeout = 10 * time.Second
+	}
+	h := &Handler{
+		srv:      srv,
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		gates:    make([]slotGate, srv.NumStreams()),
+		results:  make([]<-chan serve.Result, srv.NumStreams()),
+		shutdown: make(chan struct{}),
+	}
+	for i := 0; i < srv.NumStreams(); i++ {
+		ch, err := srv.Results(i)
+		if err != nil {
+			return nil, err
+		}
+		h.results[i] = ch
+	}
+	h.mux.HandleFunc("GET /healthz", h.handleHealth)
+	h.mux.HandleFunc("POST /v1/streams/{id}/frames", h.handleFrame)
+	h.mux.HandleFunc("GET /v1/streams/{id}/stats", h.handleStats)
+	h.mux.HandleFunc("GET /v1/streams/{id}/scores", h.handleScores)
+	h.mux.HandleFunc("POST /v1/streams/{id}/evict", h.handleEvict)
+	h.mux.HandleFunc("GET /v1/streams/{id}/export", h.handleExport)
+	h.mux.HandleFunc("POST /v1/streams/{id}/restore", h.handleRestore)
+	h.mux.HandleFunc("GET /v1/mem", h.handleMem)
+	h.mux.HandleFunc("POST /v1/checkpoint", h.handleCheckpoint)
+	h.mux.HandleFunc("POST /v1/shutdown", h.handleShutdown)
+	return h, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// ShutdownRequested is closed once a client POSTs /v1/shutdown; the
+// process embedding the handler stops its http.Server then.
+func (h *Handler) ShutdownRequested() <-chan struct{} { return h.shutdown }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// slot parses the {id} path value against the server's stream count.
+func (h *Handler) slot(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 || id >= h.srv.NumStreams() {
+		writeErr(w, http.StatusNotFound, "no stream %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{OK: true, Streams: h.srv.NumStreams(), FrameSize: h.opts.FrameSize})
+}
+
+func (h *Handler) handleFrame(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	var req FrameRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad frame request: %v", err)
+		return
+	}
+	if len(req.Frame) != h.opts.FrameSize {
+		writeErr(w, http.StatusBadRequest, "frame length %d, want %d", len(req.Frame), h.opts.FrameSize)
+		return
+	}
+	g := &h.gates[id]
+	if int(atomic.AddInt32(&g.waiters, 1)) > h.opts.MaxPending {
+		atomic.AddInt32(&g.waiters, -1)
+		writeErr(w, http.StatusTooManyRequests, "stream %d overloaded (%d submits pending)", id, h.opts.MaxPending)
+		return
+	}
+	defer atomic.AddInt32(&g.waiters, -1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pix := tensor.FromSlice(req.Frame, len(req.Frame))
+	if err := h.srv.Submit(id, pix); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	res, open := <-h.results[id]
+	if !open {
+		writeErr(w, http.StatusConflict, "stream %d closed", id)
+		return
+	}
+	rep := FrameReply{
+		Stream:       res.Stream,
+		Seq:          res.Seq,
+		Score:        res.Score,
+		AdaptApplied: res.AdaptApplied,
+		Triggered:    res.Adapt.Triggered,
+		Pruned:       len(res.Adapt.Pruned),
+		Created:      len(res.Adapt.Created),
+	}
+	if res.Err != nil {
+		rep.Err = res.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+	defer cancel()
+	st, err := h.srv.StatsContext(ctx, id)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream %d stats: %v", id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsReply{
+		Stream:           st.Stream,
+		Frames:           st.Frames,
+		AdaptRounds:      st.AdaptRounds,
+		TriggeredRounds:  st.TriggeredRounds,
+		PrunedNodes:      st.PrunedNodes,
+		CreatedNodes:     st.CreatedNodes,
+		ScoringOps:       st.ScoringOps,
+		AdaptOps:         st.AdaptOps,
+		AdaptOpsPerRound: st.AdaptOpsPerRound,
+		EnergyPerAdaptJ:  st.EnergyPerAdaptJ,
+		AdaptLatencyS:    st.AdaptLatencyS,
+		ResidentBytes:    st.ResidentBytes,
+		Evictions:        st.Evictions,
+		LastErr:          st.LastErr,
+	})
+}
+
+func (h *Handler) handleScores(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+	defer cancel()
+	scores, err := h.srv.ScoresContext(ctx, id)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream %d scores: %v", id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ScoresReply{Stream: id, Scores: scores})
+}
+
+func (h *Handler) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+	defer cancel()
+	ch := make(chan error, 1)
+	if err := h.srv.DoRawContext(ctx, id, func(st *serve.Stream) { ch <- st.Evict() }); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream %d evict: %v", id, err)
+		return
+	}
+	if err := <-ch; err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (h *Handler) handleExport(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+	defer cancel()
+	type exported struct {
+		ss  *snapshot.StreamState
+		err error
+	}
+	ch := make(chan exported, 1)
+	if err := h.srv.DoRawContext(ctx, id, func(st *serve.Stream) {
+		ss, err := st.Export()
+		ch <- exported{ss, err}
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream %d export: %v", id, err)
+		return
+	}
+	ex := <-ch
+	if ex.err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", ex.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex.ss)
+}
+
+func (h *Handler) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading snapshot: %v", err)
+		return
+	}
+	var ss snapshot.StreamState
+	if err := json.Unmarshal(body, &ss); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+	defer cancel()
+	ch := make(chan error, 1)
+	if err := h.srv.DoRawContext(ctx, id, func(st *serve.Stream) { ch <- st.Restore(&ss) }); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream %d restore: %v", id, err)
+		return
+	}
+	if err := <-ch; err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (h *Handler) handleMem(w http.ResponseWriter, r *http.Request) {
+	l := h.srv.MemLedger()
+	rep := MemReply{Resident: l.Total(), Budget: l.Budget()}
+	for i := 0; i < h.srv.NumStreams(); i++ {
+		ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+		st, err := h.srv.StatsContext(ctx, i)
+		cancel()
+		row := MemStreamRow{Stream: i}
+		if err != nil {
+			row.LastErr = err.Error()
+		} else {
+			row.Resident = st.ResidentBytes
+			row.Evictions = st.Evictions
+			row.LastErr = st.LastErr
+		}
+		rep.Streams = append(rep.Streams, row)
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (h *Handler) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if h.opts.CheckpointPath == "" {
+		writeErr(w, http.StatusBadRequest, "no checkpoint path configured (start the worker with -checkpoint-dir)")
+		return
+	}
+	cp, err := h.srv.Checkpoint()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	if err := snapshot.Save(h.opts.CheckpointPath, cp); err != nil {
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointReply{Path: h.opts.CheckpointPath})
+}
+
+func (h *Handler) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	h.shutOnce.Do(func() { close(h.shutdown) })
+	writeJSON(w, http.StatusOK, struct{}{})
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -396,12 +397,100 @@ func (s *Server) barrier(stream int, fn func(*Stream), raw bool) error {
 	return nil
 }
 
+// DoContext is Do with a deadline: it gives up with ctx.Err() instead of
+// blocking forever when the stream's loop cannot reach the barrier — the
+// variant network handlers must use, because an HTTP goroutine has no
+// guarantee the stream's Results are being drained (the Do deadlock
+// documented above). When ctx fires after the barrier was already
+// enqueued, fn may still run later on the loop; fn must therefore
+// communicate through owned channels (as StatsContext does), never by
+// writing variables the caller reads after DoContext returns.
+func (s *Server) DoContext(ctx context.Context, stream int, fn func(*Stream)) error {
+	return s.barrierContext(ctx, stream, fn, false)
+}
+
+// DoRawContext is DoContext without the round join: fn observes the
+// stream between frames but an in-flight background adaptation round is
+// not joined early, so its frame-deterministic swap schedule survives.
+// Use it for observers (stats, score history, checkpoint captures) that
+// must not perturb a live stream's trajectory.
+func (s *Server) DoRawContext(ctx context.Context, stream int, fn func(*Stream)) error {
+	return s.barrierContext(ctx, stream, fn, true)
+}
+
+// barrierContext is barrier with a context bound on both the enqueue and
+// the wait for the loop to run fn.
+func (s *Server) barrierContext(ctx context.Context, stream int, fn func(*Stream), raw bool) error {
+	if stream < 0 || stream >= len(s.streams) {
+		return fmt.Errorf("serve: no stream %d", stream)
+	}
+	select {
+	case <-s.done[stream]:
+		fn(s.streams[stream])
+		return nil
+	default:
+	}
+	it := item{ctl: fn, raw: raw, done: make(chan struct{})}
+	s.closeMu[stream].RLock()
+	if s.closed[stream] {
+		s.closeMu[stream].RUnlock()
+		// Closed: the loop is draining; wait for it (or the deadline) and
+		// run inline.
+		select {
+		case <-s.done[stream]:
+			fn(s.streams[stream])
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case s.in[stream] <- it:
+		s.closeMu[stream].RUnlock()
+	case <-ctx.Done():
+		s.closeMu[stream].RUnlock()
+		return ctx.Err()
+	}
+	select {
+	case <-it.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // StreamStats returns one stream's statistics via a Do barrier (or
 // directly once the stream has drained).
 func (s *Server) StreamStats(stream int) (Stats, error) {
 	var st Stats
 	err := s.Do(stream, func(sc *Stream) { st = sc.Stats() })
 	return st, err
+}
+
+// StatsContext returns one stream's statistics through a deadline-bound
+// raw barrier: safe to call from a goroutine that is not draining the
+// stream's Results (it fails with ctx.Err() instead of deadlocking), and
+// safe on a live adaptive stream (the in-flight round is not joined
+// early, so the poll does not perturb the trajectory — resident bytes
+// come from StatsRaw's settled ledger figure).
+func (s *Server) StatsContext(ctx context.Context, stream int) (Stats, error) {
+	// Buffered so a barrier that runs after the deadline fired still
+	// completes without blocking the loop on an abandoned channel.
+	ch := make(chan Stats, 1)
+	if err := s.DoRawContext(ctx, stream, func(st *Stream) { ch <- st.StatsRaw() }); err != nil {
+		return Stats{}, err
+	}
+	return <-ch, nil
+}
+
+// ScoresContext returns a copy of one stream's retained score history
+// through a deadline-bound raw barrier (see StatsContext).
+func (s *Server) ScoresContext(ctx context.Context, stream int) ([]float64, error) {
+	ch := make(chan []float64, 1)
+	if err := s.DoRawContext(ctx, stream, func(st *Stream) { ch <- st.Scores() }); err != nil {
+		return nil, err
+	}
+	return <-ch, nil
 }
 
 // CloseStream marks the end of a stream's input. Its loop drains queued
@@ -445,6 +534,21 @@ func (s *Server) Shutdown() {
 			<-s.done[i]
 		}
 		drain.Wait()
+		// An evicted idle stream that never saw another frame would leak
+		// its spill file (rehydration is the only path that deletes it):
+		// rehydrate-then-drain, so post-shutdown accessors (Stats, TestAUC
+		// probes, Detector) keep working and SpillDir ends empty. The loops
+		// have exited, so running inline is safe. On a failed rehydration
+		// the spill file is dropped anyway — the process is going away and
+		// the error is retained on the stream.
+		for _, st := range s.streams {
+			if st.Evicted() {
+				if err := st.EnsureResident(); err != nil {
+					st.lastErr = err
+					st.dropSpill()
+				}
+			}
+		}
 		// Restore only if the installed counter is still the active one:
 		// a counter someone installed over ours (a bench's flops.Count in
 		// flight, a newer server) must not be clobbered.
@@ -476,17 +580,43 @@ func (s *Server) Stream(i int) (*Stream, error) {
 func (s *Server) Checkpoint() (*snapshot.Checkpoint, error) {
 	cp := snapshot.New(len(s.streams))
 	for i := range s.streams {
-		var ss *snapshot.StreamState
-		var err error
-		if berr := s.barrier(i, func(st *Stream) { ss, err = st.Export() }, true); berr != nil {
-			return nil, berr
-		}
+		ss, err := s.ExportStream(i)
 		if err != nil {
 			return nil, err
 		}
 		cp.Streams[i] = *ss
 	}
 	return cp, nil
+}
+
+// ExportStream captures one stream's complete adaptation state on its
+// processing loop (a raw barrier, like Checkpoint — an in-flight round
+// keeps its swap schedule). The result is the unit of stream migration:
+// restore it into a compatible slot of another server with RestoreStream
+// and the stream continues bit-exactly there.
+func (s *Server) ExportStream(stream int) (*snapshot.StreamState, error) {
+	var ss *snapshot.StreamState
+	var err error
+	if berr := s.barrier(stream, func(st *Stream) { ss, err = st.Export() }, true); berr != nil {
+		return nil, berr
+	}
+	return ss, err
+}
+
+// RestoreStream replaces one stream's state with an exported snapshot,
+// applied on its processing loop. The receiving slot must have been built
+// over the same backbone with the same per-stream configuration (the
+// recorded config pin is validated); the snapshot's own stream id is
+// irrelevant — migration restores stream state into whatever local slot
+// the receiving shard has free, and the restored RNG state supersedes the
+// slot's construction seed, so the continued trajectory is bit-identical
+// to one that never moved.
+func (s *Server) RestoreStream(stream int, ss *snapshot.StreamState) error {
+	var err error
+	if berr := s.barrier(stream, func(st *Stream) { err = st.Restore(ss) }, true); berr != nil {
+		return berr
+	}
+	return err
 }
 
 // Restore replaces every stream's state with the checkpoint's, applied on

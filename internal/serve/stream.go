@@ -411,6 +411,16 @@ func (st *Stream) EnsureResident() error {
 	return nil
 }
 
+// dropSpill deletes the stream's spill file without rehydrating, used by
+// Shutdown when a rehydration attempt failed: the state is unrecoverable,
+// but the disk must not keep the orphan.
+func (st *Stream) dropSpill() {
+	if st.spillPath != "" {
+		os.Remove(st.spillPath)
+		st.spillPath = ""
+	}
+}
+
 // Adaptive reports whether this stream runs the adaptation loop.
 func (st *Stream) Adaptive() bool { return st.adapter != nil }
 
@@ -620,6 +630,11 @@ type Stats struct {
 	// state is spilled); Evictions counts spill round-trips.
 	ResidentBytes int64
 	Evictions     int
+	// LastErr is the text of the stream's most recent retained error —
+	// a failed adaptation round, background eviction or rehydration —
+	// empty when everything succeeded. Background eviction failures have
+	// no Result to surface on, so this field is where they become loud.
+	LastErr string
 }
 
 // configPin summarises the stream's configuration for checkpoint
@@ -805,6 +820,29 @@ func (st *Stream) Restore(ss *snapshot.StreamState) error {
 // method it must not race the processing goroutine — read it through
 // Server.Do or after the stream has drained.
 func (st *Stream) Stats() Stats {
+	s := st.statsCommon()
+	s.ResidentBytes = st.MemBreakdown().Resident()
+	return s
+}
+
+// StatsRaw is Stats for observers that hold only a raw barrier (no round
+// join): while a background round is mutating the detector the resident
+// figure cannot be recomputed (the breakdown walks graph and bank
+// storage), so it comes from the last settled ledger report instead —
+// every other field reads loop-owned counters or the mutex-guarded cost
+// ledger and is exact.
+func (st *Stream) StatsRaw() Stats {
+	s := st.statsCommon()
+	switch {
+	case st.pending == nil:
+		s.ResidentBytes = st.MemBreakdown().Resident()
+	case st.mem != nil:
+		s.ResidentBytes = st.mem.Stream(st.id).Resident()
+	}
+	return s
+}
+
+func (st *Stream) statsCommon() Stats {
 	s := Stats{
 		Stream:          st.id,
 		Frames:          st.frames,
@@ -814,8 +852,10 @@ func (st *Stream) Stats() Stats {
 		CreatedNodes:    st.created,
 		ScoringOps:      st.ledger.PhaseOps(PhaseScoring),
 		AdaptOps:        st.ledger.PhaseOps(PhaseAdaptation),
-		ResidentBytes:   st.MemBreakdown().Resident(),
 		Evictions:       st.evictions,
+	}
+	if st.lastErr != nil {
+		s.LastErr = st.lastErr.Error()
 	}
 	if st.adaptRounds > 0 {
 		s.AdaptOpsPerRound = s.AdaptOps / int64(st.adaptRounds)

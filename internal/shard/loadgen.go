@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"edgekg/internal/netserve"
+)
+
+// Scenario describes one load-generation run against a Router.
+type Scenario struct {
+	// Keys are the stream keys, one camera feed each.
+	Keys []string
+	// Frames is how many frames each key submits.
+	Frames int
+	// Rate is each key's open-loop arrival rate in frames/second. Rate ≤ 0
+	// runs closed-loop: the next frame is submitted as soon as the
+	// previous result returns — the mode deterministic continuity runs use
+	// (nothing is ever shed, every frame is scored).
+	Rate float64
+	// BurstEvery/BurstSize overlay bursts on the open-loop schedule: every
+	// BurstEvery-th arrival, the following BurstSize arrivals share its
+	// scheduled instant (a camera backlog flushing at once). Ignored
+	// closed-loop.
+	BurstEvery, BurstSize int
+	// Frame synthesises the key's seq-th frame (required). It must be
+	// deterministic in (key, seq) for runs to be comparable.
+	Frame func(key string, seq int) []float64
+	// MigrateKey, when non-empty, is migrated to shard MigrateTo
+	// immediately before its frame MigrateAt is submitted — the key's feed
+	// is quiescent at that point, as Migrate requires.
+	MigrateKey string
+	MigrateAt  int
+	MigrateTo  int
+	// SubmitTimeout bounds each submit round trip. Defaults to 60s.
+	SubmitTimeout time.Duration
+}
+
+// Report is one run's outcome. Latency percentiles are measured from
+// each frame's scheduled arrival (not its actual send), so queueing delay
+// behind a slow stream counts — the open-loop convention that avoids
+// coordinated omission.
+type Report struct {
+	Sent, OK                    int
+	Shed                        int // router admission + worker 429 + local overload drops
+	Failed                      int
+	Elapsed                     time.Duration
+	Throughput                  float64 // scored frames per second, aggregate
+	P50Ms, P99Ms, P999Ms, MaxMs float64
+	// Traces are each key's scores in submission order (closed-loop runs
+	// only — open-loop sheds leave gaps and traces are not recorded).
+	Traces map[string][]float64
+}
+
+// Run drives the scenario: one goroutine per key submitting sequentially
+// (a camera's feed is ordered), open-loop pacing per Rate, migration per
+// MigrateKey. A context cancellation stops the run with its error.
+func Run(ctx context.Context, r *Router, sc Scenario) (*Report, error) {
+	if len(sc.Keys) == 0 || sc.Frames < 1 {
+		return nil, fmt.Errorf("shard: scenario needs keys and frames")
+	}
+	if sc.Frame == nil {
+		return nil, fmt.Errorf("shard: scenario needs a Frame synthesiser")
+	}
+	timeout := sc.SubmitTimeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	closed := sc.Rate <= 0
+
+	// Pre-route every key in declared order: placement becomes a pure
+	// function of (keys, fleet shape) instead of goroutine scheduling, so
+	// two runs of the same scenario land every key on the same slot —
+	// which is what makes their score traces comparable bit-exactly. Slot
+	// exhaustion surfaces here, before any frame is sent.
+	for _, key := range sc.Keys {
+		if _, err := r.Route(key); err != nil {
+			return nil, err
+		}
+	}
+
+	var mu sync.Mutex
+	rep := &Report{}
+	if closed {
+		rep.Traces = make(map[string][]float64, len(sc.Keys))
+	}
+	var latencies []float64
+	var runErr error
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, key := range sc.Keys {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			arrivals := arrivalSchedule(start, sc)
+			var scores []float64
+			for seq := 0; seq < sc.Frames; seq++ {
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					return
+				}
+				if key == sc.MigrateKey && seq == sc.MigrateAt {
+					if _, err := r.Migrate(ctx, key, sc.MigrateTo); err != nil {
+						fail(err)
+						return
+					}
+				}
+				sched := start
+				if !closed {
+					sched = arrivals[seq]
+					if d := time.Until(sched); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+							fail(ctx.Err())
+							return
+						}
+					}
+				} else {
+					sched = time.Now()
+				}
+				sctx, cancel := context.WithTimeout(ctx, timeout)
+				res, err := r.Submit(sctx, key, sc.Frame(key, seq))
+				cancel()
+				lat := time.Since(sched)
+				mu.Lock()
+				rep.Sent++
+				switch {
+				case err == nil:
+					rep.OK++
+					latencies = append(latencies, float64(lat.Nanoseconds())/1e6)
+					if closed {
+						scores = append(scores, res.Score)
+					}
+				case errors.Is(err, ErrOverload) || errors.Is(err, netserve.ErrBusy):
+					rep.Shed++
+				default:
+					rep.Failed++
+					mu.Unlock()
+					fail(fmt.Errorf("shard: key %q frame %d: %w", key, seq, err))
+					return
+				}
+				mu.Unlock()
+			}
+			if closed {
+				mu.Lock()
+				rep.Traces[key] = scores
+				mu.Unlock()
+			}
+		}(key)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / rep.Elapsed.Seconds()
+	}
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P99Ms = percentile(latencies, 0.99)
+	rep.P999Ms = percentile(latencies, 0.999)
+	rep.MaxMs = percentile(latencies, 1)
+	if runErr != nil {
+		return rep, runErr
+	}
+	return rep, nil
+}
+
+// arrivalSchedule lays out one key's open-loop arrival instants: fixed
+// rate, with every BurstEvery-th arrival followed by BurstSize arrivals
+// at the same instant.
+func arrivalSchedule(start time.Time, sc Scenario) []time.Time {
+	if sc.Rate <= 0 {
+		return nil
+	}
+	interval := time.Duration(float64(time.Second) / sc.Rate)
+	out := make([]time.Time, sc.Frames)
+	t := start
+	burst := 0
+	for i := range out {
+		out[i] = t
+		if burst > 0 {
+			burst--
+			continue // burst arrivals share the instant
+		}
+		if sc.BurstEvery > 0 && sc.BurstSize > 0 && (i+1)%sc.BurstEvery == 0 {
+			burst = sc.BurstSize
+		}
+		t = t.Add(interval)
+	}
+	return out
+}
+
+// percentile returns the q-quantile of the samples in milliseconds
+// (nearest-rank; q=1 is the max). NaN-free: returns 0 on no samples.
+func percentile(ms []float64, q float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,206 @@
+// Package shard scales the networked serving tier from one worker to a
+// fleet: a router hashes stream keys across N worker processes (each a
+// cmd/serve -listen instance fronting one serve.Server), with per-shard
+// admission control and load shedding under overload, and checkpoint-
+// based migration that moves a live stream between shards bit-exactly —
+// the exported snapshot restores on the target worker with its RNG,
+// monitor, adapter and pending-round state intact, so the continued score
+// trajectory is identical to one that never moved.
+//
+// The router is client-side: it owns the key→(shard,slot) table and the
+// slot allocators, and every consumer of the fleet goes through one
+// router (workers themselves stay key-agnostic, addressing only local
+// slot indices). The package also ships the open-loop load generator the
+// latency claims are measured with (see loadgen.go).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"edgekg/internal/netserve"
+)
+
+// ErrOverload reports a submit shed by the router's admission control:
+// the target shard already has MaxInflight frames in flight.
+var ErrOverload = errors.New("shard: shard overloaded")
+
+// Backend is one worker process as the router sees it. *netserve.Client
+// wrapped by NetBackend is the production implementation; tests use
+// fakes.
+type Backend interface {
+	// Slots is the worker's stream-slot capacity.
+	Slots() int
+	// SubmitFrame scores one frame on a local slot.
+	SubmitFrame(ctx context.Context, slot int, frame []float64) (netserve.FrameReply, error)
+	// ExportRaw and RestoreRaw move one slot's serialized state.
+	ExportRaw(ctx context.Context, slot int) ([]byte, error)
+	RestoreRaw(ctx context.Context, slot int, state []byte) error
+}
+
+// netBackend adapts a netserve.Client to the Backend interface.
+type netBackend struct {
+	*netserve.Client
+	slots int
+}
+
+func (b netBackend) Slots() int { return b.slots }
+
+// NetBackend wraps a worker client with its probed slot capacity.
+func NetBackend(c *netserve.Client, slots int) Backend { return netBackend{Client: c, slots: slots} }
+
+// Config sizes a Router.
+type Config struct {
+	// MaxInflight caps the frames concurrently in flight per shard;
+	// submits beyond it are shed with ErrOverload instead of queued.
+	// Defaults to 2× the shard's slot count.
+	MaxInflight int
+}
+
+// Route locates one stream key on the fleet.
+type Route struct {
+	Shard, Slot int
+}
+
+// Router hashes stream keys across shards and tracks slot assignments.
+// Submit is safe for concurrent use across keys; frames of one key must
+// be submitted sequentially (one camera, one ordered feed), and Migrate
+// for a key must not race its submits.
+type Router struct {
+	backends []Backend
+	cfg      Config
+
+	mu       sync.Mutex
+	routes   map[string]Route
+	nextSlot []int
+
+	inflight []int64
+	shed     atomic.Int64
+}
+
+// New builds a router over the given shard backends.
+func New(backends []Backend, cfg Config) (*Router, error) {
+	if len(backends) < 1 {
+		return nil, fmt.Errorf("shard: need at least one backend")
+	}
+	return &Router{
+		backends: backends,
+		cfg:      cfg,
+		routes:   make(map[string]Route),
+		nextSlot: make([]int, len(backends)),
+		inflight: make([]int64, len(backends)),
+	}, nil
+}
+
+// NumShards returns the fleet size.
+func (r *Router) NumShards() int { return len(r.backends) }
+
+// Backend exposes one shard's backend (operational tooling: stats and
+// mem probes go straight to the worker).
+func (r *Router) Backend(shard int) Backend { return r.backends[shard] }
+
+// Shed returns how many submits the router's admission control dropped.
+func (r *Router) Shed() int64 { return r.shed.Load() }
+
+// hashShard is the key's home shard: FNV-1a over the key, mod fleet
+// size — deterministic across processes and runs, which is what lets a
+// re-run of the same scenario land every key on the same shard.
+func (r *Router) hashShard(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(r.backends)))
+}
+
+// Route returns the key's current placement, allocating a slot on its
+// hash-home shard at first sight. Allocation fails when the home shard is
+// out of slots (slots retire monotonically; a migrated-away slot is not
+// reused, because its stream state still occupies it on the worker).
+func (r *Router) Route(key string) (Route, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rt, ok := r.routes[key]; ok {
+		return rt, nil
+	}
+	rt, err := r.allocate(r.hashShard(key))
+	if err != nil {
+		return Route{}, fmt.Errorf("%w for key %q", err, key)
+	}
+	r.routes[key] = rt
+	return rt, nil
+}
+
+// allocate reserves the next free slot on shard. Caller holds mu. Slots
+// retire monotonically: a migrated-away slot is not reused (its stream
+// state still occupies it on the worker), and a slot reserved for a
+// migration that then fails is dropped rather than recycled.
+func (r *Router) allocate(shard int) (Route, error) {
+	if r.nextSlot[shard] >= r.backends[shard].Slots() {
+		return Route{}, fmt.Errorf("shard: shard %d out of stream slots (%d in use)", shard, r.nextSlot[shard])
+	}
+	rt := Route{Shard: shard, Slot: r.nextSlot[shard]}
+	r.nextSlot[shard]++
+	return rt, nil
+}
+
+// Submit routes one frame to its key's shard, shedding with ErrOverload
+// when the shard's in-flight bound is reached. netserve.ErrBusy from the
+// worker (its per-slot gate) passes through — callers treat both as shed.
+func (r *Router) Submit(ctx context.Context, key string, frame []float64) (netserve.FrameReply, error) {
+	rt, err := r.Route(key)
+	if err != nil {
+		return netserve.FrameReply{}, err
+	}
+	max := r.cfg.MaxInflight
+	if max <= 0 {
+		max = 2 * r.backends[rt.Shard].Slots()
+	}
+	if atomic.AddInt64(&r.inflight[rt.Shard], 1) > int64(max) {
+		atomic.AddInt64(&r.inflight[rt.Shard], -1)
+		r.shed.Add(1)
+		return netserve.FrameReply{}, ErrOverload
+	}
+	defer atomic.AddInt64(&r.inflight[rt.Shard], -1)
+	return r.backends[rt.Shard].SubmitFrame(ctx, rt.Slot, frame)
+}
+
+// Migrate moves a key's stream to a fresh slot on another shard via the
+// checkpoint path: export on the source worker (a raw barrier — an
+// in-flight adaptation round keeps its swap schedule), restore on the
+// target, repoint the route. The caller must quiesce the key first (no
+// frame of the key in flight); other keys are unaffected throughout. On
+// error the route is unchanged and the source slot still serves.
+func (r *Router) Migrate(ctx context.Context, key string, toShard int) (Route, error) {
+	if toShard < 0 || toShard >= len(r.backends) {
+		return Route{}, fmt.Errorf("shard: no shard %d", toShard)
+	}
+	r.mu.Lock()
+	from, ok := r.routes[key]
+	r.mu.Unlock()
+	if !ok {
+		return Route{}, fmt.Errorf("shard: unknown key %q", key)
+	}
+	if from.Shard == toShard {
+		return from, nil
+	}
+	state, err := r.backends[from.Shard].ExportRaw(ctx, from.Slot)
+	if err != nil {
+		return Route{}, fmt.Errorf("shard: migrate %q: export: %w", key, err)
+	}
+	r.mu.Lock()
+	to, err := r.allocate(toShard)
+	r.mu.Unlock()
+	if err != nil {
+		return Route{}, fmt.Errorf("shard: migrate %q: %w", key, err)
+	}
+	if err := r.backends[toShard].RestoreRaw(ctx, to.Slot, state); err != nil {
+		return Route{}, fmt.Errorf("shard: migrate %q: restore: %w", key, err)
+	}
+	r.mu.Lock()
+	r.routes[key] = to
+	r.mu.Unlock()
+	return to, nil
+}

@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edgekg/internal/netserve"
+)
+
+// fakeBackend is a scripted worker: it records submits and serves
+// export/restore out of a byte map, with an optional block channel to
+// hold submits in flight (for admission-control tests).
+type fakeBackend struct {
+	slots int
+	block chan struct{} // when non-nil, SubmitFrame waits on it
+
+	mu       sync.Mutex
+	submits  map[int]int    // slot → frames received
+	states   map[int][]byte // slot → restored state
+	exported map[int][]byte // slot → state ExportRaw hands out
+}
+
+func newFake(slots int) *fakeBackend {
+	return &fakeBackend{
+		slots:    slots,
+		submits:  make(map[int]int),
+		states:   make(map[int][]byte),
+		exported: make(map[int][]byte),
+	}
+}
+
+func (f *fakeBackend) Slots() int { return f.slots }
+
+func (f *fakeBackend) SubmitFrame(ctx context.Context, slot int, frame []float64) (netserve.FrameReply, error) {
+	if f.block != nil {
+		select {
+		case <-f.block:
+		case <-ctx.Done():
+			return netserve.FrameReply{}, ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	f.submits[slot]++
+	seq := f.submits[slot] - 1
+	f.mu.Unlock()
+	return netserve.FrameReply{Stream: slot, Seq: seq, Score: float64(slot*1000 + seq)}, nil
+}
+
+func (f *fakeBackend) ExportRaw(ctx context.Context, slot int) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.exported[slot]; ok {
+		return s, nil
+	}
+	return []byte(fmt.Sprintf("state-%d", slot)), nil
+}
+
+func (f *fakeBackend) RestoreRaw(ctx context.Context, slot int, state []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.states[slot] = state
+	return nil
+}
+
+func newTestRouter(t *testing.T, cfg Config, fakes ...*fakeBackend) *Router {
+	t.Helper()
+	backends := make([]Backend, len(fakes))
+	for i, f := range fakes {
+		backends[i] = f
+	}
+	r, err := New(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRouteStableAndSticky pins that a key's placement is deterministic
+// (hash-home shard) and sticky across repeated lookups, and that distinct
+// keys spread across shards.
+func TestRouteStableAndSticky(t *testing.T) {
+	r := newTestRouter(t, Config{}, newFake(64), newFake(64))
+	seen := map[int]int{}
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("cam-%d", i)
+		rt, err := r.Route(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := r.Route(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt != again {
+			t.Fatalf("key %q moved: %v then %v", key, rt, again)
+		}
+		if rt.Shard != r.hashShard(key) {
+			t.Fatalf("key %q on shard %d, hash-home is %d", key, rt.Shard, r.hashShard(key))
+		}
+		seen[rt.Shard]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("16 keys landed on %d of 2 shards: %v", len(seen), seen)
+	}
+}
+
+// TestRouteSlotExhaustion pins that allocation fails loudly once a
+// shard's slots run out, without disturbing already-placed keys.
+func TestRouteSlotExhaustion(t *testing.T) {
+	r := newTestRouter(t, Config{}, newFake(2))
+	if _, err := r.Route("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route("c"); err == nil {
+		t.Fatal("third key on a 2-slot shard: want out-of-slots error")
+	}
+	if rt, err := r.Route("a"); err != nil || rt.Slot != 0 {
+		t.Fatalf("existing key perturbed: %v, %v", rt, err)
+	}
+}
+
+// TestSubmitAdmissionShed pins the per-shard in-flight bound: with
+// MaxInflight=2 and two submits parked in flight, a third is shed with
+// ErrOverload and counted, and capacity recovers once the parked submits
+// finish.
+func TestSubmitAdmissionShed(t *testing.T) {
+	f := newFake(8)
+	f.block = make(chan struct{})
+	r := newTestRouter(t, Config{MaxInflight: 2}, f)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := r.Submit(ctx, fmt.Sprintf("cam-%d", i), []float64{1}); err != nil {
+				t.Errorf("parked submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Wait until both parked submits hold in-flight tokens.
+	deadline := time.Now().Add(5 * time.Second)
+	for atomic.LoadInt64(&r.inflight[0]) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked submits never took their in-flight tokens")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := r.Submit(ctx, "cam-2", []float64{1}); !errors.Is(err, ErrOverload) {
+		t.Fatalf("submit over the bound: got %v, want ErrOverload", err)
+	}
+	if got := r.Shed(); got != 1 {
+		t.Fatalf("Shed() = %d, want 1", got)
+	}
+
+	close(f.block)
+	wg.Wait()
+	f.block = nil
+	if _, err := r.Submit(ctx, "cam-2", []float64{1}); err != nil {
+		t.Fatalf("submit after capacity recovered: %v", err)
+	}
+}
+
+// TestMigrateMovesStateAndRepoints pins the migration protocol: the
+// source slot's exported bytes land verbatim on a fresh target slot, the
+// route repoints, subsequent submits go to the target, and the vacated
+// slot is never reallocated.
+func TestMigrateMovesStateAndRepoints(t *testing.T) {
+	a, b := newFake(4), newFake(4)
+	r := newTestRouter(t, Config{}, a, b)
+	ctx := context.Background()
+
+	// Place a key explicitly on shard 0 (try prefixes until one hashes there).
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("cam-%d", i)
+		if r.hashShard(key) == 0 {
+			break
+		}
+	}
+	from, err := r.Route(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	a.exported[from.Slot] = []byte("precious-state")
+	a.mu.Unlock()
+
+	to, err := r.Migrate(ctx, key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.Shard != 1 {
+		t.Fatalf("migrated to shard %d, want 1", to.Shard)
+	}
+	b.mu.Lock()
+	got := string(b.states[to.Slot])
+	b.mu.Unlock()
+	if got != "precious-state" {
+		t.Fatalf("target slot state = %q, want the exported bytes", got)
+	}
+
+	if _, err := r.Submit(ctx, key, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	n := b.submits[to.Slot]
+	b.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("post-migration submit did not reach target slot (got %d frames)", n)
+	}
+
+	// A migration to the current shard is a no-op.
+	if rt, err := r.Migrate(ctx, key, 1); err != nil || rt != to {
+		t.Fatalf("same-shard migrate: %v, %v", rt, err)
+	}
+
+	// The vacated source slot must not be handed to a new key.
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("fresh-%d-%d", i, i)
+		if r.hashShard(k) != 0 {
+			continue
+		}
+		rt, err := r.Route(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Shard == from.Shard && rt.Slot == from.Slot {
+			t.Fatalf("vacated slot %v reallocated to %q", from, k)
+		}
+	}
+
+	if _, err := r.Migrate(ctx, "never-seen", 1); err == nil {
+		t.Fatal("migrating an unknown key: want error")
+	}
+	if _, err := r.Migrate(ctx, key, 9); err == nil {
+		t.Fatal("migrating to a nonexistent shard: want error")
+	}
+}
+
+// TestLoadgenClosedLoopTraces pins the load generator's closed-loop mode:
+// every frame scored (nothing shed), per-key traces complete and in
+// submission order.
+func TestLoadgenClosedLoopTraces(t *testing.T) {
+	f := newFake(8)
+	r := newTestRouter(t, Config{}, f)
+	rep, err := Run(context.Background(), r, Scenario{
+		Keys:   []string{"cam-0", "cam-1", "cam-2"},
+		Frames: 5,
+		Frame:  func(key string, seq int) []float64 { return []float64{float64(seq)} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 15 || rep.OK != 15 || rep.Shed != 0 || rep.Failed != 0 {
+		t.Fatalf("closed-loop counts: %+v", rep)
+	}
+	for key, tr := range rep.Traces {
+		if len(tr) != 5 {
+			t.Fatalf("key %q trace has %d scores, want 5", key, len(tr))
+		}
+		rt, _ := r.Route(key)
+		for seq, sc := range tr {
+			if want := float64(rt.Slot*1000 + seq); sc != want {
+				t.Fatalf("key %q seq %d: score %v, want %v (out of order?)", key, seq, sc, want)
+			}
+		}
+	}
+}
+
+// TestLoadgenOpenLoopShedsUnderOverload pins that open-loop load against
+// a saturated shard sheds (counted, not failed) rather than erroring out.
+func TestLoadgenOpenLoopShedsUnderOverload(t *testing.T) {
+	f := newFake(8)
+	f.block = make(chan struct{})
+	r := newTestRouter(t, Config{MaxInflight: 1}, f)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rep, err := Run(context.Background(), r, Scenario{
+			Keys:   []string{"cam-0", "cam-1", "cam-2", "cam-3"},
+			Frames: 4,
+			Rate:   200, // far beyond what one blocked in-flight token allows
+			Frame:  func(key string, seq int) []float64 { return []float64{1} },
+		})
+		if err != nil {
+			t.Errorf("open-loop run: %v", err)
+			return
+		}
+		if rep.Shed == 0 {
+			t.Errorf("saturated shard shed nothing: %+v", rep)
+		}
+		if rep.Failed != 0 {
+			t.Errorf("sheds misclassified as failures: %+v", rep)
+		}
+		if rep.Sent != 16 {
+			t.Errorf("Sent = %d, want 16", rep.Sent)
+		}
+	}()
+
+	// Let the generator saturate, then unblock so in-flight frames finish.
+	time.Sleep(100 * time.Millisecond)
+	close(f.block)
+	<-done
+}
