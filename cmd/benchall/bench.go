@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"edgekg/internal/autograd"
 	"edgekg/internal/concept"
@@ -55,6 +56,13 @@ type benchResult struct {
 	P99Ms         float64 `json:"p99_ms,omitempty"`
 	P999Ms        float64 `json:"p999_ms,omitempty"`
 	Shed          int64   `json:"shed,omitempty"`
+	// Failover figures (FailoverRecovery bench only): time from the first
+	// failed health probe to the shard being declared dead, time to
+	// restore + replay its keys onto survivors, and how many frames the
+	// replay re-scored.
+	DetectionMs    float64 `json:"detection_ms,omitempty"`
+	RecoveryMs     float64 `json:"recovery_ms,omitempty"`
+	FramesReplayed int64   `json:"frames_replayed,omitempty"`
 }
 
 // benchReport is the BENCH_<n>.json schema.
@@ -427,6 +435,108 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 		return nil
 	}
 	if err := netServeBench(); err != nil {
+		return err
+	}
+
+	// Fault tolerance end to end: the same 2-shard loopback fleet with the
+	// router's failover cache armed, one worker killed abruptly mid-run
+	// (in-flight connections severed, nothing drains). The health monitor
+	// detects the death, failover rehomes the dead shard's cameras onto
+	// the survivor from cached snapshots and replays the frames scored
+	// since, and the drivers retry through the outage — the measurement is
+	// detection latency, recovery (restore + replay) time, and replay
+	// volume. One run is the measurement: a crash drill has no timing loop.
+	failoverBench := func() error {
+		const nshards, nkeys = 2, 8
+		nframes := 64
+		if smoke {
+			nframes = 16
+		}
+		var cleanup []func()
+		defer func() {
+			for _, f := range cleanup {
+				f()
+			}
+		}()
+		backends := make([]shard.Backend, nshards)
+		for s := 0; s < nshards; s++ {
+			scfg := serve.DefaultConfig()
+			scfg.Stream.AdaptEveryFrames = 0
+			scfg.Unmetered = true
+			srv, err := serve.NewServer(serveDet, nkeys, scfg)
+			if err != nil {
+				return fmt.Errorf("FailoverRecovery shard %d: %w", s, err)
+			}
+			cleanup = append(cleanup, srv.Shutdown)
+			h, err := netserve.NewHandler(srv, netserve.Options{FrameSize: env.Space.PixDim()})
+			if err != nil {
+				return fmt.Errorf("FailoverRecovery shard %d: %w", s, err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fmt.Errorf("FailoverRecovery shard %d: %w", s, err)
+			}
+			hs := &http.Server{Handler: h}
+			go hs.Serve(ln)
+			go func() {
+				// A die request is an abrupt stop: sever every connection.
+				<-h.KillRequested()
+				hs.Close()
+			}()
+			cleanup = append(cleanup, func() { hs.Close() })
+			backends[s] = shard.NetBackend(netserve.NewClient("http://"+ln.Addr().String()), nkeys)
+		}
+		router, err := shard.New(backends, shard.Config{SnapshotEvery: 8})
+		if err != nil {
+			return err
+		}
+		monitor := shard.NewHealthMonitor(router, shard.HealthConfig{
+			Interval:  20 * time.Millisecond,
+			Timeout:   500 * time.Millisecond,
+			Threshold: 2,
+		})
+		monitor.Start()
+		defer monitor.Stop()
+		keys := make([]string, nkeys)
+		schedules := make(map[string][][]float64, nkeys)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("cam-%d", i)
+			sched := make([][]float64, nframes)
+			for j := range sched {
+				sched[j] = env.Gen.Frame(rng, concept.Robbery).Data()
+			}
+			schedules[keys[i]] = sched
+		}
+		rep, err := shard.Run(context.Background(), router, shard.Scenario{
+			Keys:   keys,
+			Frames: nframes,
+			Frame:  func(key string, seq int) []float64 { return schedules[key][seq] },
+			Kill:   &shard.Kill{Shard: 1, At: nframes / 2},
+		})
+		if err != nil {
+			return fmt.Errorf("FailoverRecovery run: %w", err)
+		}
+		monitor.Stop()
+		reports := monitor.Reports()
+		if len(reports) == 0 {
+			return fmt.Errorf("FailoverRecovery: the killed shard was never detected")
+		}
+		fo := reports[0]
+		name := fmt.Sprintf("FailoverRecovery%dx%d", nshards, nkeys)
+		res := benchResult{
+			Name:           name,
+			Iterations:     rep.OK,
+			ThroughputFPS:  rep.Throughput,
+			DetectionMs:    float64(fo.Detection.Microseconds()) / 1e3,
+			RecoveryMs:     float64(fo.Recovery.Microseconds()) / 1e3,
+			FramesReplayed: int64(fo.FramesReplayed),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-20s detect=%.0fms recover=%.0fms replayed=%d cameras rehomed=%d (%d frames ok, %d retried)\n",
+			name, res.DetectionMs, res.RecoveryMs, fo.FramesReplayed, len(fo.Rehomed), rep.OK, rep.Retried)
+		return nil
+	}
+	if err := failoverBench(); err != nil {
 		return err
 	}
 

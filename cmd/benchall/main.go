@@ -11,18 +11,20 @@
 // copy-on-write versus eager per-stream clones at 8/64 cameras, reporting
 // ledger and heap bytes per stream — and the networked serving tier end
 // to end: 8 camera streams over a 2-shard fleet behind the HTTP API,
-// reporting fleet throughput and p50/p99/p999 per-frame latency) and
-// emits a machine-readable JSON report (-json, default BENCH_7.json)
-// recording ns/op, allocs/op, bytes/op and FLOPs per operation, so
-// successive PRs have a comparable performance trajectory. -smoke runs
-// each benchmark body once without the timing loop, which is how CI
-// keeps the bench code from rotting.
+// reporting fleet throughput and p50/p99/p999 per-frame latency, plus a
+// failover drill killing one of the two workers mid-run and reporting
+// detection latency, recovery time and frames replayed) and emits a
+// machine-readable JSON report (-json, default BENCH_8.json) recording
+// ns/op, allocs/op, bytes/op and FLOPs per operation, so successive PRs
+// have a comparable performance trajectory. -smoke runs each benchmark
+// body once without the timing loop, which is how CI keeps the bench
+// code from rotting.
 //
 // Usage:
 //
 //	benchall -exp all -scale quick
 //	benchall -exp fig5b -scale full -csv out/
-//	benchall -exp bench -json BENCH_7.json
+//	benchall -exp bench -json BENCH_8.json
 //	benchall -exp bench -smoke -json /tmp/bench-smoke.json
 package main
 
@@ -44,7 +46,7 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: fig5a1 | fig5a2 | fig5b | fig6 | table1 | bench | all")
 		scale    = flag.String("scale", "quick", "preset sizing: quick | full")
 		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
-		jsonPath = flag.String("json", "BENCH_7.json", "micro-benchmark JSON report path (empty disables)")
+		jsonPath = flag.String("json", "BENCH_8.json", "micro-benchmark JSON report path (empty disables)")
 		smoke    = flag.Bool("smoke", false, "bench smoke mode: run each benchmark body once, no timing loop (CI)")
 	)
 	flag.Parse()

@@ -14,12 +14,24 @@
 // traces against such a report bit-exactly — which is how CI asserts that
 // a migrated stream's trajectory is identical to one that never moved.
 //
+// It is also the failure-drill harness: -snapshot-every arms the router's
+// per-key snapshot/replay cache and a health monitor (-probe-every,
+// -probe-timeout, -down-after), and -kill shard@frame crashes a worker
+// mid-run — the monitor detects the death, failover rehomes the dead
+// shard's cameras onto survivors and replays the frames scored since
+// their snapshots, the drivers retry through the outage, and the report
+// carries detection latency, recovery time and frames replayed. Combined
+// with -expect, that is how CI asserts failed-over trajectories stay
+// bit-exact.
+//
 // Usage:
 //
 //	loadgen -workers http://127.0.0.1:9701,http://127.0.0.1:9702 \
 //	        -streams 8 -frames 48 -out baseline.json
 //	loadgen -workers ... -streams 8 -frames 48 \
 //	        -migrate cam-0@17:1 -expect baseline.json -shutdown
+//	loadgen -workers ... -streams 8 -frames 48 \
+//	        -snapshot-every 8 -kill 1@17 -expect baseline.json -shutdown
 package main
 
 import (
@@ -48,12 +60,17 @@ type report struct {
 	OK            int                  `json:"ok"`
 	Shed          int                  `json:"shed"`
 	Failed        int                  `json:"failed"`
+	Retried       int                  `json:"retried,omitempty"`
 	ElapsedS      float64              `json:"elapsed_s"`
 	ThroughputFPS float64              `json:"throughput_fps"`
 	P50Ms         float64              `json:"p50_ms"`
 	P99Ms         float64              `json:"p99_ms"`
 	P999Ms        float64              `json:"p999_ms"`
 	MaxMs         float64              `json:"max_ms"`
+	DetectionMs   float64              `json:"detection_ms,omitempty"`
+	RecoveryMs    float64              `json:"recovery_ms,omitempty"`
+	FramesReplay  int                  `json:"frames_replayed,omitempty"`
+	KeysRehomed   []string             `json:"keys_rehomed,omitempty"`
 	Traces        map[string][]float64 `json:"traces,omitempty"`
 }
 
@@ -75,6 +92,11 @@ func main() {
 		seed        = flag.Int64("seed", 42, "seed (must match the workers' -seed for comparable runs)")
 		migrate     = flag.String("migrate", "", "migrate one camera mid-run: key@frame:toshard (e.g. cam-0@17:1)")
 		maxInflight = flag.Int("max-inflight", 0, "router admission bound per shard (0 = 2× the shard's slots)")
+		snapEvery   = flag.Int("snapshot-every", 0, "arm failover: refresh each camera's router-side state snapshot every N scored frames (0 disables)")
+		kill        = flag.String("kill", "", "crash one worker mid-run: shard@frame (e.g. 1@17, before cam-0's frame 17; requires -snapshot-every)")
+		probeEvery  = flag.Duration("probe-every", 100*time.Millisecond, "health probe interval per shard")
+		probeLimit  = flag.Duration("probe-timeout", time.Second, "health probe timeout")
+		downAfter   = flag.Int("down-after", 3, "consecutive failed probes before a shard is declared dead")
 		out         = flag.String("out", "", "write the run report (counters, latency percentiles, score traces) to this JSON file")
 		expect      = flag.String("expect", "", "compare this run's score traces bit-exactly against a previous -out report")
 		wait        = flag.Duration("wait", 120*time.Second, "how long to wait for every worker to become ready")
@@ -92,6 +114,12 @@ func main() {
 		log.Fatalf("-anomaly-rate %v: must be in [0,1]", *anomalyRate)
 	case *expect != "" && *rate > 0:
 		log.Fatal("-expect needs a closed-loop run (-rate 0): open-loop sheds leave trace gaps")
+	case *snapEvery < 0:
+		log.Fatalf("-snapshot-every %d: must be ≥0", *snapEvery)
+	case *kill != "" && *snapEvery < 1:
+		log.Fatal("-kill requires -snapshot-every: without the router-side snapshot cache there is nothing to fail over from")
+	case *downAfter < 1:
+		log.Fatalf("-down-after %d: must be ≥1", *downAfter)
 	}
 
 	// Connect the fleet: every worker must be up and agree on the frame
@@ -115,9 +143,21 @@ func main() {
 	if *streams > slots {
 		log.Fatalf("-streams %d exceeds the fleet's %d slots", *streams, slots)
 	}
-	router, err := shard.New(backends, shard.Config{MaxInflight: *maxInflight})
+	router, err := shard.New(backends, shard.Config{MaxInflight: *maxInflight, SnapshotEvery: *snapEvery})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var monitor *shard.HealthMonitor
+	if *snapEvery > 0 {
+		monitor = shard.NewHealthMonitor(router, shard.HealthConfig{
+			Interval:  *probeEvery,
+			Timeout:   *probeLimit,
+			Threshold: *downAfter,
+		})
+		monitor.Start()
+		defer monitor.Stop()
+		fmt.Printf("failover armed: snapshots every %d frames, probes every %v, dead after %d misses\n",
+			*snapEvery, *probeEvery, *downAfter)
 	}
 
 	// Synthesise each camera's schedule with the derivation cmd/serve's
@@ -171,6 +211,17 @@ func main() {
 		sc.MigrateKey, sc.MigrateAt, sc.MigrateTo = key, at, to
 		fmt.Printf("will migrate %s to shard %d before its frame %d\n", key, to, at)
 	}
+	if *kill != "" {
+		shardIdx, at, err := parseKill(*kill)
+		if err != nil {
+			log.Fatalf("-kill %q: %v", *kill, err)
+		}
+		if shardIdx < 0 || shardIdx >= len(backends) {
+			log.Fatalf("-kill %q: fleet has %d shards", *kill, len(backends))
+		}
+		sc.Kill = &shard.Kill{Shard: shardIdx, At: at}
+		fmt.Printf("will kill shard %d before %s's frame %d\n", shardIdx, keys[0], at)
+	}
 
 	rep, err := shard.Run(ctx, router, sc)
 	if err != nil {
@@ -178,17 +229,37 @@ func main() {
 	}
 	fmt.Printf("\n--- %d cameras × %d frames over %d shards in %.2fs ---\n",
 		*streams, *frames, len(backends), rep.Elapsed.Seconds())
-	fmt.Printf("sent=%d ok=%d shed=%d failed=%d throughput=%.0f frames/s\n",
-		rep.Sent, rep.OK, rep.Shed, rep.Failed, rep.Throughput)
+	fmt.Printf("sent=%d ok=%d shed=%d failed=%d retried=%d throughput=%.0f frames/s\n",
+		rep.Sent, rep.OK, rep.Shed, rep.Failed, rep.Retried, rep.Throughput)
 	fmt.Printf("latency from scheduled arrival: p50=%.2fms p99=%.2fms p999=%.2fms max=%.2fms\n",
 		rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.MaxMs)
 
 	full := report{
 		Workers: len(backends), Streams: *streams, Frames: *frames,
 		Sent: rep.Sent, OK: rep.OK, Shed: rep.Shed, Failed: rep.Failed,
+		Retried:  rep.Retried,
 		ElapsedS: rep.Elapsed.Seconds(), ThroughputFPS: rep.Throughput,
 		P50Ms: rep.P50Ms, P99Ms: rep.P99Ms, P999Ms: rep.P999Ms, MaxMs: rep.MaxMs,
 		Traces: rep.Traces,
+	}
+	if monitor != nil {
+		monitor.Stop()
+		for _, fo := range monitor.Reports() {
+			fmt.Printf("failover: shard %d dead — detected in %.0fms, %d cameras rehomed, %d frames replayed, recovered in %.0fms%s\n",
+				fo.Shard, float64(fo.Detection.Microseconds())/1e3, len(fo.Rehomed),
+				fo.FramesReplayed, float64(fo.Recovery.Microseconds())/1e3, fmtFailoverErr(fo.Err))
+			full.DetectionMs += float64(fo.Detection.Microseconds()) / 1e3
+			full.RecoveryMs += float64(fo.Recovery.Microseconds()) / 1e3
+			full.FramesReplay += fo.FramesReplayed
+			for _, k := range fo.Keys {
+				if _, ok := fo.Rehomed[k]; ok {
+					full.KeysRehomed = append(full.KeysRehomed, k)
+				}
+			}
+		}
+		if *kill != "" && len(monitor.Reports()) == 0 {
+			log.Fatal("-kill ran but the health monitor never detected a dead shard")
+		}
 	}
 	if *out != "" {
 		data, err := json.MarshalIndent(full, "", "  ")
@@ -208,6 +279,10 @@ func main() {
 	}
 	if *checkpoint {
 		for i := range backends {
+			if router.Down(i) {
+				fmt.Printf("shard %d is down, skipping checkpoint\n", i)
+				continue
+			}
 			path, err := router.Backend(i).(interface {
 				Checkpoint(context.Context) (string, error)
 			}).Checkpoint(ctx)
@@ -219,12 +294,42 @@ func main() {
 	}
 	if *shutdown {
 		for i := range backends {
+			if router.Down(i) {
+				fmt.Printf("shard %d is down, skipping shutdown\n", i)
+				continue
+			}
 			if err := router.Backend(i).(interface{ Shutdown(context.Context) error }).Shutdown(ctx); err != nil {
 				log.Fatalf("shard %d shutdown: %v", i, err)
 			}
 		}
 		fmt.Println("fleet shut down")
 	}
+}
+
+// parseKill reads "shard@frame".
+func parseKill(s string) (shardIdx, at int, err error) {
+	atIdx := strings.LastIndex(s, "@")
+	if atIdx < 1 || atIdx == len(s)-1 {
+		return 0, 0, fmt.Errorf("want shard@frame")
+	}
+	shardIdx, err = strconv.Atoi(s[:atIdx])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad shard index %q", s[:atIdx])
+	}
+	at, err = strconv.Atoi(s[atIdx+1:])
+	if err != nil || at < 0 {
+		return 0, 0, fmt.Errorf("bad frame index %q", s[atIdx+1:])
+	}
+	return shardIdx, at, nil
+}
+
+// fmtFailoverErr renders a failover's partial-failure text for the
+// summary line.
+func fmtFailoverErr(s string) string {
+	if s == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (errors: %s)", s)
 }
 
 // parseMigrate reads "key@frame:toshard".

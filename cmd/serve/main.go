@@ -23,6 +23,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,27 +40,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	var (
-		streams    = flag.Int("streams", 4, "camera stream count")
-		frames     = flag.Int("frames", 256, "frames per stream")
-		rate       = flag.Float64("rate", 0.5, "anomaly rate of each stream")
-		initial    = flag.String("initial", "Stealing", "anomaly class every stream starts on")
-		shifted    = flag.String("shifted", "Robbery", "anomaly class streams drift to")
-		driftAt    = flag.Int("drift-at", 96, "frame index at which stream 0's trend shifts")
-		stagger    = flag.Int("stagger", 32, "extra drift delay per stream index")
-		adaptEvery = flag.Int("adapt-every", 32, "adaptation cadence in frames (0 disables)")
-		adaptLag   = flag.Int("adapt-lag", 8, "frames a stream keeps scoring on its previous KG while adapting (0 = synchronous)")
-		trainSteps = flag.Int("train-steps", 0, "override training steps (0 = preset)")
-		seed       = flag.Int64("seed", 42, "seed")
-		statsEvery = flag.Duration("stats-every", 2*time.Second, "interval between stats dumps (0 disables)")
-		ckptDir    = flag.String("checkpoint-dir", "", "directory for warm-restart checkpoints (empty disables)")
-		ckptEvery  = flag.Int("checkpoint-every", 64, "checkpoint cadence in frames per stream (requires -checkpoint-dir)")
-		resume     = flag.Bool("resume", false, "warm-restart from -checkpoint-dir's checkpoint before serving")
-		smoke      = flag.Bool("smoke", false, "tiny CI configuration: 2 streams, 48 frames, short training")
-		memBudget  = flag.String("mem-budget", "", "per-process resident-memory budget, e.g. 64K, 2M, 1G (empty disables eviction)")
-		spillDir   = flag.String("spill-dir", "", "directory for evicted-stream spill files (default: a temp dir when -mem-budget is set)")
-		eagerClone = flag.Bool("eager-clone", false, "deep-copy per-stream state at deployment instead of copy-on-write sharing")
-		listen     = flag.String("listen", "", "serve the HTTP/JSON API on this address (e.g. 127.0.0.1:9701) instead of self-driving synthetic cameras; cmd/loadgen is the driver")
-		maxPending = flag.Int("max-pending", 8, "with -listen: frame submits queued per stream slot before shedding with 429")
+		streams      = flag.Int("streams", 4, "camera stream count")
+		frames       = flag.Int("frames", 256, "frames per stream")
+		rate         = flag.Float64("rate", 0.5, "anomaly rate of each stream")
+		initial      = flag.String("initial", "Stealing", "anomaly class every stream starts on")
+		shifted      = flag.String("shifted", "Robbery", "anomaly class streams drift to")
+		driftAt      = flag.Int("drift-at", 96, "frame index at which stream 0's trend shifts")
+		stagger      = flag.Int("stagger", 32, "extra drift delay per stream index")
+		adaptEvery   = flag.Int("adapt-every", 32, "adaptation cadence in frames (0 disables)")
+		adaptLag     = flag.Int("adapt-lag", 8, "frames a stream keeps scoring on its previous KG while adapting (0 = synchronous)")
+		trainSteps   = flag.Int("train-steps", 0, "override training steps (0 = preset)")
+		seed         = flag.Int64("seed", 42, "seed")
+		statsEvery   = flag.Duration("stats-every", 2*time.Second, "interval between stats dumps (0 disables)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for warm-restart checkpoints (empty disables)")
+		ckptEvery    = flag.Int("checkpoint-every", 64, "checkpoint cadence in frames per stream (requires -checkpoint-dir)")
+		resume       = flag.Bool("resume", false, "warm-restart from -checkpoint-dir's checkpoint before serving")
+		smoke        = flag.Bool("smoke", false, "tiny CI configuration: 2 streams, 48 frames, short training")
+		memBudget    = flag.String("mem-budget", "", "per-process resident-memory budget, e.g. 64K, 2M, 1G (empty disables eviction)")
+		spillDir     = flag.String("spill-dir", "", "directory for evicted-stream spill files (default: a temp dir when -mem-budget is set)")
+		eagerClone   = flag.Bool("eager-clone", false, "deep-copy per-stream state at deployment instead of copy-on-write sharing")
+		listen       = flag.String("listen", "", "serve the HTTP/JSON API on this address (e.g. 127.0.0.1:9701) instead of self-driving synthetic cameras; cmd/loadgen is the driver")
+		maxPending   = flag.Int("max-pending", 8, "with -listen: frame submits queued per stream slot before shedding with 429")
+		ckptInterval = flag.Duration("checkpoint-interval", 0, "with -listen and -checkpoint-dir: wall-clock cadence for periodic worker checkpoints (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,6 +112,10 @@ func main() {
 		log.Fatal("-resume requires -checkpoint-dir")
 	case *maxPending < 1:
 		log.Fatalf("-max-pending %d: must be ≥1", *maxPending)
+	case *ckptInterval < 0:
+		log.Fatalf("-checkpoint-interval %v: must be ≥0", *ckptInterval)
+	case *ckptInterval > 0 && (*listen == "" || *ckptDir == ""):
+		log.Fatal("-checkpoint-interval requires -listen and -checkpoint-dir")
 	}
 	if *adaptEvery > 0 && *adaptLag >= *adaptEvery {
 		// Supported (the engine force-joins an overdue round at the next
@@ -245,13 +251,49 @@ func main() {
 	// /v1/shutdown; there is no fixed frame target, so the final dump
 	// reports whatever the drivers pushed.
 	if *listen != "" {
+		// Periodic worker checkpoints: a wall-clock ticker snapshots the
+		// whole deployment so a crashed worker's last-known state survives
+		// on disk (the router-side failover cache is what rebuilds live
+		// keys bit-exactly; these checkpoints are the warm-restart path
+		// for bringing a replacement worker back up).
+		stopCkpt := make(chan struct{})
+		var ckptWG sync.WaitGroup
+		if *ckptInterval > 0 {
+			ckptWG.Add(1)
+			go func() {
+				defer ckptWG.Done()
+				ticker := time.NewTicker(*ckptInterval)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stopCkpt:
+						return
+					case <-ticker.C:
+						if err := srv.SaveCheckpoint(ckptPath); err != nil {
+							log.Printf("periodic checkpoint: %v", err)
+						} else {
+							fmt.Printf("periodic checkpoint to %s\n", ckptPath)
+						}
+					}
+				}
+			}()
+		}
 		err := srv.NetListen(*listen, edgekg.NetServeOptions{
 			MaxPending:     *maxPending,
 			CheckpointPath: ckptPath,
 			Ready:          func(addr string) { fmt.Printf("listening on %s (%d streams)\n", addr, *streams) },
 		})
+		close(stopCkpt)
+		ckptWG.Wait()
 		close(stopStats)
 		statsWG.Wait()
+		if errors.Is(err, edgekg.ErrKilled) {
+			// A requested crash (fault drill): stop abruptly — no stats
+			// epilogue, no final checkpoint, exit clean so the harness can
+			// tell a drill from a real fault.
+			fmt.Printf("\n--- killed after %.2fs (abrupt stop, no drain) ---\n", time.Since(start).Seconds())
+			return
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

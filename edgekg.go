@@ -18,6 +18,7 @@ package edgekg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -609,12 +610,19 @@ type NetServeOptions struct {
 	Ready func(addr string)
 }
 
+// ErrKilled reports that a worker's serving loop ended because a client
+// POSTed /v1/die: an abrupt stop — in-flight connections severed, no
+// drain — simulating a crash for failover tests and drills. The process
+// state is intact; the caller still owns Close.
+var ErrKilled = errors.New("edgekg: worker killed by request (abrupt stop, no drain)")
+
 // NetListen exposes the deployment's HTTP/JSON serving API on addr: frame
 // submit, per-stream stats and scores, memory report, checkpoint and
 // evict triggers, and single-stream state export/restore — the unit of
 // checkpoint-based migration between worker processes. It blocks until a
 // client POSTs /v1/shutdown (in-flight requests finish), then returns;
-// the caller still owns Close. The deployment stays drivable locally
+// a POST /v1/die instead stops abruptly and returns ErrKilled. The
+// caller still owns Close. The deployment stays drivable locally
 // through ProcessFrame for slots the network side does not use, but one
 // slot must have a single driver — network or local, not both.
 func (ss *StreamServer) NetListen(addr string, opts NetServeOptions) error {
@@ -646,6 +654,10 @@ func (ss *StreamServer) NetListen(addr string, opts NetServeOptions) error {
 		}
 		<-errc // always http.ErrServerClosed after Shutdown/Close
 		return nil
+	case <-h.KillRequested():
+		hs.Close() // sever in-flight connections: a crash, not a drain
+		<-errc
+		return ErrKilled
 	case err := <-errc:
 		return fmt.Errorf("edgekg: serving %s: %w", addr, err)
 	}

@@ -16,60 +16,125 @@ import (
 // shedding rather than failures.
 var ErrBusy = errors.New("netserve: worker busy")
 
+// DefaultTimeout is the per-request deadline a new Client ships with: long
+// enough that a frame submit can queue behind a slot's scoring and a full
+// adaptation round, short enough that a blackholed worker (accepts, never
+// answers) cannot wedge a caller forever. Override with WithTimeout.
+const DefaultTimeout = 60 * time.Second
+
 // Client is the typed consumer of one worker's HTTP API.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption tunes a Client at construction.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-request deadline (connection + full round
+// trip). d ≤ 0 removes the bound entirely — callers then own every
+// deadline via their contexts. The default is DefaultTimeout.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d <= 0 {
+			d = 0
+		}
+		c.http.Timeout = d
+	}
+}
+
+// WithRetry retries transiently failed idempotent requests (GETs: health,
+// stats, scores, export) up to attempts extra times, sleeping backoff
+// between tries. Frame submits and other POSTs are never retried here —
+// they are not idempotent, and the shard layer's failover owns their
+// redelivery semantics.
+func WithRetry(attempts int, backoff time.Duration) ClientOption {
+	return func(c *Client) {
+		if attempts < 0 {
+			attempts = 0
+		}
+		c.retries = attempts
+		c.backoff = backoff
+	}
 }
 
 // NewClient returns a client for the worker at base (e.g.
-// "http://127.0.0.1:9701"). The underlying HTTP client has no request
-// timeout — frame submits queue behind a slot's scoring and adaptation;
-// per-call bounds come from the caller's context.
-func NewClient(base string) *Client {
-	return &Client{base: base, http: &http.Client{}}
+// "http://127.0.0.1:9701") with the default per-request timeout.
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{base: base, http: &http.Client{Timeout: DefaultTimeout}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// retryGet runs fn (one idempotent round trip), retrying transient
+// failures per the client's retry policy.
+func (c *Client) retryGet(ctx context.Context, fn func() error) error {
+	err := fn()
+	for i := 0; i < c.retries && IsTransient(err); i++ {
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(c.backoff):
+		}
+		err = fn()
+	}
+	return err
 }
 
 // do issues one request and decodes the JSON reply into out (when out is
-// non-nil). Non-2xx replies decode the ErrorReply body; 429 maps to
-// ErrBusy.
+// non-nil). Non-2xx replies decode the ErrorReply body into a typed
+// *StatusError; 429 maps to ErrBusy. GETs retry per the client's policy.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	attempt := func() error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
-		io.Copy(io.Discard, resp.Body)
-		return ErrBusy
-	}
-	if resp.StatusCode/100 != 2 {
-		var er ErrorReply
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("netserve: %s %s: %s", method, path, er.Error)
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
 		}
-		return fmt.Errorf("netserve: %s %s: HTTP %d", method, path, resp.StatusCode)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			return ErrBusy
+		}
+		if resp.StatusCode/100 != 2 {
+			se := &StatusError{Code: resp.StatusCode, Op: method + " " + path}
+			var er ErrorReply
+			if json.NewDecoder(resp.Body).Decode(&er) == nil {
+				se.Msg = er.Error
+			}
+			return se
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
+	if method == http.MethodGet {
+		return c.retryGet(ctx, attempt)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return attempt()
 }
 
 // Health probes the worker, returning its shape.
@@ -102,10 +167,16 @@ func (c *Client) WaitReady(ctx context.Context) (Health, error) {
 }
 
 // SubmitFrame scores one frame on a slot, blocking until the result (or
-// ErrBusy when the slot's queue is full).
+// ErrBusy when the slot's queue is full). A per-frame processing error the
+// worker reports in the reply body (a released slot, a scoring failure)
+// surfaces as a non-transient error: the frame was not scored, and
+// retrying it verbatim will not help.
 func (c *Client) SubmitFrame(ctx context.Context, slot int, frame []float64) (FrameReply, error) {
 	var rep FrameReply
 	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/streams/%d/frames", slot), FrameRequest{Frame: frame}, &rep)
+	if err == nil && rep.Err != "" {
+		err = fmt.Errorf("netserve: submit slot %d: %s", slot, rep.Err)
+	}
 	return rep, err
 }
 
@@ -128,29 +199,43 @@ func (c *Client) Evict(ctx context.Context, slot int) error {
 	return c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/streams/%d/evict", slot), nil, nil)
 }
 
+// Release permanently drops one slot's stream state on the worker: the
+// stream moved elsewhere (migration or failover) and this slot will never
+// serve its key again, so its resident bytes must stop being charged.
+func (c *Client) Release(ctx context.Context, slot int) error {
+	return c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/streams/%d/release", slot), nil, nil)
+}
+
 // ExportRaw captures one slot's complete adaptation state as the
 // snapshot JSON bytes — passed to RestoreRaw verbatim, so a migration
 // never re-encodes the state it moves.
 func (c *Client) ExportRaw(ctx context.Context, slot int) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/streams/%d/export", c.base, slot), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode/100 != 2 {
-		var er ErrorReply
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("netserve: export slot %d: %s", slot, er.Error)
+	var body []byte
+	attempt := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/streams/%d/export", c.base, slot), nil)
+		if err != nil {
+			return err
 		}
-		return nil, fmt.Errorf("netserve: export slot %d: HTTP %d", slot, resp.StatusCode)
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if body, err = io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode/100 != 2 {
+			se := &StatusError{Code: resp.StatusCode, Op: fmt.Sprintf("export slot %d", slot)}
+			var er ErrorReply
+			if json.Unmarshal(body, &er) == nil {
+				se.Msg = er.Error
+			}
+			return se
+		}
+		return nil
+	}
+	if err := c.retryGet(ctx, attempt); err != nil {
+		return nil, err
 	}
 	return body, nil
 }
@@ -168,11 +253,12 @@ func (c *Client) RestoreRaw(ctx context.Context, slot int, state []byte) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		se := &StatusError{Code: resp.StatusCode, Op: fmt.Sprintf("restore slot %d", slot)}
 		var er ErrorReply
-		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("netserve: restore slot %d: %s", slot, er.Error)
+		if json.NewDecoder(resp.Body).Decode(&er) == nil {
+			se.Msg = er.Error
 		}
-		return fmt.Errorf("netserve: restore slot %d: HTTP %d", slot, resp.StatusCode)
+		return se
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil
@@ -196,4 +282,16 @@ func (c *Client) Checkpoint(ctx context.Context) (string, error) {
 // Shutdown asks the worker process to drain and exit its serving loop.
 func (c *Client) Shutdown(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/shutdown", nil, nil)
+}
+
+// Die asks the worker to stop abruptly — no drain, in-flight connections
+// severed — simulating a crash for failover tests and drills. The worker
+// usually cuts the connection before (or while) replying, so transport
+// errors count as success.
+func (c *Client) Die(ctx context.Context) error {
+	err := c.do(ctx, http.MethodPost, "/v1/die", nil, nil)
+	if err != nil && IsTransient(err) {
+		return nil
+	}
+	return err
 }

@@ -1,0 +1,28 @@
+package netserve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNewClientDefaultDeadline pins the constructor contract: a client
+// built without options carries a finite per-request deadline (the
+// no-timeout regression: a hung worker must not wedge callers forever),
+// and WithTimeout can both tighten and remove it.
+func TestNewClientDefaultDeadline(t *testing.T) {
+	if DefaultTimeout <= 0 {
+		t.Fatalf("DefaultTimeout = %v, want > 0", DefaultTimeout)
+	}
+	c := NewClient("http://127.0.0.1:1")
+	if c.http.Timeout != DefaultTimeout {
+		t.Fatalf("default client timeout = %v, want %v", c.http.Timeout, DefaultTimeout)
+	}
+	c = NewClient("http://127.0.0.1:1", WithTimeout(5*time.Second))
+	if c.http.Timeout != 5*time.Second {
+		t.Fatalf("WithTimeout(5s) client timeout = %v", c.http.Timeout)
+	}
+	c = NewClient("http://127.0.0.1:1", WithTimeout(0))
+	if c.http.Timeout != 0 {
+		t.Fatalf("WithTimeout(0) should remove the bound, got %v", c.http.Timeout)
+	}
+}

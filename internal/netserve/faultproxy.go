@@ -1,0 +1,153 @@
+package netserve
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultMode selects how a FaultProxy mistreats a request.
+type FaultMode int
+
+const (
+	// FaultNone forwards the request untouched.
+	FaultNone FaultMode = iota
+	// FaultDelay forwards after sleeping the configured delay.
+	FaultDelay
+	// FaultBlackhole accepts the request and never answers: the caller
+	// sits on an open connection until its own deadline fires (the failure
+	// mode a missing client timeout turns into a permanent wedge).
+	FaultBlackhole
+	// FaultReset severs the TCP connection without writing a response —
+	// the caller sees an abrupt EOF/reset, exactly what a crashing worker
+	// produces mid-flight.
+	FaultReset
+)
+
+// FaultProxy is a deterministic fault-injection proxy in front of one
+// worker. It forwards HTTP requests verbatim and, per configuration,
+// delays, blackholes or resets them — and can switch behaviour after a
+// fixed number of forwarded requests (KillAfter), which is how failure
+// tests get a worker that "dies" at an exact, repeatable point instead of
+// an arbitrary timing-dependent one.
+//
+// Use it as an http.Handler (httptest.NewServer(proxy)) with clients
+// pointed at the proxy's address instead of the worker's.
+type FaultProxy struct {
+	target string // worker base URL, e.g. "http://127.0.0.1:9701"
+	client *http.Client
+
+	mu    sync.Mutex
+	mode  FaultMode
+	delay time.Duration
+	// killAfter ≥ 0 arms the kill switch: once served reaches it, every
+	// further request gets killMode instead of mode.
+	killAfter int64
+	killMode  FaultMode
+
+	served atomic.Int64
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewFaultProxy builds a transparent proxy for the worker at target.
+func NewFaultProxy(target string) *FaultProxy {
+	return &FaultProxy{
+		target:    target,
+		client:    &http.Client{},
+		killAfter: -1,
+		closed:    make(chan struct{}),
+	}
+}
+
+// SetMode switches the proxy's behaviour for subsequent requests; delay
+// is only read in FaultDelay mode.
+func (p *FaultProxy) SetMode(mode FaultMode, delay time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mode, p.delay = mode, delay
+}
+
+// KillAfter arms the deterministic kill switch: the next n requests
+// behave per the current mode, every request after them gets failMode
+// (FaultReset models a crash, FaultBlackhole a wedge). Counting is by
+// requests reaching the proxy from the moment of arming, so the switch
+// point does not depend on timing.
+func (p *FaultProxy) KillAfter(n int, failMode FaultMode) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killAfter, p.killMode = p.served.Load()+int64(n), failMode
+}
+
+// Served returns how many requests have reached the proxy.
+func (p *FaultProxy) Served() int64 { return p.served.Load() }
+
+// Close releases any blackholed requests. The proxy must not be used
+// afterwards.
+func (p *FaultProxy) Close() { p.once.Do(func() { close(p.closed) }) }
+
+// ServeHTTP implements http.Handler.
+func (p *FaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := p.served.Add(1)
+	p.mu.Lock()
+	mode, delay := p.mode, p.delay
+	if p.killAfter >= 0 && n > p.killAfter {
+		mode = p.killMode
+	}
+	p.mu.Unlock()
+
+	switch mode {
+	case FaultDelay:
+		select {
+		case <-time.After(delay):
+		case <-p.closed:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	case FaultBlackhole:
+		// Hold the connection open, answer nothing. The request body stays
+		// unread and the response unwritten until the caller's deadline
+		// (or the proxy's Close) releases it.
+		select {
+		case <-p.closed:
+		case <-r.Context().Done():
+		}
+		return
+	case FaultReset:
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			// Fall back to an empty 502; callers still classify it
+			// transient.
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

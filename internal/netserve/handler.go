@@ -60,6 +60,8 @@ type Handler struct {
 	results  []<-chan serve.Result
 	shutdown chan struct{}
 	shutOnce sync.Once
+	kill     chan struct{}
+	killOnce sync.Once
 }
 
 type slotGate struct {
@@ -86,6 +88,7 @@ func NewHandler(srv *serve.Server, opts Options) (*Handler, error) {
 		gates:    make([]slotGate, srv.NumStreams()),
 		results:  make([]<-chan serve.Result, srv.NumStreams()),
 		shutdown: make(chan struct{}),
+		kill:     make(chan struct{}),
 	}
 	for i := 0; i < srv.NumStreams(); i++ {
 		ch, err := srv.Results(i)
@@ -99,11 +102,13 @@ func NewHandler(srv *serve.Server, opts Options) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/streams/{id}/stats", h.handleStats)
 	h.mux.HandleFunc("GET /v1/streams/{id}/scores", h.handleScores)
 	h.mux.HandleFunc("POST /v1/streams/{id}/evict", h.handleEvict)
+	h.mux.HandleFunc("POST /v1/streams/{id}/release", h.handleRelease)
 	h.mux.HandleFunc("GET /v1/streams/{id}/export", h.handleExport)
 	h.mux.HandleFunc("POST /v1/streams/{id}/restore", h.handleRestore)
 	h.mux.HandleFunc("GET /v1/mem", h.handleMem)
 	h.mux.HandleFunc("POST /v1/checkpoint", h.handleCheckpoint)
 	h.mux.HandleFunc("POST /v1/shutdown", h.handleShutdown)
+	h.mux.HandleFunc("POST /v1/die", h.handleDie)
 	return h, nil
 }
 
@@ -113,6 +118,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 // ShutdownRequested is closed once a client POSTs /v1/shutdown; the
 // process embedding the handler stops its http.Server then.
 func (h *Handler) ShutdownRequested() <-chan struct{} { return h.shutdown }
+
+// KillRequested is closed once a client POSTs /v1/die: the embedding
+// process must stop abruptly — http.Server.Close, not Shutdown — so
+// in-flight connections are severed exactly as a crash would sever them.
+// Failover tests and drills use this to kill a worker deterministically.
+func (h *Handler) KillRequested() <-chan struct{} { return h.kill }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -250,6 +261,25 @@ func (h *Handler) handleEvict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
+func (h *Handler) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.slot(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.BarrierTimeout)
+	defer cancel()
+	ch := make(chan error, 1)
+	if err := h.srv.DoRawContext(ctx, id, func(st *serve.Stream) { ch <- st.Release() }); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "stream %d release: %v", id, err)
+		return
+	}
+	if err := <-ch; err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
 func (h *Handler) handleExport(w http.ResponseWriter, r *http.Request) {
 	id, ok := h.slot(w, r)
 	if !ok {
@@ -346,4 +376,12 @@ func (h *Handler) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleShutdown(w http.ResponseWriter, r *http.Request) {
 	h.shutOnce.Do(func() { close(h.shutdown) })
 	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (h *Handler) handleDie(w http.ResponseWriter, r *http.Request) {
+	// Best-effort 200 — the abrupt stop the embedder performs on
+	// KillRequested usually cuts this connection before the reply lands,
+	// which is why Client.Die tolerates transport errors.
+	writeJSON(w, http.StatusOK, struct{}{})
+	h.killOnce.Do(func() { close(h.kill) })
 }

@@ -317,6 +317,18 @@ func (s *Server) EvictStream(stream int) error {
 	return err
 }
 
+// ReleaseStream permanently drops stream i's state through a raw barrier:
+// the stream was migrated or failed over to another worker, the slot will
+// never serve its key again, and its resident bytes must stop being
+// charged here. See Stream.Release.
+func (s *Server) ReleaseStream(stream int) error {
+	var err error
+	if berr := s.barrier(stream, func(st *Stream) { err = st.Release() }, true); berr != nil {
+		return berr
+	}
+	return err
+}
+
 // MemLedger exposes the server's resident-bytes ledger.
 func (s *Server) MemLedger() *flops.MemLedger { return s.mem }
 

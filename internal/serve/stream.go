@@ -163,6 +163,10 @@ type Stream struct {
 	// has a round to settle (rehydrate + join) — otherwise drain-time
 	// stats would miss rounds on evicted streams but not on resident ones.
 	spilledPending bool
+	// released marks a terminal slot: the stream moved to another worker
+	// (migration or failover) and its state was dropped for good. Only the
+	// counters and the cost ledger remain readable.
+	released bool
 }
 
 // pendingRound is one in-flight background adaptation.
@@ -228,6 +232,9 @@ func (st *Stream) ID() int { return st.id }
 // flight the adapter is mutating it; use Server.Do (or call Sync first)
 // before reading token banks or graphs.
 func (st *Stream) Detector() *core.Detector {
+	if st.released {
+		return nil
+	}
 	if st.evicted {
 		if err := st.EnsureResident(); err != nil {
 			st.lastErr = err
@@ -240,6 +247,9 @@ func (st *Stream) Detector() *core.Detector {
 // Monitor returns the stream's score monitor, rehydrating an evicted
 // stream first (nil if rehydration fails; the error is retained on Err).
 func (st *Stream) Monitor() *core.Monitor {
+	if st.released {
+		return nil
+	}
 	if st.evicted {
 		if err := st.EnsureResident(); err != nil {
 			st.lastErr = err
@@ -284,7 +294,7 @@ func (st *Stream) clone() (*core.Detector, error) {
 // processing goroutine.
 func (st *Stream) MemBreakdown() flops.MemBreakdown {
 	var b flops.MemBreakdown
-	if st.evicted {
+	if st.evicted || st.released {
 		return b
 	}
 	dm := st.det.Mem()
@@ -328,6 +338,9 @@ func (st *Stream) updateMem() {
 func (st *Stream) Evict() error {
 	if st.evicted {
 		return nil
+	}
+	if st.released {
+		return fmt.Errorf("serve: stream %d is released; nothing to evict", st.id)
 	}
 	if st.spillDir == "" || st.rebuild == nil {
 		return fmt.Errorf("serve: stream %d has no spill directory configured", st.id)
@@ -411,6 +424,46 @@ func (st *Stream) EnsureResident() error {
 	return nil
 }
 
+// Release permanently drops the stream's state: its contents moved to
+// another worker (a migrated-away or failed-over slot) and this slot will
+// never serve the key again. Unlike Evict nothing is spilled — detector,
+// monitor and adapter are discarded, the COW marks the detector placed on
+// the shared backbone are rolled back (so the backbone stops paying
+// copy-on-write faults for a dead alias), the spill file of an evicted
+// stream is deleted, and the memory ledger drops to zero. A released slot
+// is terminal: frames and state accessors fail, only the counters, score
+// ledger and Stats stay readable. Idempotent.
+func (st *Stream) Release() error {
+	if st.released {
+		return nil
+	}
+	if st.evicted {
+		st.dropSpill()
+		st.evicted = false
+		st.spilledPending = false
+	} else {
+		// Settle a background round before tearing down the state it is
+		// mutating; the result is discarded, not swapped in.
+		if st.pending != nil {
+			st.pending.g.Wait()
+			st.pending = nil
+		}
+		if st.scoreDet != nil && st.scoreDet != st.det {
+			st.scoreDet.DiscardClone()
+		}
+		if st.det != nil {
+			st.det.DiscardClone()
+		}
+	}
+	st.det, st.scoreDet, st.adapter, st.mon = nil, nil, nil, nil
+	st.released = true
+	st.updateMem()
+	return nil
+}
+
+// Released reports whether the stream's state was permanently dropped.
+func (st *Stream) Released() bool { return st.released }
+
 // dropSpill deletes the stream's spill file without rehydrating, used by
 // Shutdown when a rehydration attempt failed: the state is unrecoverable,
 // but the disk must not keep the orphan.
@@ -460,6 +513,10 @@ func (st *Stream) meter(phase string, fn func()) {
 func (st *Stream) Process(pix *tensor.Tensor) Result {
 	res := Result{Stream: st.id, Seq: st.frames}
 
+	if st.released {
+		res.Err = fmt.Errorf("serve: stream %d was released (its state moved to another worker)", st.id)
+		return res
+	}
 	if st.evicted {
 		if err := st.EnsureResident(); err != nil {
 			st.lastErr = err
@@ -596,6 +653,9 @@ func (st *Stream) account(rep core.AdaptReport) {
 // settling must account that round exactly as it would on a resident
 // stream. It returns the joined round's error, if any.
 func (st *Stream) Sync() error {
+	if st.released {
+		return nil
+	}
 	if st.evicted {
 		if !st.spilledPending {
 			return nil
@@ -663,6 +723,26 @@ func (st *Stream) configPin() snapshot.ConfigPin {
 // exact trajectory of an uninterrupted run — the round still lands at its
 // configured AdaptLagFrames offset.
 func (st *Stream) Export() (*snapshot.StreamState, error) {
+	if st.released {
+		// A tombstone: the slot's stream lives elsewhere now. Counters are
+		// preserved so post-hoc stats survive a checkpoint round trip;
+		// restoring a tombstone releases the target slot.
+		ss := &snapshot.StreamState{
+			ID:              st.id,
+			Config:          st.configPin(),
+			Released:        true,
+			Frames:          st.frames,
+			AdaptRounds:     st.adaptRounds,
+			TriggeredRounds: st.triggered,
+			PrunedNodes:     st.pruned,
+			CreatedNodes:    st.created,
+			Ledger:          st.ledger.Export(),
+		}
+		if st.lastErr != nil {
+			ss.LastErr = st.lastErr.Error()
+		}
+		return ss, nil
+	}
 	if st.evicted {
 		if err := st.EnsureResident(); err != nil {
 			return nil, err
@@ -729,6 +809,28 @@ func (st *Stream) Restore(ss *snapshot.StreamState) error {
 	}
 	if pin := st.configPin(); pin != ss.Config {
 		return fmt.Errorf("serve: stream %d config %+v does not match checkpoint config %+v", st.id, pin, ss.Config)
+	}
+	if ss.Released {
+		// The checkpoint recorded a tombstone: the stream had moved to
+		// another worker. Reproduce that end state — drop this slot's
+		// state and keep the recorded counters.
+		if err := st.Release(); err != nil {
+			return err
+		}
+		st.frames = ss.Frames
+		st.adaptRounds = ss.AdaptRounds
+		st.triggered = ss.TriggeredRounds
+		st.pruned = ss.PrunedNodes
+		st.created = ss.CreatedNodes
+		st.lastErr = nil
+		if ss.LastErr != "" {
+			st.lastErr = errors.New(ss.LastErr)
+		}
+		st.ledger.Import(ss.Ledger)
+		return nil
+	}
+	if st.released {
+		return fmt.Errorf("serve: stream %d was released; slots retire for good — restore into a fresh slot", st.id)
 	}
 	if st.evicted {
 		// The checkpoint replaces the spilled state wholesale: rebuild the

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// HealthConfig tunes worker failure detection.
+type HealthConfig struct {
+	// Interval between liveness probes per shard. Default 250ms.
+	Interval time.Duration
+	// Timeout bounds one probe. Default 1s. Keep it under Interval×
+	// Threshold or a single hung worker stretches detection latency.
+	Timeout time.Duration
+	// Threshold is how many consecutive failed probes declare a shard
+	// dead. Default 3. Higher values ride out transient stalls (a worker
+	// paused in a long adaptation round still answers /healthz — probes
+	// are served off the request path — so stalls here mean real trouble);
+	// lower values detect faster but may fail over a live worker.
+	Threshold int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	return c
+}
+
+// HealthMonitor probes every shard's Health endpoint on a fixed cadence
+// and, when a shard misses Threshold consecutive probes, marks it down
+// and runs the router's failover engine to rehome its keys onto
+// survivors. One goroutine per shard; a shard declared dead stays dead
+// (no flap-back — a replacement worker is an operator decision, see
+// Router.MarkUp).
+type HealthMonitor struct {
+	r      *Router
+	cfg    HealthConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	reports []*FailoverReport
+}
+
+// NewHealthMonitor builds a monitor over the router's fleet. Call Start
+// to begin probing and Stop to halt.
+func NewHealthMonitor(r *Router, cfg HealthConfig) *HealthMonitor {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &HealthMonitor{r: r, cfg: cfg.withDefaults(), ctx: ctx, cancel: cancel}
+}
+
+// Start launches one probe loop per shard.
+func (m *HealthMonitor) Start() {
+	for s := 0; s < m.r.NumShards(); s++ {
+		m.wg.Add(1)
+		go m.watch(s)
+	}
+}
+
+// Stop halts all probe loops and waits for them to exit. A failover in
+// progress is cancelled (its partial outcome is still reported).
+func (m *HealthMonitor) Stop() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Reports returns the failovers the monitor has run, in detection order.
+func (m *HealthMonitor) Reports() []*FailoverReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*FailoverReport, len(m.reports))
+	copy(out, m.reports)
+	return out
+}
+
+func (m *HealthMonitor) watch(shard int) {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	fails := 0
+	var firstFail time.Time
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		pctx, cancel := context.WithTimeout(m.ctx, m.cfg.Timeout)
+		h, err := m.r.Backend(shard).Health(pctx)
+		cancel()
+		if err == nil && h.OK {
+			fails = 0
+			continue
+		}
+		if fails == 0 {
+			firstFail = time.Now()
+		}
+		fails++
+		if fails < m.cfg.Threshold {
+			continue
+		}
+		detection := time.Since(firstFail)
+		m.r.MarkDown(shard)
+		rep, ferr := m.r.Failover(m.ctx, shard)
+		if rep == nil {
+			rep = &FailoverReport{Shard: shard}
+		}
+		rep.Detection = detection
+		if ferr != nil {
+			rep.Err = ferr.Error()
+		}
+		m.mu.Lock()
+		m.reports = append(m.reports, rep)
+		m.mu.Unlock()
+		// The shard is dead and its keys are rehomed; nothing left to
+		// probe.
+		return
+	}
+}

@@ -39,6 +39,25 @@ type Scenario struct {
 	MigrateTo  int
 	// SubmitTimeout bounds each submit round trip. Defaults to 60s.
 	SubmitTimeout time.Duration
+	// Kill, when set, kills a worker mid-run: immediately before Keys[0]
+	// submits its frame Kill.At, the run sends the Kill.Shard worker a
+	// die request (an abrupt stop — in-flight connections are severed,
+	// nothing drains). Requires failover to be armed (Config.SnapshotEvery
+	// and a running HealthMonitor), or every frame routed to the dead
+	// shard fails once RecoverTimeout lapses.
+	Kill *Kill
+	// RecoverTimeout bounds how long one frame retries through transient
+	// errors and ErrShardDown before the run fails — the window failover
+	// has to detect the death and rehome the key. Defaults to 30s.
+	RecoverTimeout time.Duration
+}
+
+// Kill names a worker to crash mid-run and when.
+type Kill struct {
+	// Shard is the worker to kill.
+	Shard int
+	// At kills immediately before Keys[0]'s frame At is submitted.
+	At int
 }
 
 // Report is one run's outcome. Latency percentiles are measured from
@@ -46,9 +65,13 @@ type Scenario struct {
 // behind a slow stream counts — the open-loop convention that avoids
 // coordinated omission.
 type Report struct {
-	Sent, OK                    int
-	Shed                        int // router admission + worker 429 + local overload drops
-	Failed                      int
+	Sent, OK int
+	Shed     int // router admission + worker 429 + local overload drops
+	Failed   int
+	// Retried counts extra submit attempts spent riding out transient
+	// errors and ErrShardDown (a frame that eventually scored counts in
+	// OK once; its failed attempts count here).
+	Retried                     int
 	Elapsed                     time.Duration
 	Throughput                  float64 // scored frames per second, aggregate
 	P50Ms, P99Ms, P999Ms, MaxMs float64
@@ -70,6 +93,10 @@ func Run(ctx context.Context, r *Router, sc Scenario) (*Report, error) {
 	timeout := sc.SubmitTimeout
 	if timeout <= 0 {
 		timeout = 60 * time.Second
+	}
+	recover := sc.RecoverTimeout
+	if recover <= 0 {
+		recover = 30 * time.Second
 	}
 	closed := sc.Rate <= 0
 
@@ -118,6 +145,18 @@ func Run(ctx context.Context, r *Router, sc Scenario) (*Report, error) {
 						return
 					}
 				}
+				if sc.Kill != nil && key == sc.Keys[0] && seq == sc.Kill.At {
+					// The die request is fire-and-forget: the worker cuts
+					// its connections before replying, and transport errors
+					// are the expected shape of success.
+					dctx, dcancel := context.WithTimeout(ctx, timeout)
+					err := r.Backend(sc.Kill.Shard).Die(dctx)
+					dcancel()
+					if err != nil && !netserve.IsTransient(err) {
+						fail(fmt.Errorf("shard: kill shard %d: %w", sc.Kill.Shard, err))
+						return
+					}
+				}
 				sched := start
 				if !closed {
 					sched = arrivals[seq]
@@ -132,9 +171,37 @@ func Run(ctx context.Context, r *Router, sc Scenario) (*Report, error) {
 				} else {
 					sched = time.Now()
 				}
+				frame := sc.Frame(key, seq)
 				sctx, cancel := context.WithTimeout(ctx, timeout)
-				res, err := r.Submit(sctx, key, sc.Frame(key, seq))
+				res, err := r.Submit(sctx, key, frame)
 				cancel()
+				// Ride out a worker crash: transient transport errors (the
+				// in-flight frame died with its connection) and ErrShardDown
+				// (the route still points at the corpse) retry the same
+				// frame until failover rehomes the key onto a survivor. The
+				// failed frame is never in the router's replay log — only
+				// scored frames are — so the retry is the frame's first and
+				// only scoring on the new home.
+				if err != nil && (errors.Is(err, ErrShardDown) || netserve.IsTransient(err)) {
+					deadline := time.Now().Add(recover)
+					for time.Now().Before(deadline) {
+						select {
+						case <-time.After(50 * time.Millisecond):
+						case <-ctx.Done():
+							fail(ctx.Err())
+							return
+						}
+						mu.Lock()
+						rep.Retried++
+						mu.Unlock()
+						sctx, cancel = context.WithTimeout(ctx, timeout)
+						res, err = r.Submit(sctx, key, frame)
+						cancel()
+						if err == nil || (!errors.Is(err, ErrShardDown) && !netserve.IsTransient(err)) {
+							break
+						}
+					}
+				}
 				lat := time.Since(sched)
 				mu.Lock()
 				rep.Sent++

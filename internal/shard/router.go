@@ -10,8 +10,12 @@
 // The router is client-side: it owns the key→(shard,slot) table and the
 // slot allocators, and every consumer of the fleet goes through one
 // router (workers themselves stay key-agnostic, addressing only local
-// slot indices). The package also ships the open-loop load generator the
-// latency claims are measured with (see loadgen.go).
+// slot indices). The package also ships the fault-tolerance layer — a
+// health monitor that detects dead workers (see health.go) and a failover
+// engine that rehomes their keys onto survivors from the router's cached
+// per-key snapshots, replaying the frames scored since — and the
+// open-loop load generator the latency claims are measured with (see
+// loadgen.go).
 package shard
 
 import (
@@ -19,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"edgekg/internal/netserve"
 )
@@ -29,17 +35,30 @@ import (
 // the target shard already has MaxInflight frames in flight.
 var ErrOverload = errors.New("shard: shard overloaded")
 
+// ErrShardDown reports a submit routed to a shard the health monitor has
+// marked down. Callers retry: once failover rehomes the key onto a
+// survivor, the same Submit succeeds on the new route.
+var ErrShardDown = errors.New("shard: shard down")
+
 // Backend is one worker process as the router sees it. *netserve.Client
 // wrapped by NetBackend is the production implementation; tests use
 // fakes.
 type Backend interface {
 	// Slots is the worker's stream-slot capacity.
 	Slots() int
+	// Health probes the worker's liveness and shape.
+	Health(ctx context.Context) (netserve.Health, error)
 	// SubmitFrame scores one frame on a local slot.
 	SubmitFrame(ctx context.Context, slot int, frame []float64) (netserve.FrameReply, error)
 	// ExportRaw and RestoreRaw move one slot's serialized state.
 	ExportRaw(ctx context.Context, slot int) ([]byte, error)
 	RestoreRaw(ctx context.Context, slot int, state []byte) error
+	// Release permanently drops a slot's stream state (the stream moved
+	// elsewhere; the slot retires).
+	Release(ctx context.Context, slot int) error
+	// Die asks the worker to stop abruptly — the crash simulation failure
+	// drills use.
+	Die(ctx context.Context) error
 }
 
 // netBackend adapts a netserve.Client to the Backend interface.
@@ -59,11 +78,30 @@ type Config struct {
 	// submits beyond it are shed with ErrOverload instead of queued.
 	// Defaults to 2× the shard's slot count.
 	MaxInflight int
+	// SnapshotEvery arms failover protection: the router keeps, per key,
+	// the latest ExportRaw snapshot of its slot (taken before the key's
+	// first frame, then refreshed every SnapshotEvery scored frames) plus
+	// the frames scored since. When a shard dies, Failover restores each
+	// of its keys from that snapshot on a survivor and replays the logged
+	// frames, so the continued trajectory is bit-exact. 0 disables (no
+	// snapshot traffic, no failover).
+	//
+	// The cadence is the freshness/cost dial: small values bound replay
+	// work after a crash tightly but pay an export round trip (and its
+	// raw barrier on the worker) more often.
+	SnapshotEvery int
 }
 
 // Route locates one stream key on the fleet.
 type Route struct {
 	Shard, Slot int
+}
+
+// keyGuard is one key's failover protection: the newest state snapshot
+// and the frames scored since it was taken.
+type keyGuard struct {
+	snapshot []byte
+	replay   [][]float64
 }
 
 // Router hashes stream keys across shards and tracks slot assignments.
@@ -77,7 +115,14 @@ type Router struct {
 	mu       sync.Mutex
 	routes   map[string]Route
 	nextSlot []int
+	guards   map[string]*keyGuard
 
+	// migMu serializes migrations and failovers, so a reserved target
+	// slot can be rolled back on failure without interleaving with
+	// another migration's reservation.
+	migMu sync.Mutex
+
+	down     []atomic.Bool
 	inflight []int64
 	shed     atomic.Int64
 }
@@ -92,6 +137,8 @@ func New(backends []Backend, cfg Config) (*Router, error) {
 		cfg:      cfg,
 		routes:   make(map[string]Route),
 		nextSlot: make([]int, len(backends)),
+		guards:   make(map[string]*keyGuard),
+		down:     make([]atomic.Bool, len(backends)),
 		inflight: make([]int64, len(backends)),
 	}, nil
 }
@@ -105,6 +152,26 @@ func (r *Router) Backend(shard int) Backend { return r.backends[shard] }
 
 // Shed returns how many submits the router's admission control dropped.
 func (r *Router) Shed() int64 { return r.shed.Load() }
+
+// SlotsInUse returns how many of shard's slots are allocated (including
+// retired migrated-away slots — slot indices are monotonic).
+func (r *Router) SlotsInUse(shard int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextSlot[shard]
+}
+
+// MarkDown flags a shard as dead: submits routed to it fail fast with
+// ErrShardDown instead of timing out against a corpse. The health monitor
+// calls this at its failure threshold; Failover marks too.
+func (r *Router) MarkDown(shard int) { r.down[shard].Store(true) }
+
+// MarkUp clears a shard's down flag (a replacement worker came back on
+// the same address).
+func (r *Router) MarkUp(shard int) { r.down[shard].Store(false) }
+
+// Down reports whether a shard is marked dead.
+func (r *Router) Down(shard int) bool { return r.down[shard].Load() }
 
 // hashShard is the key's home shard: FNV-1a over the key, mod fleet
 // size — deterministic across processes and runs, which is what lets a
@@ -134,9 +201,9 @@ func (r *Router) Route(key string) (Route, error) {
 }
 
 // allocate reserves the next free slot on shard. Caller holds mu. Slots
-// retire monotonically: a migrated-away slot is not reused (its stream
-// state still occupies it on the worker), and a slot reserved for a
-// migration that then fails is dropped rather than recycled.
+// retire monotonically: a migrated-away slot is not reused (it is retired
+// on the worker), but a reservation whose restore fails is rolled back —
+// see Migrate — so a failed migration leaves capacity unchanged.
 func (r *Router) allocate(shard int) (Route, error) {
 	if r.nextSlot[shard] >= r.backends[shard].Slots() {
 		return Route{}, fmt.Errorf("shard: shard %d out of stream slots (%d in use)", shard, r.nextSlot[shard])
@@ -146,13 +213,40 @@ func (r *Router) allocate(shard int) (Route, error) {
 	return rt, nil
 }
 
+// unreserve rolls back a just-reserved slot after a failed restore.
+// Reservations under migMu cannot interleave, so the slot is the shard's
+// newest unless a concurrent Route allocation slipped in between — in
+// that rare race the slot retires instead (never reused; its state on the
+// worker is indeterminate after a half-applied restore).
+func (r *Router) unreserve(rt Route) {
+	r.mu.Lock()
+	if r.nextSlot[rt.Shard] == rt.Slot+1 {
+		r.nextSlot[rt.Shard]--
+	}
+	r.mu.Unlock()
+}
+
 // Submit routes one frame to its key's shard, shedding with ErrOverload
 // when the shard's in-flight bound is reached. netserve.ErrBusy from the
 // worker (its per-slot gate) passes through — callers treat both as shed.
+// A shard marked down fails fast with ErrShardDown; with failover armed
+// (Config.SnapshotEvery) the caller retries and lands on the survivor
+// once the key is rehomed.
 func (r *Router) Submit(ctx context.Context, key string, frame []float64) (netserve.FrameReply, error) {
 	rt, err := r.Route(key)
 	if err != nil {
 		return netserve.FrameReply{}, err
+	}
+	if r.down[rt.Shard].Load() {
+		return netserve.FrameReply{}, fmt.Errorf("key %q shard %d: %w", key, rt.Shard, ErrShardDown)
+	}
+	if r.cfg.SnapshotEvery > 0 {
+		// The initial snapshot must land before the key's first frame:
+		// without it a crash before the first refresh would leave nothing
+		// to rebuild the trajectory from.
+		if err := r.ensureSnapshot(ctx, key, rt); err != nil {
+			return netserve.FrameReply{}, err
+		}
 	}
 	max := r.cfg.MaxInflight
 	if max <= 0 {
@@ -163,20 +257,86 @@ func (r *Router) Submit(ctx context.Context, key string, frame []float64) (netse
 		r.shed.Add(1)
 		return netserve.FrameReply{}, ErrOverload
 	}
-	defer atomic.AddInt64(&r.inflight[rt.Shard], -1)
-	return r.backends[rt.Shard].SubmitFrame(ctx, rt.Slot, frame)
+	rep, err := func() (netserve.FrameReply, error) {
+		defer atomic.AddInt64(&r.inflight[rt.Shard], -1)
+		return r.backends[rt.Shard].SubmitFrame(ctx, rt.Slot, frame)
+	}()
+	if err == nil && r.cfg.SnapshotEvery > 0 {
+		r.recordScored(ctx, key, rt, frame)
+	}
+	return rep, err
+}
+
+// ensureSnapshot takes the key's initial state snapshot (before its first
+// frame). The exported bytes restore onto any fresh slot with RNG and
+// counters intact, which is what makes a failed-over key's trajectory
+// independent of which slot it lands on.
+func (r *Router) ensureSnapshot(ctx context.Context, key string, rt Route) error {
+	r.mu.Lock()
+	g := r.guards[key]
+	if g == nil {
+		g = &keyGuard{}
+		r.guards[key] = g
+	}
+	have := g.snapshot != nil
+	r.mu.Unlock()
+	if have {
+		return nil
+	}
+	state, err := r.backends[rt.Shard].ExportRaw(ctx, rt.Slot)
+	if err != nil {
+		return fmt.Errorf("shard: key %q initial snapshot: %w", key, err)
+	}
+	r.mu.Lock()
+	if g.snapshot == nil {
+		g.snapshot = state
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// recordScored logs one successfully scored frame into the key's replay
+// buffer and refreshes the snapshot at the configured cadence. Only
+// scored frames enter the log: a frame whose submit failed is the
+// caller's to retry, and replaying it here too would double-score it.
+func (r *Router) recordScored(ctx context.Context, key string, rt Route, frame []float64) {
+	r.mu.Lock()
+	g := r.guards[key]
+	g.replay = append(g.replay, append([]float64(nil), frame...))
+	due := len(g.replay) >= r.cfg.SnapshotEvery
+	r.mu.Unlock()
+	if !due {
+		return
+	}
+	// A raw barrier on the worker: the export does not join a pending
+	// adaptation round, so the cadence does not perturb the trajectory.
+	state, err := r.backends[rt.Shard].ExportRaw(ctx, rt.Slot)
+	if err != nil {
+		// Keep the older snapshot and the longer replay log; the next
+		// scored frame retries the refresh.
+		return
+	}
+	r.mu.Lock()
+	g.snapshot, g.replay = state, nil
+	r.mu.Unlock()
 }
 
 // Migrate moves a key's stream to a fresh slot on another shard via the
 // checkpoint path: export on the source worker (a raw barrier — an
 // in-flight adaptation round keeps its swap schedule), restore on the
-// target, repoint the route. The caller must quiesce the key first (no
-// frame of the key in flight); other keys are unaffected throughout. On
-// error the route is unchanged and the source slot still serves.
+// target, repoint the route, then release the source slot's now-duplicate
+// state so the source worker stops charging its resident bytes. The
+// caller must quiesce the key first (no frame of the key in flight);
+// other keys are unaffected throughout. The target slot is
+// reserve-then-commit: on any failure before the repoint the reservation
+// is rolled back — the route is unchanged, the source slot still serves,
+// and the target shard's capacity is what it was.
 func (r *Router) Migrate(ctx context.Context, key string, toShard int) (Route, error) {
 	if toShard < 0 || toShard >= len(r.backends) {
 		return Route{}, fmt.Errorf("shard: no shard %d", toShard)
 	}
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
 	r.mu.Lock()
 	from, ok := r.routes[key]
 	r.mu.Unlock()
@@ -197,10 +357,141 @@ func (r *Router) Migrate(ctx context.Context, key string, toShard int) (Route, e
 		return Route{}, fmt.Errorf("shard: migrate %q: %w", key, err)
 	}
 	if err := r.backends[toShard].RestoreRaw(ctx, to.Slot, state); err != nil {
+		r.unreserve(to)
 		return Route{}, fmt.Errorf("shard: migrate %q: restore: %w", key, err)
 	}
 	r.mu.Lock()
 	r.routes[key] = to
+	if g := r.guards[key]; g != nil {
+		// The export is a fresh frame-boundary snapshot of the moved
+		// state: adopt it and clear the replay log.
+		g.snapshot, g.replay = state, nil
+	}
 	r.mu.Unlock()
+	// The moved stream's source copy is now dead weight on the source
+	// worker (ledger bytes, spill eligibility). Drop it. Best-effort: the
+	// migration itself is complete, and a failed release only means the
+	// source worker keeps charging memory for a slot that will never
+	// serve again.
+	if err := r.backends[from.Shard].Release(ctx, from.Slot); err != nil && !r.down[from.Shard].Load() {
+		return to, fmt.Errorf("shard: migrate %q: moved, but releasing source slot failed: %w", key, err)
+	}
 	return to, nil
+}
+
+// FailoverReport is one failover's outcome.
+type FailoverReport struct {
+	// Shard is the dead shard.
+	Shard int
+	// Keys are the keys that were homed on it, in deterministic order.
+	Keys []string
+	// Rehomed maps each recovered key to its new placement.
+	Rehomed map[string]Route
+	// FramesReplayed counts frames re-scored from the replay logs to roll
+	// the restored snapshots forward to the crash point.
+	FramesReplayed int
+	// Detection is how long the health monitor took from the first failed
+	// probe to marking the shard down (filled by the monitor).
+	Detection time.Duration
+	// Recovery is the failover engine's own time: restores plus replays.
+	Recovery time.Duration
+	// Err carries the failure text when some keys could not be recovered.
+	Err string `json:",omitempty"`
+}
+
+// Failover rehomes every key of a dead shard onto surviving shards from
+// the router's cached snapshots (Config.SnapshotEvery must be on),
+// replaying the frames scored since each snapshot so the continued score
+// trajectories are bit-exact with an uninterrupted run. Keys land on the
+// survivor with the most free slots (ties to the lowest index). Routes
+// repoint only after a key's restore and replay both succeed, so a
+// caller retrying ErrShardDown cannot race a half-recovered stream. Keys
+// that cannot be recovered keep their dead route and are reported in the
+// joined error.
+func (r *Router) Failover(ctx context.Context, dead int) (*FailoverReport, error) {
+	if dead < 0 || dead >= len(r.backends) {
+		return nil, fmt.Errorf("shard: no shard %d", dead)
+	}
+	if r.cfg.SnapshotEvery <= 0 {
+		return nil, fmt.Errorf("shard: failover is not armed (Config.SnapshotEvery is 0)")
+	}
+	r.MarkDown(dead)
+	r.migMu.Lock()
+	defer r.migMu.Unlock()
+	start := time.Now()
+	r.mu.Lock()
+	var keys []string
+	for k, rt := range r.routes {
+		if rt.Shard == dead {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	r.mu.Unlock()
+
+	rep := &FailoverReport{Shard: dead, Keys: keys, Rehomed: make(map[string]Route, len(keys))}
+	var errs []error
+	for _, key := range keys {
+		r.mu.Lock()
+		g := r.guards[key]
+		var snap []byte
+		var replay [][]float64
+		if g != nil {
+			snap = g.snapshot
+			replay = g.replay
+		}
+		r.mu.Unlock()
+		if snap == nil {
+			errs = append(errs, fmt.Errorf("shard: failover: key %q has no cached snapshot", key))
+			continue
+		}
+		r.mu.Lock()
+		target, bestFree := -1, 0
+		for s := range r.backends {
+			if s == dead || r.down[s].Load() {
+				continue
+			}
+			if free := r.backends[s].Slots() - r.nextSlot[s]; free > bestFree {
+				bestFree, target = free, s
+			}
+		}
+		var to Route
+		var err error
+		if target < 0 {
+			err = fmt.Errorf("shard: failover: no surviving shard has a free slot for key %q", key)
+		} else {
+			to, err = r.allocate(target)
+		}
+		r.mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := r.backends[to.Shard].RestoreRaw(ctx, to.Slot, snap); err != nil {
+			r.unreserve(to)
+			errs = append(errs, fmt.Errorf("shard: failover: restore key %q: %w", key, err))
+			continue
+		}
+		replayOK := true
+		for i, f := range replay {
+			// Replay scores are discarded: the original submits already
+			// delivered them to the driver. This only rolls the restored
+			// state forward to the exact frame the dead worker had reached.
+			if _, err := r.backends[to.Shard].SubmitFrame(ctx, to.Slot, f); err != nil {
+				errs = append(errs, fmt.Errorf("shard: failover: replay key %q frame %d of %d: %w", key, i+1, len(replay), err))
+				replayOK = false
+				break
+			}
+			rep.FramesReplayed++
+		}
+		if !replayOK {
+			continue
+		}
+		r.mu.Lock()
+		r.routes[key] = to
+		r.mu.Unlock()
+		rep.Rehomed[key] = to
+	}
+	rep.Recovery = time.Since(start)
+	return rep, errors.Join(errs...)
 }

@@ -19,10 +19,14 @@ type fakeBackend struct {
 	slots int
 	block chan struct{} // when non-nil, SubmitFrame waits on it
 
-	mu       sync.Mutex
-	submits  map[int]int    // slot → frames received
-	states   map[int][]byte // slot → restored state
-	exported map[int][]byte // slot → state ExportRaw hands out
+	mu         sync.Mutex
+	submits    map[int]int    // slot → frames received
+	states     map[int][]byte // slot → restored state
+	exported   map[int][]byte // slot → state ExportRaw hands out
+	released   map[int]bool   // slot → Release called
+	restoreErr error          // when non-nil, RestoreRaw fails with it
+	submitErr  error          // when non-nil, SubmitFrame fails with it
+	dead       bool           // Die was called; everything errors
 }
 
 func newFake(slots int) *fakeBackend {
@@ -31,10 +35,24 @@ func newFake(slots int) *fakeBackend {
 		submits:  make(map[int]int),
 		states:   make(map[int][]byte),
 		exported: make(map[int][]byte),
+		released: make(map[int]bool),
 	}
 }
 
 func (f *fakeBackend) Slots() int { return f.slots }
+
+func (f *fakeBackend) isDead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+func (f *fakeBackend) Health(ctx context.Context) (netserve.Health, error) {
+	if f.isDead() {
+		return netserve.Health{}, errors.New("fake: connection refused")
+	}
+	return netserve.Health{OK: true, Streams: f.slots}, nil
+}
 
 func (f *fakeBackend) SubmitFrame(ctx context.Context, slot int, frame []float64) (netserve.FrameReply, error) {
 	if f.block != nil {
@@ -44,7 +62,15 @@ func (f *fakeBackend) SubmitFrame(ctx context.Context, slot int, frame []float64
 			return netserve.FrameReply{}, ctx.Err()
 		}
 	}
+	if f.isDead() {
+		return netserve.FrameReply{}, errors.New("fake: connection refused")
+	}
 	f.mu.Lock()
+	if f.submitErr != nil {
+		err := f.submitErr
+		f.mu.Unlock()
+		return netserve.FrameReply{}, err
+	}
 	f.submits[slot]++
 	seq := f.submits[slot] - 1
 	f.mu.Unlock()
@@ -52,6 +78,9 @@ func (f *fakeBackend) SubmitFrame(ctx context.Context, slot int, frame []float64
 }
 
 func (f *fakeBackend) ExportRaw(ctx context.Context, slot int) ([]byte, error) {
+	if f.isDead() {
+		return nil, errors.New("fake: connection refused")
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if s, ok := f.exported[slot]; ok {
@@ -63,7 +92,27 @@ func (f *fakeBackend) ExportRaw(ctx context.Context, slot int) ([]byte, error) {
 func (f *fakeBackend) RestoreRaw(ctx context.Context, slot int, state []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.restoreErr != nil {
+		return f.restoreErr
+	}
 	f.states[slot] = state
+	return nil
+}
+
+func (f *fakeBackend) Release(ctx context.Context, slot int) error {
+	if f.isDead() {
+		return errors.New("fake: connection refused")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.released[slot] = true
+	return nil
+}
+
+func (f *fakeBackend) Die(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dead = true
 	return nil
 }
 
@@ -313,4 +362,258 @@ func TestLoadgenOpenLoopShedsUnderOverload(t *testing.T) {
 	time.Sleep(100 * time.Millisecond)
 	close(f.block)
 	<-done
+}
+
+// TestMigrateRollbackOnRestoreFailure is the leaked-slot regression: when
+// the restore on the target worker fails, the reserved target slot must be
+// rolled back — target capacity unchanged, the route still pointing at the
+// (still serving) source slot, and the source slot NOT released.
+func TestMigrateRollbackOnRestoreFailure(t *testing.T) {
+	a, b := newFake(4), newFake(4)
+	r := newTestRouter(t, Config{}, a, b)
+	ctx := context.Background()
+
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("cam-%d", i)
+		if r.hashShard(key) == 0 {
+			break
+		}
+	}
+	from, err := r.Route(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.SlotsInUse(1)
+
+	b.mu.Lock()
+	b.restoreErr = errors.New("fake: disk full")
+	b.mu.Unlock()
+	if _, err := r.Migrate(ctx, key, 1); err == nil {
+		t.Fatal("migrate with a failing restore succeeded")
+	}
+	if got := r.SlotsInUse(1); got != before {
+		t.Fatalf("failed migration leaked a slot: shard 1 has %d in use, want %d", got, before)
+	}
+	if rt, err := r.Route(key); err != nil || rt != from {
+		t.Fatalf("failed migration moved the route: %v, %v (want %v)", rt, err, from)
+	}
+	a.mu.Lock()
+	rel := a.released[from.Slot]
+	a.mu.Unlock()
+	if rel {
+		t.Fatal("failed migration released the still-serving source slot")
+	}
+
+	// The rolled-back capacity is genuinely reusable: clear the fault and
+	// the same migration succeeds into the same capacity.
+	b.mu.Lock()
+	b.restoreErr = nil
+	b.mu.Unlock()
+	to, err := r.Migrate(ctx, key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SlotsInUse(1) != before+1 {
+		t.Fatalf("successful migration after rollback: shard 1 has %d in use, want %d", r.SlotsInUse(1), before+1)
+	}
+	if to.Shard != 1 {
+		t.Fatalf("migrated to %v", to)
+	}
+}
+
+// TestMigrateReleasesSourceSlot pins the retained-state fix: after a
+// successful migration the source worker is told to drop the moved
+// stream's now-duplicate state.
+func TestMigrateReleasesSourceSlot(t *testing.T) {
+	a, b := newFake(4), newFake(4)
+	r := newTestRouter(t, Config{}, a, b)
+	ctx := context.Background()
+
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("cam-%d", i)
+		if r.hashShard(key) == 0 {
+			break
+		}
+	}
+	from, err := r.Route(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Migrate(ctx, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	rel := a.released[from.Slot]
+	a.mu.Unlock()
+	if !rel {
+		t.Fatal("successful migration left the source slot's state resident")
+	}
+}
+
+// TestSubmitShardDownFailsFast pins the down flag: submits to a marked
+// shard return ErrShardDown without touching the backend, and MarkUp
+// restores service.
+func TestSubmitShardDownFailsFast(t *testing.T) {
+	f := newFake(4)
+	r := newTestRouter(t, Config{}, f)
+	ctx := context.Background()
+	if _, err := r.Submit(ctx, "cam-0", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	r.MarkDown(0)
+	if _, err := r.Submit(ctx, "cam-0", []float64{1}); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("submit to a down shard: %v, want ErrShardDown", err)
+	}
+	f.mu.Lock()
+	n := f.submits[0]
+	f.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("down shard still saw %d submits, want 1", n)
+	}
+	r.MarkUp(0)
+	if _, err := r.Submit(ctx, "cam-0", []float64{1}); err != nil {
+		t.Fatalf("submit after MarkUp: %v", err)
+	}
+}
+
+// TestRouteSlotExhaustionAcrossShards pins per-shard exhaustion in a
+// fleet: a full home shard fails its keys loudly while the other shard
+// keeps allocating — capacity is per-shard, never silently borrowed
+// (failover rehoming is the only cross-shard placement).
+func TestRouteSlotExhaustionAcrossShards(t *testing.T) {
+	r := newTestRouter(t, Config{}, newFake(1), newFake(1))
+	byShard := map[int][]string{}
+	for i := 0; len(byShard[0]) < 2 || len(byShard[1]) < 2; i++ {
+		key := fmt.Sprintf("cam-%d", i)
+		s := r.hashShard(key)
+		byShard[s] = append(byShard[s], key)
+	}
+	for s := 0; s < 2; s++ {
+		if _, err := r.Route(byShard[s][0]); err != nil {
+			t.Fatalf("shard %d first key: %v", s, err)
+		}
+	}
+	for s := 0; s < 2; s++ {
+		if _, err := r.Route(byShard[s][1]); err == nil {
+			t.Fatalf("shard %d second key on a 1-slot shard: want out-of-slots error", s)
+		}
+	}
+	// Existing placements undisturbed by the failures.
+	for s := 0; s < 2; s++ {
+		if rt, err := r.Route(byShard[s][0]); err != nil || rt.Shard != s || rt.Slot != 0 {
+			t.Fatalf("shard %d key perturbed: %v, %v", s, rt, err)
+		}
+	}
+}
+
+// TestBusyAndOverloadPassThroughConcurrent pins shed classification under
+// concurrency: worker-side ErrBusy passes through the router untouched,
+// router-side ErrOverload is produced at the admission bound, and no
+// submit ever turns into a different error class.
+func TestBusyAndOverloadPassThroughConcurrent(t *testing.T) {
+	busy := newFake(8)
+	busy.mu.Lock()
+	busy.submitErr = fmt.Errorf("wrapped: %w", netserve.ErrBusy)
+	busy.mu.Unlock()
+	r := newTestRouter(t, Config{MaxInflight: 2}, busy)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Submit(ctx, fmt.Sprintf("cam-%d", i%4), []float64{1})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, netserve.ErrBusy) && !errors.Is(err, ErrOverload) {
+			t.Fatalf("submit %d: %v, want ErrBusy or ErrOverload", i, err)
+		}
+	}
+}
+
+// TestFailoverRehomesFromSnapshot drives the failover engine against
+// scripted backends: the dead shard's keys restore from their cached
+// snapshots on the survivor, the logged frames replay, routes repoint, and
+// a key without a snapshot is reported rather than silently dropped.
+func TestFailoverRehomesFromSnapshot(t *testing.T) {
+	a, b := newFake(8), newFake(8)
+	r := newTestRouter(t, Config{SnapshotEvery: 2}, a, b)
+	ctx := context.Background()
+
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("cam-%d", i)
+		if r.hashShard(key) == 0 {
+			break
+		}
+	}
+	from, err := r.Route(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	a.exported[from.Slot] = []byte("armed-state")
+	a.mu.Unlock()
+	// 3 scored frames with SnapshotEvery=2: snapshot refreshed after the
+	// second, one frame left in the replay log.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Submit(ctx, key, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := r.Failover(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rehomed) != 1 || rep.FramesReplayed != 1 {
+		t.Fatalf("failover report: %+v", rep)
+	}
+	to, ok := rep.Rehomed[key]
+	if !ok || to.Shard != 1 {
+		t.Fatalf("key rehomed to %v", to)
+	}
+	b.mu.Lock()
+	restored := string(b.states[to.Slot])
+	replayed := b.submits[to.Slot]
+	b.mu.Unlock()
+	if restored != "armed-state" {
+		t.Fatalf("survivor slot restored %q, want the cached snapshot", restored)
+	}
+	if replayed != 1 {
+		t.Fatalf("survivor slot saw %d replay frames, want 1", replayed)
+	}
+	if rt, err := r.Route(key); err != nil || rt != to {
+		t.Fatalf("route after failover: %v, %v (want %v)", rt, err, to)
+	}
+	if !r.Down(0) {
+		t.Fatal("failover did not mark the shard down")
+	}
+	// Post-failover submits flow to the survivor.
+	if _, err := r.Submit(ctx, key, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A key the router never snapshotted (routed but no frame submitted
+	// after arming) is reported, not silently lost.
+	r2 := newTestRouter(t, Config{SnapshotEvery: 2}, newFake(2), newFake(2))
+	var k2 string
+	for i := 0; ; i++ {
+		k2 = fmt.Sprintf("cam-%d", i)
+		if r2.hashShard(k2) == 0 {
+			break
+		}
+	}
+	if _, err := r2.Route(k2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Failover(ctx, 0); err == nil {
+		t.Fatal("failover of an unsnapshotted key: want a reported error")
+	}
 }

@@ -85,6 +85,12 @@ type StreamState struct {
 	ID     int       `json:"id"`
 	Config ConfigPin `json:"config"`
 
+	// Released marks a tombstone: the slot's stream was migrated or failed
+	// over to another worker and its state permanently dropped here. A
+	// tombstone carries only the counters (for post-hoc stats); restoring
+	// one releases the target slot instead of installing state.
+	Released bool `json:"released,omitempty"`
+
 	Frames          int    `json:"frames"`
 	AdaptRounds     int    `json:"adapt_rounds"`
 	TriggeredRounds int    `json:"triggered_rounds"`
