@@ -23,6 +23,7 @@ import (
 	"edgekg/internal/serve"
 	"edgekg/internal/shard"
 	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
 )
 
 // The micro-benchmark harness mirrors the hot-path benchmarks of
@@ -67,11 +68,18 @@ type benchResult struct {
 
 // benchReport is the BENCH_<n>.json schema.
 type benchReport struct {
-	GoVersion  string        `json:"go_version"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	Workers    int           `json:"workers"`
-	Scale      string        `json:"scale"`
-	Results    []benchResult `json:"results"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	Scale      string `json:"scale"`
+	// Backend is the kernel backend the unsuffixed benches ran under (the
+	// one selected at init: best available, or the EDGEKG_BACKEND
+	// override). The "<bench>/<backend>" variants pin their own.
+	Backend string `json:"backend"`
+	// CPUFeatures records the SIMD extensions detected on this host, so a
+	// perf trajectory shows what hardware produced each number.
+	CPUFeatures []string      `json:"cpu_features"`
+	Results     []benchResult `json:"results"`
 }
 
 // runMicroBenches executes the hot-path benchmarks against env and writes
@@ -85,10 +93,12 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 	}
 
 	report := benchReport{
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Workers:    parallel.Workers(),
-		Scale:      scale,
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     parallel.Workers(),
+		Scale:       scale,
+		Backend:     kernels.Active().Name(),
+		CPUFeatures: kernels.CPUFeatures(),
 	}
 
 	add := func(name string, fn func()) {
@@ -153,6 +163,29 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 	bsrc := src.WithLabelMap(dataset.BinaryLabelMap)
 	tr := core.NewTrainer(trainDet, core.DefaultTrainConfig())
 	add("TrainStep", func() { tr.Step(rng, bsrc) })
+
+	// Per-backend variants of the three headline benches: the same
+	// workloads pinned to each registered kernel backend, in one report, so
+	// the scalar → unrolled → avx2 trajectory is measured on the same host
+	// in the same run. The forward benches reuse the scoring fixtures (no
+	// mutation); TrainStep gets a fresh same-seed fixture per backend so
+	// every backend trains from identical starting weights.
+	for _, bkName := range kernels.Names() {
+		restore, err := kernels.Use(bkName)
+		if err != nil {
+			return fmt.Errorf("backend %s: %w", bkName, err)
+		}
+		add("GNNForward/"+bkName, func() { det.EmbedFrames(frames) })
+		add("TemporalForwardBatch/"+bkName, func() { det.Temporal().ForwardBatch(autograd.Constant(wins), winBatch) })
+		bkDet, _, berr := env.BuildTrainedDetector(concept.Stealing, 1002)
+		if berr != nil {
+			restore()
+			return fmt.Errorf("train fixture (%s): %w", bkName, berr)
+		}
+		bkTr := core.NewTrainer(bkDet, core.DefaultTrainConfig())
+		add("TrainStep/"+bkName, func() { bkTr.Step(rng, bsrc) })
+		restore()
+	}
 
 	// The 4-clip microbatch pair: the sequential-accumulation reference
 	// versus the data-parallel sharded step, same semantics (equivalence

@@ -14,17 +14,21 @@
 // reporting fleet throughput and p50/p99/p999 per-frame latency, plus a
 // failover drill killing one of the two workers mid-run and reporting
 // detection latency, recovery time and frames replayed) and emits a
-// machine-readable JSON report (-json, default BENCH_8.json) recording
+// machine-readable JSON report (-json, default BENCH_9.json) recording
 // ns/op, allocs/op, bytes/op and FLOPs per operation, so successive PRs
-// have a comparable performance trajectory. -smoke runs each benchmark
-// body once without the timing loop, which is how CI keeps the bench
-// code from rotting.
+// have a comparable performance trajectory. The report header records the
+// selected kernel backend and the host's detected CPU features, and the
+// GNN forward, batched temporal forward and train-step benches also run
+// once per registered backend ("GNNForward/scalar", ".../unrolled",
+// ".../avx2") so one run measures the dispatch speedup. -smoke runs each
+// benchmark body once without the timing loop, which is how CI keeps the
+// bench code from rotting.
 //
 // Usage:
 //
 //	benchall -exp all -scale quick
 //	benchall -exp fig5b -scale full -csv out/
-//	benchall -exp bench -json BENCH_8.json
+//	benchall -exp bench -json BENCH_9.json
 //	benchall -exp bench -smoke -json /tmp/bench-smoke.json
 package main
 
@@ -46,7 +50,7 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: fig5a1 | fig5a2 | fig5b | fig6 | table1 | bench | all")
 		scale    = flag.String("scale", "quick", "preset sizing: quick | full")
 		csvDir   = flag.String("csv", "", "directory to also write CSV series into")
-		jsonPath = flag.String("json", "BENCH_8.json", "micro-benchmark JSON report path (empty disables)")
+		jsonPath = flag.String("json", "BENCH_9.json", "micro-benchmark JSON report path (empty disables)")
 		smoke    = flag.Bool("smoke", false, "bench smoke mode: run each benchmark body once, no timing loop (CI)")
 	)
 	flag.Parse()

@@ -7,6 +7,7 @@ import (
 	"edgekg/internal/flops"
 	"edgekg/internal/parallel"
 	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
 )
 
 // This file holds the fused attention ops of the batched temporal path.
@@ -91,6 +92,11 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 		grain = (1 << 16) / blockCost
 	}
 
+	// The fused loops call the same backend kernels as the composed
+	// reference ops (Dot for MatMulT2's inner product, Axpy for MatMul's
+	// accumulation), so fused-vs-sequential bit-identity holds per backend
+	// even where a kernel reassociates.
+	bk := kernels.Active()
 	forward := func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			b, h := idx/heads, idx%heads
@@ -105,11 +111,7 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 				// Scores: (Q·Kᵀ)·scale, the composed MatMulT2+Scale order.
 				for j := 0; j < jm; j++ {
 					krow := kd[(rowOff+j)*dim+colOff : (rowOff+j)*dim+colOff+dk]
-					s := 0.0
-					for p := 0; p < dk; p++ {
-						s += qrow[p] * krow[p]
-					}
-					arow[j] = s * scale
+					arow[j] = bk.Dot(qrow, krow) * scale
 				}
 				// Row softmax over the unmasked prefix. The reference path
 				// adds −1e9 to masked scores; after the max shift those
@@ -140,9 +142,7 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 						continue
 					}
 					vrow := vd[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
-					for j := 0; j < dk; j++ {
-						orow[j] += av * vrow[j]
-					}
+					bk.Axpy(av, vrow, orow)
 				}
 			}
 		}
@@ -182,16 +182,10 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 					// dAttn[i][p] = G_i·V_p ; dV_p += attn[i][p]·G_i.
 					for p := 0; p < jm; p++ {
 						vrow := vd[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
-						s := 0.0
-						for j := 0; j < dk; j++ {
-							s += grow[j] * vrow[j]
-						}
-						da[p] = s
+						da[p] = bk.Dot(grow, vrow)
 						if av := arow[p]; av != 0 && gv != nil {
 							gvrow := gv.Data()[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
-							for j := 0; j < dk; j++ {
-								gvrow[j] += av * grow[j]
-							}
+							bk.Axpy(av, grow, gvrow)
 						}
 					}
 					if gq == nil && gk == nil {
@@ -199,10 +193,7 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 					}
 					// Softmax backward, then the Scale adjoint, then the
 					// score-matmul adjoints dQ = dS·K and dK = dSᵀ·Q.
-					dot := 0.0
-					for p := 0; p < jm; p++ {
-						dot += arow[p] * da[p]
-					}
+					dot := bk.Dot(arow[:jm], da[:jm])
 					qrow := qd[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
 					for p := 0; p < jm; p++ {
 						ds := arow[p] * (da[p] - dot) * scale
@@ -212,15 +203,11 @@ func BatchedAttention(q, k, v *Value, batch, heads int, scale float64, causal bo
 						if gq != nil {
 							krow := kd[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
 							gqrow := gq.Data()[(rowOff+i)*dim+colOff : (rowOff+i)*dim+colOff+dk]
-							for j := 0; j < dk; j++ {
-								gqrow[j] += ds * krow[j]
-							}
+							bk.Axpy(ds, krow, gqrow)
 						}
 						if gk != nil {
 							gkrow := gk.Data()[(rowOff+p)*dim+colOff : (rowOff+p)*dim+colOff+dk]
-							for j := 0; j < dk; j++ {
-								gkrow[j] += ds * qrow[j]
-							}
+							bk.Axpy(ds, qrow, gkrow)
 						}
 					}
 				}
@@ -274,11 +261,9 @@ func AddTiled(x *Value, tile *tensor.Tensor) *Value {
 	}
 	out := tensor.New(r, c)
 	od, xd, td := out.Data(), x.Data.Data(), tile.Data()
+	bk := kernels.Active()
 	for i := 0; i < r; i++ {
-		orow, xrow, trow := od[i*c:(i+1)*c], xd[i*c:(i+1)*c], td[(i%t)*c:(i%t+1)*c]
-		for j := 0; j < c; j++ {
-			orow[j] = xrow[j] + trow[j]
-		}
+		bk.Add(xd[i*c:(i+1)*c], td[(i%t)*c:(i%t+1)*c], od[i*c:(i+1)*c])
 	}
 	flops.Add(int64(r * c))
 	return newOp3("addtiled", out, x, nil, nil, func(bp *Backprop, g *tensor.Tensor) {

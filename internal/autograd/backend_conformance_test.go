@@ -1,0 +1,186 @@
+package autograd
+
+// Backend conformance for the fused autograd kernels, reusing the shared
+// shape/payload grid from internal/tensor/kernels so the fused ops face
+// the same degenerate geometries and special-value payloads as the raw
+// kernels. Two pins per backend:
+//
+//   - The fused edge-aggregate forward/backward use only order-preserving
+//     kernels (MulAcc, Scale, ScaledMulAcc), so their outputs must be
+//     bit-identical across every backend.
+//   - BatchedAttention's scores and softmax adjoint use the reassociating
+//     Dot, so cross-backend agreement is tolerance-based — but within any
+//     single backend the fused op must still match the composed reference
+//     op chain bit-for-bit, which is the invariant the temporal model's
+//     equivalence suite relies on.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
+)
+
+// requireBitEqual compares two equal-length float slices bit-for-bit with
+// the NaN-matches-NaN rule.
+func requireBitEqual(t *testing.T, ctx string, ref, got []float64) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(ref), len(got))
+	}
+	for i := range ref {
+		if err := kernels.CompareExact(ref[i], got[i]); err != nil {
+			t.Fatalf("%s: element %d: %v", ctx, i, err)
+		}
+	}
+}
+
+// edgeCase builds a deterministic edge structure for an n-node graph:
+// roughly 3 edges per node including self-loops and repeated destinations,
+// with about half the nodes in-level.
+func edgeCase(rng *rand.Rand, n int) (src, dst []int, inLevel []bool) {
+	inLevel = make([]bool, n)
+	for i := range inLevel {
+		inLevel[i] = rng.Intn(2) == 0
+	}
+	if n > 0 {
+		ne := 3 * n
+		src = make([]int, ne)
+		dst = make([]int, ne)
+		for e := 0; e < ne; e++ {
+			src[e] = rng.Intn(n)
+			if e%5 == 0 {
+				dst[e] = src[e] // self-loop: gradient rows alias
+			} else {
+				dst[e] = rng.Intn(n)
+			}
+		}
+	}
+	return src, dst, inLevel
+}
+
+// TestEdgeAggBackendConformance pins the fused edge message/aggregate
+// forward and backward bit-for-bit across every backend on the shared
+// geometry and payload grid — these kernels are built entirely from the
+// order-preserving class, so no tolerance is allowed.
+func TestEdgeAggBackendConformance(t *testing.T) {
+	names := kernels.Names()
+	for di, dm := range kernels.ConformanceDims {
+		n, d := dm.M, dm.N
+		rng := rand.New(rand.NewSource(int64(300 + di)))
+		src, dst, inLevel := edgeCase(rng, n)
+		for _, p := range kernels.ConformancePayloads {
+			x := make([]float64, n*d)
+			g := make([]float64, n*d)
+			p.Fill(rand.New(rand.NewSource(int64(400+di))), x)
+			p.Fill(rand.New(rand.NewSource(int64(500+di))), g)
+
+			var refFwd, refBwd []float64
+			for _, name := range names {
+				restore, err := kernels.Use(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fwd := make([]float64, n*d)
+				bwd := make([]float64, n*d)
+				edgeAggForward(x, fwd, n, d, src, dst, inLevel)
+				edgeAggBackward(x, g, bwd, n, d, src, dst, inLevel)
+				restore()
+				if refFwd == nil {
+					refFwd, refBwd = fwd, bwd
+					continue
+				}
+				ctx := name + "/" + p.Name
+				requireBitEqual(t, ctx+"/edgeAggForward", refFwd, fwd)
+				requireBitEqual(t, ctx+"/edgeAggBackward", refBwd, bwd)
+			}
+		}
+	}
+}
+
+// TestEdgeAggFusedMatchesComposedPerBackend re-runs the fused-vs-composed
+// equivalence pin under every backend: routing the fused inner loops
+// through dispatch must not open a gap to the composed op chain on any of
+// them. The pin matches the established contract (fused_test.go): forward
+// bit-exact, backward within 1e-12 — the fused backward interleaves the
+// src/dst edge contributions where the composed path scatters all src
+// contributions before all dst ones, an accumulation-order gap of a ULP
+// that predates dispatch and exists identically on every backend.
+func TestEdgeAggFusedMatchesComposedPerBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const n, d = 13, 7
+	src, dst, inLevel := edgeCase(rng, n)
+	xdata := tensor.RandN(rng, 1, n, d)
+	for _, name := range kernels.Names() {
+		restore, err := kernels.Use(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xf := Param(xdata.Clone())
+		xc := Param(xdata.Clone())
+		fused := EdgeMessageAggregate(xf, src, dst, inLevel)
+		composed := EdgeAggregate(xc, EdgeMessage(xc, src, dst), dst, inLevel)
+		requireBitEqual(t, name+"/forward", composed.Data.Data(), fused.Data.Data())
+		Sum(fused).Backward()
+		Sum(composed).Backward()
+		if !tensor.AllClose(xc.Grad, xf.Grad, 1e-12) {
+			t.Errorf("%s: fused grad diverges from composed beyond 1e-12", name)
+		}
+		restore()
+	}
+}
+
+// TestBatchedAttentionBackendConformance checks the fused attention under
+// every backend: bit-identical to the composed per-window reference within
+// the backend, and within reassociation tolerance of the scalar backend's
+// output across backends.
+func TestBatchedAttentionBackendConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const batch, win, heads, dk = 3, 5, 2, 3
+	dim := heads * dk
+	scale := 1 / math.Sqrt(float64(dk))
+	qd := tensor.RandN(rng, 1, batch*win, dim)
+	kd := tensor.RandN(rng, 1, batch*win, dim)
+	vd := tensor.RandN(rng, 1, batch*win, dim)
+	gseed := tensor.RandN(rng, 1, batch*win, dim)
+
+	for _, causal := range []bool{false, true} {
+		var scalarOut, scalarGq *tensor.Tensor
+		for _, name := range kernels.Names() {
+			restore, err := kernels.Use(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, k, v := Param(qd.Clone()), Param(kd.Clone()), Param(vd.Clone())
+			fused := BatchedAttention(q, k, v, batch, heads, scale, causal)
+			qc, kc, vc := Param(qd.Clone()), Param(kd.Clone()), Param(vd.Clone())
+			composed := composedAttention(qc, kc, vc, batch, heads, scale, causal)
+			requireBitEqual(t, name+"/forward-vs-composed", composed.Data.Data(), fused.Data.Data())
+
+			Sum(Mul(fused, Constant(gseed))).Backward()
+			Sum(Mul(composed, Constant(gseed))).Backward()
+			// Backward agreement follows the established 1e-12 contract
+			// (attention_test.go): the composed graph accumulates adjoints
+			// through a different node order than the fused closure.
+			for i, pair := range [][2]*Value{{q, qc}, {k, kc}, {v, vc}} {
+				if !tensor.AllClose(pair[1].Grad, pair[0].Grad, 1e-12) {
+					t.Errorf("%s: causal=%v input %d grad diverges from composed beyond 1e-12", name, causal, i)
+				}
+			}
+
+			if name == "scalar" {
+				scalarOut, scalarGq = fused.Data, q.Grad
+			} else if scalarOut != nil {
+				if !tensor.AllClose(scalarOut, fused.Data, 1e-12) {
+					t.Errorf("%s: causal=%v forward diverges from scalar beyond 1e-12", name, causal)
+				}
+				if !tensor.AllClose(scalarGq, q.Grad, 1e-10) {
+					t.Errorf("%s: causal=%v q-grad diverges from scalar beyond 1e-10", name, causal)
+				}
+			}
+			restore()
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"edgekg/internal/flops"
 	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
 )
 
 // EdgeMessage computes the hierarchical message passing layer of eq. (2):
@@ -163,7 +164,11 @@ func edgeAggForward(xd, od []float64, n, d int, src, dst []int, inLevel []bool) 
 	for _, t := range dst {
 		counts[t]++
 	}
-	// Sum of products into in-level destination rows, in edge order.
+	// Sum of products into in-level destination rows, in edge order. The
+	// active kernel backend's MulAcc is bit-identical to the scalar loop
+	// (order-preserving class), so fused-vs-composed equivalence holds on
+	// every backend.
+	bk := kernels.Active()
 	for e, t := range dst {
 		if !inLevel[t] {
 			continue
@@ -172,18 +177,13 @@ func edgeAggForward(xd, od []float64, n, d int, src, dst []int, inLevel []bool) 
 		srow := xd[s*d : (s+1)*d]
 		trow := xd[t*d : (t+1)*d]
 		orow := od[t*d : (t+1)*d]
-		for j := 0; j < d; j++ {
-			orow[j] += srow[j] * trow[j]
-		}
+		bk.MulAcc(srow, trow, orow)
 	}
 	// Scale aggregated rows to means; everything else passes through.
 	for i := 0; i < n; i++ {
 		row := od[i*d : (i+1)*d]
 		if inLevel[i] && counts[i] > 0 {
-			inv := 1 / counts[i]
-			for j := range row {
-				row[j] *= inv
-			}
+			bk.Scale(1/counts[i], row, row)
 		} else {
 			copy(row, xd[i*d:(i+1)*d])
 		}
@@ -205,6 +205,12 @@ func edgeAggBackward(xd, gd, gxd []float64, n, d int, src, dst []int, inLevel []
 			copy(gxd[i*d:(i+1)*d], gd[i*d:(i+1)*d])
 		}
 	}
+	// ScaledMulAcc computes dst[j] += (inv·g[j])·other[j] with exactly the
+	// rounding order of the original fused loop, so splitting the src and
+	// dst accumulations into two row-wide calls stays bit-identical: each
+	// element is touched by the same two additions in the same order, even
+	// for self-loops where the two gradient rows alias.
+	bk := kernels.Active()
 	for e, t := range dst {
 		if !inLevel[t] || counts[t] == 0 {
 			continue
@@ -212,15 +218,8 @@ func edgeAggBackward(xd, gd, gxd []float64, n, d int, src, dst []int, inLevel []
 		s := src[e]
 		inv := 1 / counts[t]
 		grow := gd[t*d : (t+1)*d]
-		srow := xd[s*d : (s+1)*d]
-		trow := xd[t*d : (t+1)*d]
-		gsrow := gxd[s*d : (s+1)*d]
-		gtrow := gxd[t*d : (t+1)*d]
-		for j := 0; j < d; j++ {
-			gm := grow[j] * inv
-			gsrow[j] += gm * trow[j]
-			gtrow[j] += gm * srow[j]
-		}
+		bk.ScaledMulAcc(inv, grow, xd[t*d:(t+1)*d], gxd[s*d:(s+1)*d])
+		bk.ScaledMulAcc(inv, grow, xd[s*d:(s+1)*d], gxd[t*d:(t+1)*d])
 	}
 	flops.Add(int64(5 * len(dst) * d))
 	ws.Release()

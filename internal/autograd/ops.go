@@ -6,6 +6,7 @@ import (
 
 	"edgekg/internal/flops"
 	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
 )
 
 // Add returns a + b elementwise.
@@ -387,12 +388,13 @@ func SoftmaxRows(v *Value) *Value {
 func softmaxRowsBackward(out, g *tensor.Tensor) *tensor.Tensor {
 	r, c := out.Rows(), out.Cols()
 	gv := tensor.New(r, c)
+	// The row dot uses the backend kernel so the fused BatchedAttention
+	// backward (which calls the same Dot) stays bit-identical to this
+	// composed path on every backend.
+	bk := kernels.Active()
 	for i := 0; i < r; i++ {
 		orow, grow, drow := out.Row(i), g.Row(i), gv.Row(i)
-		dot := 0.0
-		for j := 0; j < c; j++ {
-			dot += orow[j] * grow[j]
-		}
+		dot := bk.Dot(orow, grow)
 		for j := 0; j < c; j++ {
 			drow[j] = orow[j] * (grow[j] - dot)
 		}

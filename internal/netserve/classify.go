@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"syscall"
 )
 
@@ -73,6 +74,15 @@ func IsTransient(err error) bool {
 	// rejected.
 	var oe *net.OpError
 	if errors.As(err, &oe) {
+		return true
+	}
+	// The transport's keep-alive reuse race: the request went out on a
+	// pooled connection the server had already torn down, so the bytes
+	// were never processed. net/http reports it with an unexported
+	// sentinel and only retries it internally for idempotent requests —
+	// frame submits are POSTs, so it reaches us raw, and the message is
+	// the only handle the stdlib exposes.
+	if strings.Contains(err.Error(), "server closed idle connection") {
 		return true
 	}
 	// http.Client surfaces its own Timeout (and the transport's abrupt

@@ -1,0 +1,348 @@
+package tensor_test
+
+// Kernel conformance harness: every registered backend is driven through
+// the shared shape/payload grid in kernels/table.go and pinned to the
+// scalar reference. Order-preserving kernels must match bit-for-bit
+// (NaN payloads compare NaN-to-NaN); reassociating reductions must sit
+// inside the condition-aware budget of kernels.CompareAccum. The fused
+// autograd ops reuse the same grid in internal/autograd's backend
+// conformance test, so a backend that passes here and there is safe to
+// enable for the whole model.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/tensor/kernels"
+)
+
+// scalarRef returns the always-registered reference backend.
+func scalarRef(t testing.TB) kernels.Backend {
+	t.Helper()
+	sc, ok := kernels.Get("scalar")
+	if !ok {
+		t.Fatal("scalar reference backend not registered")
+	}
+	return sc
+}
+
+// fill produces a deterministic payload for (payload, seed).
+func fill(p kernels.Payload, seed int64, n int) []float64 {
+	buf := make([]float64, n)
+	p.Fill(rand.New(rand.NewSource(seed)), buf)
+	return buf
+}
+
+// requireExact pins got to ref bit-for-bit (NaN matches NaN).
+func requireExact(t *testing.T, ctx string, ref, got []float64) {
+	t.Helper()
+	for i := range ref {
+		if err := kernels.CompareExact(ref[i], got[i]); err != nil {
+			t.Fatalf("%s: element %d: %v", ctx, i, err)
+		}
+	}
+}
+
+// absTermDot returns Σ|x[i]·y[i]| for the reassociation budget.
+func absTermDot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += math.Abs(x[i] * y[i])
+	}
+	return s
+}
+
+// absTermSum returns Σ|x[i]|.
+func absTermSum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// TestElementwiseConformance pins the order-preserving vector kernels of
+// every backend to the scalar reference, including exact-aliased dst and
+// special-value payloads.
+func TestElementwiseConformance(t *testing.T) {
+	sc := scalarRef(t)
+	alphas := []float64{0, 1, -1, 0.37, -2.5e3, math.Inf(1), math.NaN()}
+	for _, name := range kernels.Names() {
+		bk, _ := kernels.Get(name)
+		for _, p := range kernels.ConformancePayloads {
+			for li, n := range kernels.ConformanceLens {
+				seed := int64(li + 1)
+				x := fill(p, seed, n)
+				y := fill(p, seed+1000, n)
+				base := fill(p, seed+2000, n)
+				ctx := fmt.Sprintf("%s/%s/n=%d", name, p.Name, n)
+
+				ref, got := make([]float64, n), make([]float64, n)
+				sc.Add(x, y, ref)
+				bk.Add(x, y, got)
+				requireExact(t, ctx+"/Add", ref, got)
+
+				sc.Sub(x, y, ref)
+				bk.Sub(x, y, got)
+				requireExact(t, ctx+"/Sub", ref, got)
+
+				sc.Mul(x, y, ref)
+				bk.Mul(x, y, got)
+				requireExact(t, ctx+"/Mul", ref, got)
+
+				copy(ref, base)
+				copy(got, base)
+				sc.MulAcc(x, y, ref)
+				bk.MulAcc(x, y, got)
+				requireExact(t, ctx+"/MulAcc", ref, got)
+
+				for _, a := range alphas {
+					actx := fmt.Sprintf("%s/alpha=%v", ctx, a)
+					copy(ref, base)
+					copy(got, base)
+					sc.ScaledMulAcc(a, x, y, ref)
+					bk.ScaledMulAcc(a, x, y, got)
+					requireExact(t, actx+"/ScaledMulAcc", ref, got)
+
+					copy(ref, base)
+					copy(got, base)
+					sc.Axpy(a, x, ref)
+					bk.Axpy(a, x, got)
+					requireExact(t, actx+"/Axpy", ref, got)
+
+					sc.Scale(a, x, ref)
+					bk.Scale(a, x, got)
+					requireExact(t, actx+"/Scale", ref, got)
+				}
+
+				// Exact aliasing: dst is x, then dst is y. The reference
+				// runs on copies with the same aliasing pattern.
+				refX, gotX := append([]float64(nil), x...), append([]float64(nil), x...)
+				sc.Add(refX, y, refX)
+				bk.Add(gotX, y, gotX)
+				requireExact(t, ctx+"/Add(dst=x)", refX, gotX)
+
+				refY, gotY := append([]float64(nil), y...), append([]float64(nil), y...)
+				sc.Mul(x, refY, refY)
+				bk.Mul(x, gotY, gotY)
+				requireExact(t, ctx+"/Mul(dst=y)", refY, gotY)
+
+				refS, gotS := append([]float64(nil), x...), append([]float64(nil), x...)
+				sc.Scale(-1.5, refS, refS)
+				bk.Scale(-1.5, gotS, gotS)
+				requireExact(t, ctx+"/Scale(dst=x)", refS, gotS)
+			}
+		}
+	}
+}
+
+// TestReduceConformance pins the reassociating reductions to the scalar
+// reference within the n·ε·Σ|terms| budget, and the order-preserving
+// SumAxis0 sweep bit-for-bit.
+func TestReduceConformance(t *testing.T) {
+	sc := scalarRef(t)
+	for _, name := range kernels.Names() {
+		bk, _ := kernels.Get(name)
+		for _, p := range kernels.ConformancePayloads {
+			for li, n := range kernels.ConformanceLens {
+				seed := int64(100*li + 7)
+				x := fill(p, seed, n)
+				y := fill(p, seed+1, n)
+				ctx := fmt.Sprintf("%s/%s/n=%d", name, p.Name, n)
+
+				if err := kernels.CompareAccum(sc.Dot(x, y), bk.Dot(x, y), n, absTermDot(x, y)); err != nil {
+					t.Fatalf("%s/Dot: %v", ctx, err)
+				}
+				if err := kernels.CompareAccum(sc.Norm2Sq(x), bk.Norm2Sq(x), n, absTermDot(x, x)); err != nil {
+					t.Fatalf("%s/Norm2Sq: %v", ctx, err)
+				}
+				if err := kernels.CompareAccum(sc.Sum(x), bk.Sum(x), n, absTermSum(x)); err != nil {
+					t.Fatalf("%s/Sum: %v", ctx, err)
+				}
+			}
+			for di, dm := range kernels.ConformanceDims {
+				r, c := dm.M, dm.N
+				m := fill(p, int64(1000+di), r*c)
+				ctx := fmt.Sprintf("%s/%s/%dx%d", name, p.Name, r, c)
+
+				ref, got := make([]float64, c), make([]float64, c)
+				sc.SumAxis0(m, ref, r, c)
+				bk.SumAxis0(m, got, r, c)
+				requireExact(t, ctx+"/SumAxis0", ref, got)
+
+				refR, gotR := make([]float64, r), make([]float64, r)
+				sc.SumAxis1(m, refR, c, 0, r)
+				bk.SumAxis1(m, gotR, c, 0, r)
+				for i := 0; i < r; i++ {
+					row := m[i*c : (i+1)*c]
+					if err := kernels.CompareAccum(refR[i], gotR[i], c, absTermSum(row)); err != nil {
+						t.Fatalf("%s/SumAxis1 row %d: %v", ctx, i, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulConformance drives the matmul family of every backend through
+// the geometry grid: MatMul/MatMulT1 are pinned bit-for-bit, MatMulT2 and
+// MatVec per-element within the k-term reduction budget. Partial [lo, hi)
+// ranges verify the worker-split contract: rows outside the range must not
+// be touched.
+func TestMatMulConformance(t *testing.T) {
+	sc := scalarRef(t)
+	const sentinel = -777.25
+	for _, name := range kernels.Names() {
+		bk, _ := kernels.Get(name)
+		for _, p := range kernels.ConformancePayloads {
+			for di, dm := range kernels.ConformanceDims {
+				m, k, n := dm.M, dm.K, dm.N
+				seed := int64(10_000*di + 13)
+				a := fill(p, seed, m*k)
+				b := fill(p, seed+1, k*n)
+				at := fill(p, seed+2, k*m) // (k×m) operand for T1
+				bt := fill(p, seed+3, n*k) // (n×k) operand for T2
+				xv := fill(p, seed+4, k)
+				ctx := fmt.Sprintf("%s/%s/%dx%dx%d", name, p.Name, m, k, n)
+
+				ref, got := make([]float64, m*n), make([]float64, m*n)
+				sc.MatMul(a, b, ref, k, n, 0, m)
+				bk.MatMul(a, b, got, k, n, 0, m)
+				requireExact(t, ctx+"/MatMul", ref, got)
+
+				for i := range ref {
+					ref[i], got[i] = 0, 0
+				}
+				sc.MatMulT1(at, b, ref, k, m, n, 0, m)
+				bk.MatMulT1(at, b, got, k, m, n, 0, m)
+				requireExact(t, ctx+"/MatMulT1", ref, got)
+
+				sc.MatMulT2(a, bt, ref, k, n, 0, m)
+				bk.MatMulT2(a, bt, got, k, n, 0, m)
+				for i := 0; i < m; i++ {
+					for j := 0; j < n; j++ {
+						arow := a[i*k : (i+1)*k]
+						brow := bt[j*k : (j+1)*k]
+						if err := kernels.CompareAccum(ref[i*n+j], got[i*n+j], k, absTermDot(arow, brow)); err != nil {
+							t.Fatalf("%s/MatMulT2 [%d,%d]: %v", ctx, i, j, err)
+						}
+					}
+				}
+
+				refV, gotV := make([]float64, m), make([]float64, m)
+				sc.MatVec(a, xv, refV, k, 0, m)
+				bk.MatVec(a, xv, gotV, k, 0, m)
+				for i := 0; i < m; i++ {
+					arow := a[i*k : (i+1)*k]
+					if err := kernels.CompareAccum(refV[i], gotV[i], k, absTermDot(arow, xv)); err != nil {
+						t.Fatalf("%s/MatVec [%d]: %v", ctx, i, err)
+					}
+				}
+
+				// Partial range: rows outside [1, m) keep their sentinel.
+				if m >= 2 {
+					for i := range got {
+						got[i] = sentinel
+					}
+					for j := n; j < len(got); j++ {
+						got[j] = 0 // rows in range start zeroed, as New() guarantees
+					}
+					bk.MatMul(a, b, got, k, n, 1, m)
+					for j := 0; j < n; j++ {
+						if got[j] != sentinel {
+							t.Fatalf("%s/MatMul lo=1 wrote out-of-range element %d", ctx, j)
+						}
+					}
+					for i := range ref {
+						ref[i] = 0
+					}
+					sc.MatMul(a, b, ref, k, n, 1, m)
+					requireExact(t, ctx+"/MatMul[1:]", ref[n:], got[n:])
+				}
+			}
+		}
+	}
+}
+
+// FuzzMatMulBackends cross-checks every backend's matmul family against
+// the scalar reference on fuzz-chosen shapes and payloads.
+func FuzzMatMulBackends(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint8(4), uint8(5))
+	f.Add([]byte{0xff, 0x0f, 0x80, 0x42}, uint8(1), uint8(1), uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0x7f}, uint8(7), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, mm, kk, nn uint8) {
+		m, k, n := int(mm%12), int(kk%12), int(nn%12)
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		bt := make([]float64, n*k)
+		kernels.FillFuzz(a, raw)
+		if len(raw) > 1 {
+			kernels.FillFuzz(b, raw[1:])
+			kernels.FillFuzz(bt, raw[1:])
+		} else {
+			kernels.FillFuzz(b, raw)
+			kernels.FillFuzz(bt, raw)
+		}
+		sc, _ := kernels.Get("scalar")
+		for _, name := range kernels.Names() {
+			if name == "scalar" {
+				continue
+			}
+			bk, _ := kernels.Get(name)
+			ref, got := make([]float64, m*n), make([]float64, m*n)
+			sc.MatMul(a, b, ref, k, n, 0, m)
+			bk.MatMul(a, b, got, k, n, 0, m)
+			for i := range ref {
+				if err := kernels.CompareExact(ref[i], got[i]); err != nil {
+					t.Fatalf("%s/MatMul(%d,%d,%d) element %d: %v", name, m, k, n, i, err)
+				}
+			}
+			sc.MatMulT2(a, bt, ref, k, n, 0, m)
+			bk.MatMulT2(a, bt, got, k, n, 0, m)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					if err := kernels.CompareAccum(ref[i*n+j], got[i*n+j], k,
+						absTermDot(a[i*k:(i+1)*k], bt[j*k:(j+1)*k])); err != nil {
+						t.Fatalf("%s/MatMulT2(%d,%d,%d) [%d,%d]: %v", name, m, k, n, i, j, err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzReduceBackends cross-checks the reassociating reductions against the
+// scalar reference on fuzz-chosen lengths and payloads.
+func FuzzReduceBackends(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(33))
+	f.Add([]byte{0x80, 0, 0, 0, 0, 0, 0xf0, 0x7f}, uint16(9))
+	f.Fuzz(func(t *testing.T, raw []byte, ln uint16) {
+		n := int(ln % 600)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		kernels.FillFuzz(x, raw)
+		if len(raw) > 2 {
+			kernels.FillFuzz(y, raw[2:])
+		} else {
+			kernels.FillFuzz(y, raw)
+		}
+		sc, _ := kernels.Get("scalar")
+		for _, name := range kernels.Names() {
+			if name == "scalar" {
+				continue
+			}
+			bk, _ := kernels.Get(name)
+			if err := kernels.CompareAccum(sc.Dot(x, y), bk.Dot(x, y), n, absTermDot(x, y)); err != nil {
+				t.Fatalf("%s/Dot n=%d: %v", name, n, err)
+			}
+			if err := kernels.CompareAccum(sc.Sum(x), bk.Sum(x), n, absTermSum(x)); err != nil {
+				t.Fatalf("%s/Sum n=%d: %v", name, n, err)
+			}
+			if err := kernels.CompareAccum(sc.Norm2Sq(x), bk.Norm2Sq(x), n, absTermDot(x, x)); err != nil {
+				t.Fatalf("%s/Norm2Sq n=%d: %v", name, n, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// AVX2 microkernels. Every kernel uses separate VMULPD/VADDPD (never
+// VFMADD): fused multiply-add rounds once where the scalar reference
+// rounds twice, and the order-preserving kernels (axpy, mulacc,
+// scaledmulacc) are pinned bit-exact against the reference, so FMA
+// contraction is off the table by design. The reassociating reductions
+// (dot, sum) run 8 lanes of partial sums — accumulator lane l holds the
+// elements with index ≡ l (mod 8) — and reduce lane l with lane l+4,
+// then lanes pairwise, a fixed deterministic tree pinned by the
+// conformance tolerance budgets. Tails are scalar VEX ops, and every
+// exit runs VZEROUPPER before RET.
+
+#include "textflag.h"
+
+// func dotAsm(x, y []float64) float64
+TEXT ·dotAsm(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DI
+	MOVQ x_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   dotreduce
+
+dotloop:
+	VMOVUPD (SI), Y2
+	VMOVUPD 32(SI), Y3
+	VMULPD (DI), Y2, Y2
+	VMULPD 32(DI), Y3, Y3
+	VADDPD Y2, Y0, Y0
+	VADDPD Y3, Y1, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  dotloop
+
+dotreduce:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	ANDQ $7, CX
+	JZ   dotdone
+
+dottail:
+	VMOVSD (SI), X2
+	VMULSD (DI), X2, X2
+	VADDSD X2, X0, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  dottail
+
+dotdone:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func sumAsm(x []float64) float64
+TEXT ·sumAsm(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   sumreduce
+
+sumloop:
+	VADDPD (SI), Y0, Y0
+	VADDPD 32(SI), Y1, Y1
+	ADDQ $64, SI
+	DECQ BX
+	JNZ  sumloop
+
+sumreduce:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	ANDQ $7, CX
+	JZ   sumdone
+
+sumtail:
+	VADDSD (SI), X0, X0
+	ADDQ $8, SI
+	DECQ CX
+	JNZ  sumtail
+
+sumdone:
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func axpyAsm(alpha float64, x, y []float64)
+// y[i] += alpha·x[i]; multiply then add, bit-exact vs the reference.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ x_len+16(FP), CX
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   axpytailcnt
+
+axpyloop:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMULPD Y0, Y1, Y1
+	VMULPD Y0, Y2, Y2
+	VADDPD (DI), Y1, Y1
+	VADDPD 32(DI), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  axpyloop
+
+axpytailcnt:
+	ANDQ $7, CX
+	JZ   axpydone
+
+axpytail:
+	VMOVSD (SI), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI), X1, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  axpytail
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func mulaccAsm(x, y, dst []float64)
+// dst[i] += x[i]·y[i]; multiply then add, bit-exact vs the reference.
+TEXT ·mulaccAsm(SB), NOSPLIT, $0-72
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DX
+	MOVQ dst_base+48(FP), DI
+	MOVQ dst_len+56(FP), CX
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   mulacctailcnt
+
+mulaccloop:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMULPD (DX), Y1, Y1
+	VMULPD 32(DX), Y2, Y2
+	VADDPD (DI), Y1, Y1
+	VADDPD 32(DI), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  mulaccloop
+
+mulacctailcnt:
+	ANDQ $7, CX
+	JZ   mulaccdone
+
+mulacctail:
+	VMOVSD (SI), X1
+	VMULSD (DX), X1, X1
+	VADDSD (DI), X1, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DX
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  mulacctail
+
+mulaccdone:
+	VZEROUPPER
+	RET
+
+// func scaledMulaccAsm(alpha float64, x, y, dst []float64)
+// dst[i] += (alpha·x[i])·y[i] with exactly that rounding order.
+TEXT ·scaledMulaccAsm(SB), NOSPLIT, $0-80
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DX
+	MOVQ dst_base+56(FP), DI
+	MOVQ dst_len+64(FP), CX
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   smatailcnt
+
+smaloop:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMULPD Y0, Y1, Y1
+	VMULPD Y0, Y2, Y2
+	VMULPD (DX), Y1, Y1
+	VMULPD 32(DX), Y2, Y2
+	VADDPD (DI), Y1, Y1
+	VADDPD 32(DI), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  smaloop
+
+smatailcnt:
+	ANDQ $7, CX
+	JZ   smadone
+
+smatail:
+	VMOVSD (SI), X1
+	VMULSD X0, X1, X1
+	VMULSD (DX), X1, X1
+	VADDSD (DI), X1, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DX
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  smatail
+
+smadone:
+	VZEROUPPER
+	RET
+
+// func matmulQuadAsm(a0, a1, a2, a3 float64, b, out []float64)
+// Four ascending p-steps of the matmul inner loop in one pass over the
+// output row: out[j] += a0·b[j], then += a1·b[n+j], += a2·b[2n+j],
+// += a3·b[3n+j], each multiply and add rounding separately in that order
+// (no FMA) — the exact rounding sequence of four consecutive scalar
+// p-iterations, so the kernel is bit-exact vs the reference. b holds the
+// four consecutive B rows contiguously (stride n = len(out)).
+TEXT ·matmulQuadAsm(SB), NOSPLIT, $0-80
+	VBROADCASTSD a0+0(FP), Y0
+	VBROADCASTSD a1+8(FP), Y1
+	VBROADCASTSD a2+16(FP), Y2
+	VBROADCASTSD a3+24(FP), Y3
+	MOVQ b_base+32(FP), SI
+	MOVQ out_base+56(FP), DI
+	MOVQ out_len+64(FP), CX
+	MOVQ CX, DX
+	SHLQ $3, DX            // row stride in bytes
+	LEAQ (SI)(DX*1), R8    // row p+1
+	LEAQ (R8)(DX*1), R9    // row p+2
+	LEAQ (R9)(DX*1), R10   // row p+3
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   quadtailcnt
+
+quadloop:
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VMOVUPD (SI), Y6
+	VMOVUPD 32(SI), Y7
+	VMULPD  Y0, Y6, Y6
+	VMULPD  Y0, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R8), Y6
+	VMOVUPD 32(R8), Y7
+	VMULPD  Y1, Y6, Y6
+	VMULPD  Y1, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R9), Y6
+	VMOVUPD 32(R9), Y7
+	VMULPD  Y2, Y6, Y6
+	VMULPD  Y2, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD (R10), Y6
+	VMOVUPD 32(R10), Y7
+	VMULPD  Y3, Y6, Y6
+	VMULPD  Y3, Y7, Y7
+	VADDPD  Y6, Y4, Y4
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  quadloop
+
+quadtailcnt:
+	ANDQ $7, CX
+	JZ   quaddone
+
+quadtail:
+	VMOVSD (DI), X4
+	VMOVSD (SI), X6
+	VMULSD X0, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD (R8), X6
+	VMULSD X1, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD (R9), X6
+	VMULSD X2, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD (R10), X6
+	VMULSD X3, X6, X6
+	VADDSD X6, X4, X4
+	VMOVSD X4, (DI)
+	ADDQ $8, SI
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  quadtail
+
+quaddone:
+	VZEROUPPER
+	RET

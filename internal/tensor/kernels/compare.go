@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Divergence comparators: how the conformance harness pins a backend's
+// result to the scalar reference. Two budgets exist, matching the two
+// kernel classes in the Backend contract.
+
+// ULPDiff returns the distance between a and b in units of last place —
+// the number of representable float64 values strictly between them,
+// plus one if they differ. Signed values are mapped onto a monotonic
+// integer line so the distance works across zero. NaN against anything
+// is the maximum distance.
+func ULPDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ord := func(f float64) int64 {
+		bits := int64(math.Float64bits(f))
+		if bits < 0 {
+			bits = math.MinInt64 - bits
+		}
+		return bits
+	}
+	oa, ob := ord(a), ord(b)
+	if oa > ob {
+		oa, ob = ob, oa
+	}
+	return uint64(ob - oa)
+}
+
+// CompareExact enforces the order-preserving budget: identical bits,
+// except that any NaN matches any NaN (payload bits may differ across
+// hardware multiply paths).
+func CompareExact(ref, got float64) error {
+	if math.IsNaN(ref) && math.IsNaN(got) {
+		return nil
+	}
+	if math.Float64bits(ref) != math.Float64bits(got) {
+		return fmt.Errorf("want %v (%#x), got %v (%#x), %d ULP apart",
+			ref, math.Float64bits(ref), got, math.Float64bits(got), ULPDiff(ref, got))
+	}
+	return nil
+}
+
+// AccumBudget is the reassociating-kernel tolerance for an n-term
+// reduction whose terms have total magnitude absSum: the classic
+// n·ε·Σ|tᵢ| backward-error bound with a 4× cushion for the split
+// accumulator trees.
+func AccumBudget(n int, absSum float64) float64 {
+	const eps = 0x1p-52
+	return 4 * float64(n+1) * eps * absSum
+}
+
+// CompareAccum enforces the reassociating budget: both NaN is equal,
+// any non-finite reference requires a non-finite result (term order
+// cannot rescue a sum that contains an Inf or NaN term), and finite
+// values must sit within a few ULP or the AccumBudget bound for the
+// term-magnitude sum.
+func CompareAccum(ref, got float64, n int, absSum float64) error {
+	refBad := math.IsNaN(ref) || math.IsInf(ref, 0)
+	gotBad := math.IsNaN(got) || math.IsInf(got, 0)
+	if refBad || gotBad {
+		if refBad && gotBad {
+			return nil
+		}
+		return fmt.Errorf("want %v, got %v (finite/non-finite mismatch)", ref, got)
+	}
+	if ULPDiff(ref, got) <= 4 {
+		return nil
+	}
+	if d := math.Abs(ref - got); d > AccumBudget(n, absSum) {
+		return fmt.Errorf("want %v, got %v: |Δ|=%g exceeds budget %g (n=%d, Σ|terms|=%g, %d ULP)",
+			ref, got, d, AccumBudget(n, absSum), n, absSum, ULPDiff(ref, got))
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package kernels
+
+// CPUFeatures returns the SIMD ISA extensions detected at init (e.g.
+// "avx", "avx2", "fma", "avx512f"), in detection order. Perf reports
+// embed it so a benchmark trajectory records what hardware produced each
+// number. Empty on architectures without feature detection.
+func CPUFeatures() []string {
+	return append([]string(nil), cpuFeatures...)
+}

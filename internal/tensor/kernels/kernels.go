@@ -1,0 +1,208 @@
+// Package kernels holds the dispatchable compute backends behind the
+// tensor package's hot inner loops. A Backend bundles the scalar-level
+// kernels — the matmul family, elementwise arithmetic, axpy, reductions,
+// and the fused-op primitives the autograd layer leans on — operating on
+// raw row-major []float64 storage, so callers (internal/tensor and the
+// fused ops in internal/autograd) keep owning shape checks, FLOP
+// accounting and the parallel worker split and hand each worker's
+// [lo, hi) range to the active backend.
+//
+// Three backends register at init:
+//
+//   - "scalar": the reference. Plain Go loops, byte-for-byte the kernels
+//     the tensor package shipped before dispatch existed. Every other
+//     backend is pinned against it by the conformance harness.
+//   - "unrolled": 4×-unrolled, register-blocked, bounds-check-eliminated
+//     Go loops.
+//   - "avx2" (amd64 with AVX2 only): hand-written Go assembly for the
+//     dot/axpy/mul-accumulate/sum microkernels, with the unrolled loops
+//     filling in the rest.
+//
+// Numeric contract. Kernels split in two classes:
+//
+//   - Order-preserving kernels (Add, Sub, Mul, MulAcc, ScaledMulAcc,
+//     Axpy, Scale, MatMul, MatMulT1, SumAxis0) accumulate in the same
+//     element order in every backend — vectorisation runs across
+//     independent elements, multiplies and adds round separately (no
+//     FMA contraction) — so results are bit-identical to the scalar
+//     reference, NaN/Inf/±0 payloads included.
+//   - Reassociating kernels (Dot, Norm2Sq, Sum, MatMulT2, MatVec,
+//     SumAxis1) reduce with multiple accumulators, which reorders the
+//     floating-point sum. They are pinned to the reference by a
+//     condition-aware ULP/tolerance budget instead (see compare.go).
+//
+// Every backend is deterministic: the same inputs produce the same bits
+// on every call, at any worker count, which is what keeps the repo-wide
+// bit-equivalence suites meaningful under dispatch.
+//
+// Selection. The best available backend is chosen at init (avx2 when the
+// CPU supports it, unrolled otherwise). EDGEKG_BACKEND=scalar|unrolled|avx2
+// overrides; naming a backend the host cannot run (avx2 on a non-AVX2
+// machine) falls back to the best available so one CI configuration runs
+// everywhere, while an unknown name panics — that is a typo, not a
+// capability gap.
+package kernels
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is one complete kernel set. All slice arguments are row-major
+// float64 storage; lengths are validated by the caller (the tensor
+// package panics on shape errors before dispatch). Elementwise kernels
+// permit dst to alias x or y exactly (same base, same length); partial
+// overlap is undefined.
+type Backend interface {
+	// Name returns the registry key ("scalar", "unrolled", "avx2").
+	Name() string
+
+	// Dot returns Σ x[i]·y[i]. Reassociating.
+	Dot(x, y []float64) float64
+	// Norm2Sq returns Σ x[i]². Reassociating.
+	Norm2Sq(x []float64) float64
+	// Sum returns Σ x[i]. Reassociating.
+	Sum(x []float64) float64
+
+	// Add stores x + y into dst. Order-preserving.
+	Add(x, y, dst []float64)
+	// Sub stores x − y into dst. Order-preserving.
+	Sub(x, y, dst []float64)
+	// Mul stores x ⊙ y into dst. Order-preserving.
+	Mul(x, y, dst []float64)
+	// MulAcc accumulates dst += x ⊙ y. Order-preserving.
+	MulAcc(x, y, dst []float64)
+	// ScaledMulAcc accumulates dst[i] += (alpha·x[i])·y[i], with exactly
+	// that rounding order — it is the fused edge-aggregate backward's
+	// inner kernel, and (alpha·x)·y is what the composed reference ops
+	// compute. Order-preserving.
+	ScaledMulAcc(alpha float64, x, y, dst []float64)
+	// Axpy accumulates y += alpha·x. Order-preserving.
+	Axpy(alpha float64, x, y []float64)
+	// Scale stores alpha·x into dst. Order-preserving.
+	Scale(alpha float64, x, dst []float64)
+
+	// MatMul computes output rows [lo, hi) of a(m×k)·b(k×n) into
+	// out(m×n), accumulating over p in ascending order with the
+	// reference's skip of zero a-elements. Order-preserving.
+	MatMul(a, b, out []float64, k, n, lo, hi int)
+	// MatMulT1 computes output rows [lo, hi) of aᵀ·b where a is (kk×m)
+	// and b is (kk×n), accumulating over p ascending with the zero skip.
+	// Order-preserving.
+	MatMulT1(a, b, out []float64, kk, m, n, lo, hi int)
+	// MatMulT2 computes output rows [lo, hi) of a(m×k)·bᵀ where b is
+	// (n×k). Each output element is a k-term dot product. Reassociating.
+	MatMulT2(a, b, out []float64, k, n, lo, hi int)
+	// MatVec computes elements [lo, hi) of a(m×k)·x into out(m).
+	// Reassociating.
+	MatVec(a, x, out []float64, k, lo, hi int)
+
+	// SumAxis0 accumulates the column sums of m(r×c) into out(c),
+	// sweeping rows in ascending order. Order-preserving.
+	SumAxis0(m, out []float64, r, c int)
+	// SumAxis1 computes row sums for rows [lo, hi) of m(r×c) into
+	// out[lo:hi]. Reassociating.
+	SumAxis1(m, out []float64, c, lo, hi int)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Backend{}
+	active     atomic.Value // activeBox
+)
+
+// activeBox wraps the active backend so atomic.Value always stores one
+// concrete type — backends themselves are distinct struct types.
+type activeBox struct{ b Backend }
+
+// register adds a backend to the registry. Called from init; duplicate
+// names are a programming error.
+func register(b Backend) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("kernels: duplicate backend %q", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the named backend.
+func Get(name string) (Backend, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Active returns the backend the tensor and autograd kernels dispatch to.
+func Active() Backend { return active.Load().(activeBox).b }
+
+// Use activates the named backend and returns a restore function that
+// reinstates the previous one. It is the test/bench hook behind the
+// per-backend conformance and benchmark matrices; swapping backends while
+// kernels are executing on other goroutines is a data race, so callers
+// must quiesce first.
+func Use(name string) (func(), error) {
+	b, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown backend %q (have %v)", name, Names())
+	}
+	prev := Active()
+	active.Store(activeBox{b})
+	return func() { active.Store(activeBox{prev}) }, nil
+}
+
+// choose resolves the startup backend from an EDGEKG_BACKEND-style
+// request against the registered set. Empty request → best available;
+// a known-but-unregistered name (avx2 on a host without it) → best
+// available; an unknown name panics.
+func choose(request string, available map[string]Backend) Backend {
+	best := func() Backend {
+		for _, name := range []string{"avx2", "unrolled", "scalar"} {
+			if b, ok := available[name]; ok {
+				return b
+			}
+		}
+		panic("kernels: no backends registered")
+	}
+	switch request {
+	case "":
+		return best()
+	case "scalar", "unrolled", "avx2":
+		if b, ok := available[request]; ok {
+			return b
+		}
+		// A real backend this host cannot run: degrade, don't die.
+		return best()
+	default:
+		panic(fmt.Sprintf("kernels: EDGEKG_BACKEND=%q is not a backend (want scalar|unrolled|avx2)", request))
+	}
+}
+
+func init() {
+	register(scalarBackend{})
+	register(unrolledBackend{})
+	registerArch() // avx2 on capable amd64 hosts, nothing elsewhere
+	registryMu.Lock()
+	avail := make(map[string]Backend, len(registry))
+	for n, b := range registry {
+		avail[n] = b
+	}
+	registryMu.Unlock()
+	active.Store(activeBox{choose(os.Getenv("EDGEKG_BACKEND"), avail)})
+}

@@ -1,0 +1,125 @@
+package kernels
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func nan() float64      { return math.NaN() }
+func inf(s int) float64 { return math.Inf(s) }
+func negZero() float64  { return math.Copysign(0, -1) }
+func maxFloat() float64 { return math.MaxFloat64 }
+
+func TestRegistryHasPortableBackends(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"scalar", "unrolled"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("backend %q missing from registry %v", want, names)
+		}
+	}
+	for _, n := range names {
+		b, ok := Get(n)
+		if !ok {
+			t.Fatalf("Names lists %q but Get cannot find it", n)
+		}
+		if b.Name() != n {
+			t.Fatalf("backend registered as %q reports Name()=%q", n, b.Name())
+		}
+	}
+}
+
+func TestChooseSelection(t *testing.T) {
+	sc, _ := Get("scalar")
+	un, _ := Get("unrolled")
+	both := map[string]Backend{"scalar": sc, "unrolled": un}
+	onlyScalar := map[string]Backend{"scalar": sc}
+
+	if got := choose("", both); got.Name() != "unrolled" {
+		t.Fatalf("empty request should pick best available, got %q", got.Name())
+	}
+	if got := choose("scalar", both); got.Name() != "scalar" {
+		t.Fatalf("explicit scalar request ignored, got %q", got.Name())
+	}
+	// A known backend the host lacks degrades to the best available.
+	if got := choose("avx2", onlyScalar); got.Name() != "scalar" {
+		t.Fatalf("unavailable avx2 should fall back, got %q", got.Name())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unknown backend name should panic")
+		}
+		if !strings.Contains(r.(string), "not a backend") {
+			t.Fatalf("unexpected panic message %v", r)
+		}
+	}()
+	choose("typo", both)
+}
+
+func TestUseSwapsAndRestores(t *testing.T) {
+	orig := Active().Name()
+	restore, err := Use("scalar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Active().Name() != "scalar" {
+		t.Fatalf("Use(scalar) left %q active", Active().Name())
+	}
+	restore()
+	if Active().Name() != orig {
+		t.Fatalf("restore left %q active, want %q", Active().Name(), orig)
+	}
+	if _, err := Use("nope"); err == nil {
+		t.Fatal("Use of unknown backend should error")
+	}
+}
+
+func TestULPDiff(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1, 1, 0},
+		{1, 1 + 0x1p-52, 1},
+		{0, 0x1p-1074, 1},          // zero to smallest subnormal
+		{0x1p-1074, -0x1p-1074, 2}, // across zero
+		{0, negZero(), 0},          // ±0 are the same point
+		{1, 2, 1 << 52},            // one binade apart
+		{nan(), nan(), 0},          // NaN matches NaN
+		{nan(), 1, ^uint64(0)},     // NaN vs number is max
+		{inf(1), maxFloat(), 1},    // Inf is one past MaxFloat64
+	}
+	for _, c := range cases {
+		if got := ULPDiff(c.a, c.b); got != c.want {
+			t.Errorf("ULPDiff(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := ULPDiff(c.b, c.a); got != c.want {
+			t.Errorf("ULPDiff(%v, %v) = %d, want %d (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestCompareAccumNonFiniteRule(t *testing.T) {
+	if err := CompareAccum(inf(1), inf(-1), 4, 1); err != nil {
+		t.Errorf("both non-finite should compare equal: %v", err)
+	}
+	if err := CompareAccum(nan(), inf(1), 4, 1); err != nil {
+		t.Errorf("NaN vs Inf are both non-finite: %v", err)
+	}
+	if err := CompareAccum(1, inf(1), 4, 1); err == nil {
+		t.Error("finite reference vs non-finite result must fail")
+	}
+	if err := CompareAccum(1, 1+0x1p-50, 4, 1e9); err != nil {
+		t.Errorf("within budget should pass: %v", err)
+	}
+	if err := CompareAccum(1, 2, 4, 1); err == nil {
+		t.Error("gross divergence must fail")
+	}
+}

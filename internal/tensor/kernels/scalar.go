@@ -1,0 +1,156 @@
+package kernels
+
+// scalarBackend is the reference implementation: the plain Go loops the
+// tensor package shipped before backend dispatch existed, extracted
+// verbatim. Every other backend is pinned against it by the conformance
+// harness, so changes here are semantic changes to the whole kernel
+// layer.
+type scalarBackend struct{}
+
+func (scalarBackend) Name() string { return "scalar" }
+
+func (scalarBackend) Dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func (scalarBackend) Norm2Sq(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func (scalarBackend) Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func (scalarBackend) Add(x, y, dst []float64) {
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+func (scalarBackend) Sub(x, y, dst []float64) {
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+func (scalarBackend) Mul(x, y, dst []float64) {
+	for i := range dst {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+func (scalarBackend) MulAcc(x, y, dst []float64) {
+	for i := range dst {
+		dst[i] += x[i] * y[i]
+	}
+}
+
+func (scalarBackend) ScaledMulAcc(alpha float64, x, y, dst []float64) {
+	for i := range dst {
+		dst[i] += (alpha * x[i]) * y[i]
+	}
+}
+
+func (scalarBackend) Axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+func (scalarBackend) Scale(alpha float64, x, dst []float64) {
+	for i := range dst {
+		dst[i] = alpha * x[i]
+	}
+}
+
+func (scalarBackend) MatMul(a, b, out []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+func (scalarBackend) MatMulT1(a, b, out []float64, kk, m, n, lo, hi int) {
+	for p := 0; p < kk; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+func (scalarBackend) MatMulT2(a, b, out []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+func (scalarBackend) MatVec(a, x, out []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a[i*k : (i+1)*k]
+		s := 0.0
+		for p := 0; p < k; p++ {
+			s += row[p] * x[p]
+		}
+		out[i] = s
+	}
+}
+
+func (scalarBackend) SumAxis0(m, out []float64, r, c int) {
+	for i := 0; i < r; i++ {
+		row := m[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			out[j] += row[j]
+		}
+	}
+}
+
+func (scalarBackend) SumAxis1(m, out []float64, c, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m[i*c : (i+1)*c]
+		s := 0.0
+		for j := 0; j < c; j++ {
+			s += row[j]
+		}
+		out[i] = s
+	}
+}

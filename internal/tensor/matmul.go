@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"edgekg/internal/parallel"
+	"edgekg/internal/tensor/kernels"
 )
 
 // Parallelism cutoffs. Kernels run on the shared worker pool only above
@@ -47,25 +48,11 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[1]
 	out := New(m, n)
-	// i-k-j loop order keeps the inner loop streaming over contiguous rows
-	// of b and out, which matters even at the small sizes used here. Each
-	// worker owns a disjoint range of output rows.
-	worker := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
-	}
+	// The active backend runs the i-k-j kernel over each worker's disjoint
+	// range of output rows; the inner loop streams over contiguous rows of
+	// b and out, which matters even at the small sizes used here.
+	bk := kernels.Active()
+	worker := func(lo, hi int) { bk.MatMul(a.data, b.data, out.data, k, n, lo, hi) }
 	if 2*m*n*k >= matmulParallelFlops {
 		parallel.For(m, matmulGrain(2*n*k), worker)
 	} else {
@@ -87,23 +74,10 @@ func MatMulT1(a, b *Tensor) *Tensor {
 	n := b.shape[1]
 	out := New(m, n)
 	// Workers own disjoint ranges of output rows (columns of a); the p
-	// loop stays outermost so b's rows stream once per worker.
-	worker := func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			arow := a.data[p*m : (p+1)*m]
-			brow := b.data[p*n : (p+1)*n]
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				orow := out.data[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
-	}
+	// loop stays outermost inside the kernel so b's rows stream once per
+	// worker.
+	bk := kernels.Active()
+	worker := func(lo, hi int) { bk.MatMulT1(a.data, b.data, out.data, k, m, n, lo, hi) }
 	if 2*m*n*k >= matmulParallelFlops {
 		parallel.For(m, matmulGrain(2*n*k), worker)
 	} else {
@@ -124,20 +98,8 @@ func MatMulT2(a, b *Tensor) *Tensor {
 	}
 	n := b.shape[0]
 	out := New(m, n)
-	worker := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.data[i*k : (i+1)*k]
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.data[j*k : (j+1)*k]
-				s := 0.0
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
-			}
-		}
-	}
+	bk := kernels.Active()
+	worker := func(lo, hi int) { bk.MatMulT2(a.data, b.data, out.data, k, n, lo, hi) }
 	if 2*m*n*k >= matmulParallelFlops {
 		parallel.For(m, matmulGrain(2*n*k), worker)
 	} else {
@@ -192,16 +154,8 @@ func MatVec(a, x *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec dim mismatch %v · vec[%d]", a.shape, x.Size()))
 	}
 	out := New(m)
-	worker := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := a.data[i*k : (i+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += row[p] * x.data[p]
-			}
-			out.data[i] = s
-		}
-	}
+	bk := kernels.Active()
+	worker := func(lo, hi int) { bk.MatVec(a.data, x.data, out.data, k, lo, hi) }
 	if 2*m*k >= matmulParallelFlops {
 		parallel.For(m, matmulGrain(2*k), worker)
 	} else {
@@ -216,12 +170,9 @@ func MatVec(a, x *Tensor) *Tensor {
 func Outer(x, y *Tensor) *Tensor {
 	m, n := x.Size(), y.Size()
 	out := New(m, n)
+	bk := kernels.Active()
 	for i := 0; i < m; i++ {
-		xv := x.data[i]
-		row := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			row[j] = xv * y.data[j]
-		}
+		bk.Scale(x.data[i], y.data, out.data[i*n:(i+1)*n])
 	}
 	countOps(m * n)
 	return out

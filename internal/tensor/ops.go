@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"edgekg/internal/parallel"
+	"edgekg/internal/tensor/kernels"
 )
 
 // forElems runs worker over disjoint subranges covering [0, n), fanning
@@ -23,11 +24,9 @@ func forElems(n int, worker func(lo, hi int)) {
 func Add(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Add")
 	out := New(a.shape...)
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad, bd, od := a.data, b.data, out.data
-		for i := lo; i < hi; i++ {
-			od[i] = ad[i] + bd[i]
-		}
+		bk.Add(a.data[lo:hi], b.data[lo:hi], out.data[lo:hi])
 	})
 	countOps(len(a.data))
 	return out
@@ -37,11 +36,9 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Sub")
 	out := New(a.shape...)
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad, bd, od := a.data, b.data, out.data
-		for i := lo; i < hi; i++ {
-			od[i] = ad[i] - bd[i]
-		}
+		bk.Sub(a.data[lo:hi], b.data[lo:hi], out.data[lo:hi])
 	})
 	countOps(len(a.data))
 	return out
@@ -51,11 +48,9 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "Mul")
 	out := New(a.shape...)
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad, bd, od := a.data, b.data, out.data
-		for i := lo; i < hi; i++ {
-			od[i] = ad[i] * bd[i]
-		}
+		bk.Mul(a.data[lo:hi], b.data[lo:hi], out.data[lo:hi])
 	})
 	countOps(len(a.data))
 	return out
@@ -78,11 +73,9 @@ func Div(a, b *Tensor) *Tensor {
 // AddInPlace adds b into a elementwise and returns a.
 func AddInPlace(a, b *Tensor) *Tensor {
 	a.mustSameShape(b, "AddInPlace")
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad, bd := a.data, b.data
-		for i := lo; i < hi; i++ {
-			ad[i] += bd[i]
-		}
+		bk.Add(a.data[lo:hi], b.data[lo:hi], a.data[lo:hi])
 	})
 	countOps(len(a.data))
 	return a
@@ -91,11 +84,9 @@ func AddInPlace(a, b *Tensor) *Tensor {
 // AxpyInPlace computes a += alpha*b and returns a.
 func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 	a.mustSameShape(b, "AxpyInPlace")
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad, bd := a.data, b.data
-		for i := lo; i < hi; i++ {
-			ad[i] += alpha * bd[i]
-		}
+		bk.Axpy(alpha, b.data[lo:hi], a.data[lo:hi])
 	})
 	countOps(2 * len(a.data))
 	return a
@@ -104,11 +95,9 @@ func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 // Scale returns alpha * a.
 func Scale(a *Tensor, alpha float64) *Tensor {
 	out := New(a.shape...)
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad, od := a.data, out.data
-		for i := lo; i < hi; i++ {
-			od[i] = alpha * ad[i]
-		}
+		bk.Scale(alpha, a.data[lo:hi], out.data[lo:hi])
 	})
 	countOps(len(a.data))
 	return out
@@ -116,11 +105,9 @@ func Scale(a *Tensor, alpha float64) *Tensor {
 
 // ScaleInPlace multiplies a by alpha in place and returns a.
 func ScaleInPlace(a *Tensor, alpha float64) *Tensor {
+	bk := kernels.Active()
 	forElems(len(a.data), func(lo, hi int) {
-		ad := a.data
-		for i := lo; i < hi; i++ {
-			ad[i] *= alpha
-		}
+		bk.Scale(alpha, a.data[lo:hi], a.data[lo:hi])
 	})
 	countOps(len(a.data))
 	return a
@@ -151,11 +138,10 @@ func AddRow(m, v *Tensor) *Tensor {
 	}
 	out := m.Clone()
 	r, c := m.shape[0], m.shape[1]
+	bk := kernels.Active()
 	for i := 0; i < r; i++ {
 		row := out.data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			row[j] += v.data[j]
-		}
+		bk.Add(row, v.data, row)
 	}
 	countOps(r * c)
 	return out
@@ -169,11 +155,10 @@ func MulRow(m, v *Tensor) *Tensor {
 	}
 	out := m.Clone()
 	r, c := m.shape[0], m.shape[1]
+	bk := kernels.Active()
 	for i := 0; i < r; i++ {
 		row := out.data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			row[j] *= v.data[j]
-		}
+		bk.Mul(row, v.data, row)
 	}
 	countOps(r * c)
 	return out
@@ -196,20 +181,14 @@ func Map(a *Tensor, f func(float64) float64) *Tensor {
 // Dot returns the inner product of two tensors of identical shape.
 func Dot(a, b *Tensor) float64 {
 	a.mustSameShape(b, "Dot")
-	s := 0.0
-	for i, v := range a.data {
-		s += v * b.data[i]
-	}
+	s := kernels.Active().Dot(a.data, b.data)
 	countOps(2 * len(a.data))
 	return s
 }
 
 // Norm2 returns the Euclidean norm of a's elements.
 func Norm2(a *Tensor) float64 {
-	s := 0.0
-	for _, v := range a.data {
-		s += v * v
-	}
+	s := kernels.Active().Norm2Sq(a.data)
 	countOps(2 * len(a.data))
 	return math.Sqrt(s)
 }
@@ -343,15 +322,14 @@ func ScatterAddRows(dst *Tensor, rows []int, src *Tensor) {
 		panic(fmt.Sprintf("tensor: ScatterAddRows src %v rows %d dst %v", src.shape, len(rows), dst.shape))
 	}
 	c := dst.shape[1]
+	bk := kernels.Active()
 	for k, r := range rows {
 		if r < 0 || r >= dst.shape[0] {
 			panic(fmt.Sprintf("tensor: ScatterAddRows row %d out of range [0,%d)", r, dst.shape[0]))
 		}
 		drow := dst.data[r*c : (r+1)*c]
 		srow := src.data[k*c : (k+1)*c]
-		for j := 0; j < c; j++ {
-			drow[j] += srow[j]
-		}
+		bk.Add(drow, srow, drow)
 	}
 	countOps(len(rows) * c)
 }

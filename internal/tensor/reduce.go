@@ -5,14 +5,12 @@ import (
 	"math"
 
 	"edgekg/internal/parallel"
+	"edgekg/internal/tensor/kernels"
 )
 
 // Sum returns the sum of all elements.
 func (t *Tensor) Sum() float64 {
-	s := 0.0
-	for _, v := range t.data {
-		s += v
-	}
+	s := kernels.Active().Sum(t.data)
 	countOps(len(t.data))
 	return s
 }
@@ -73,12 +71,7 @@ func SumAxis0(m *Tensor) *Tensor {
 	m.must2D("SumAxis0")
 	r, c := m.shape[0], m.shape[1]
 	out := New(c)
-	for i := 0; i < r; i++ {
-		row := m.data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			out.data[j] += row[j]
-		}
-	}
+	kernels.Active().SumAxis0(m.data, out.data, r, c)
 	countOps(r * c)
 	return out
 }
@@ -88,15 +81,9 @@ func SumAxis1(m *Tensor) *Tensor {
 	m.must2D("SumAxis1")
 	r, c := m.shape[0], m.shape[1]
 	out := New(r)
+	bk := kernels.Active()
 	forRows(r, c, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.data[i*c : (i+1)*c]
-			s := 0.0
-			for j := 0; j < c; j++ {
-				s += row[j]
-			}
-			out.data[i] = s
-		}
+		bk.SumAxis1(m.data, out.data, c, lo, hi)
 	})
 	countOps(r * c)
 	return out
