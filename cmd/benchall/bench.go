@@ -20,6 +20,7 @@ import (
 	"edgekg/internal/flops"
 	"edgekg/internal/netserve"
 	"edgekg/internal/parallel"
+	"edgekg/internal/retrieval"
 	"edgekg/internal/serve"
 	"edgekg/internal/shard"
 	"edgekg/internal/tensor"
@@ -78,8 +79,12 @@ type benchReport struct {
 	Backend string `json:"backend"`
 	// CPUFeatures records the SIMD extensions detected on this host, so a
 	// perf trajectory shows what hardware produced each number.
-	CPUFeatures []string      `json:"cpu_features"`
-	Results     []benchResult `json:"results"`
+	CPUFeatures []string `json:"cpu_features"`
+	// Precision is the scoring width the unsuffixed benches ran under
+	// (EDGEKG_PRECISION resolution; f64 unless overridden). The F32/Int8
+	// variants pin their own reduced-precision paths regardless.
+	Precision string        `json:"precision"`
+	Results   []benchResult `json:"results"`
 }
 
 // runMicroBenches executes the hot-path benchmarks against env and writes
@@ -99,6 +104,7 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 		Scale:       scale,
 		Backend:     kernels.Active().Name(),
 		CPUFeatures: kernels.CPUFeatures(),
+		Precision:   core.PrecisionAuto.Resolve().String(),
 	}
 
 	add := func(name string, fn func()) {
@@ -138,12 +144,26 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 
 	frame := env.Gen.Frame(rng, concept.Robbery).Reshape(1, env.Space.PixDim())
 	add("ScoreFrame", func() { det.ScoreVideo(frame) })
+	// The reduced-precision engine on the identical workload, called
+	// directly so the shared fixture's config stays untouched: the
+	// ScoreFrame → ScoreFrameF32 delta is the float32 latency win.
+	add("ScoreFrameF32", func() { det.ScoreVideoF32(frame) })
 
 	// The batched temporal pass in isolation: 8 windows through one tape,
 	// the granularity ScoreVideo and TrainStep see per clip.
 	const winBatch = 8
 	wins := tensor.RandN(rng, 1, winBatch*det.Window(), det.ReasoningDim())
 	add("TemporalForwardBatch", func() { det.Temporal().ForwardBatch(autograd.Constant(wins), winBatch) })
+
+	// Token-bank decode retrieval: the float64 token table versus its
+	// int8-quantized twin on the same query — the RetrievalNearest →
+	// RetrievalNearestInt8 delta is the quantized-lookup latency, and the
+	// tables' footprints are reported by the retrieval suite's bounds.
+	retr := retrieval.New(env.Space)
+	qretr := retrieval.NewQuantized(env.Space)
+	query := env.Space.TextEncode("gun mask robbery")
+	add("RetrievalNearest", func() { retr.Nearest(query, 5, retrieval.Euclidean) })
+	add("RetrievalNearestInt8", func() { qretr.Nearest(query, 5, retrieval.Euclidean) })
 
 	video := tensor.New(24, env.Space.PixDim())
 	for i := 0; i < video.Rows(); i++ {
@@ -309,15 +329,22 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 	// backbone's graphs and token banks, so their charged bytes collapse to
 	// the monitor window — the 10-100× streams-per-process headroom.
 	sframe := env.Gen.Frame(rng, concept.Robbery)
-	memBench := func(nStreams int, eager bool) error {
+	memBench := func(nStreams int, eager bool, prec core.Precision) error {
 		mode := "COW"
 		if eager {
 			mode = "Eager"
 		}
 		name := fmt.Sprintf("StreamServeMem%s%d", mode, nStreams)
+		if prec.Resolve() == core.PrecisionF32 {
+			// The reduced-precision fleet: COW clones scoring through the
+			// float32 engine with float32 monitor frames — compare against
+			// StreamServeMemCOW<n> for the bytes/stream win.
+			name = fmt.Sprintf("StreamServeMemF32%d", nStreams)
+		}
 		scfg := serve.DefaultConfig()
 		scfg.Stream.AdaptEveryFrames = 0
 		scfg.Stream.EagerClone = eager
+		scfg.Stream.Precision = prec
 		scfg.Unmetered = true
 		runtime.GC()
 		var m0, m1 runtime.MemStats
@@ -383,9 +410,12 @@ func runMicroBenches(env *experiments.Env, scale, path string, smoke bool) error
 	}
 	for _, nStreams := range []int{8, 64} {
 		for _, eager := range []bool{false, true} {
-			if err := memBench(nStreams, eager); err != nil {
+			if err := memBench(nStreams, eager, core.PrecisionAuto); err != nil {
 				return err
 			}
+		}
+		if err := memBench(nStreams, false, core.PrecisionF32); err != nil {
+			return err
 		}
 	}
 

@@ -59,6 +59,7 @@ func main() {
 		memBudget    = flag.String("mem-budget", "", "per-process resident-memory budget, e.g. 64K, 2M, 1G (empty disables eviction)")
 		spillDir     = flag.String("spill-dir", "", "directory for evicted-stream spill files (default: a temp dir when -mem-budget is set)")
 		eagerClone   = flag.Bool("eager-clone", false, "deep-copy per-stream state at deployment instead of copy-on-write sharing")
+		precision    = flag.String("precision", "", "scoring width: auto (EDGEKG_PRECISION, default f64), f64, or f32 (reduced-precision engine + float32 monitor frames)")
 		listen       = flag.String("listen", "", "serve the HTTP/JSON API on this address (e.g. 127.0.0.1:9701) instead of self-driving synthetic cameras; cmd/loadgen is the driver")
 		maxPending   = flag.Int("max-pending", 8, "with -listen: frame submits queued per stream slot before shedding with 429")
 		ckptInterval = flag.Duration("checkpoint-interval", 0, "with -listen and -checkpoint-dir: wall-clock cadence for periodic worker checkpoints (0 disables)")
@@ -110,6 +111,9 @@ func main() {
 		log.Fatalf("-checkpoint-every %d: checkpoint cadence must be ≥1", *ckptEvery)
 	case *resume && *ckptDir == "":
 		log.Fatal("-resume requires -checkpoint-dir")
+	case *precision != "" && *precision != "auto" && *precision != "f64" && *precision != "float64" && *precision != "64" &&
+		*precision != "f32" && *precision != "float32" && *precision != "32":
+		log.Fatalf("-precision %q: want auto, f64 or f32", *precision)
 	case *maxPending < 1:
 		log.Fatalf("-max-pending %d: must be ≥1", *maxPending)
 	case *ckptInterval < 0:
@@ -182,6 +186,7 @@ func main() {
 		EagerClone:       *eagerClone,
 		MemBudgetBytes:   budgetBytes,
 		SpillDir:         *spillDir,
+		Precision:        *precision,
 	})
 	if err != nil {
 		log.Fatal(err)

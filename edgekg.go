@@ -403,6 +403,12 @@ type ServeOptions struct {
 	// SpillDir is where evicted streams checkpoint their state (required
 	// with MemBudgetBytes > 0).
 	SpillDir string
+	// Precision selects each stream's scoring width: "" or "auto" defers
+	// to EDGEKG_PRECISION (default f64, bit-exact), "f64" forces the
+	// double-precision path, "f32" routes scoring through the
+	// reduced-precision engine and stores the monitor's retained frames
+	// at float32 (roughly half the per-stream resident bytes).
+	Precision string
 }
 
 // StreamServer is a running multi-camera deployment: one process, one
@@ -438,6 +444,11 @@ func (s *System) Serve(opts ServeOptions) (*StreamServer, error) {
 	cfg.Stream.AdaptLagFrames = opts.AdaptLagFrames
 	cfg.Stream.ScoreHistory = opts.ScoreHistory
 	cfg.Stream.EagerClone = opts.EagerClone
+	prec, err := core.ParsePrecision(opts.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("edgekg: %w", err)
+	}
+	cfg.Stream.Precision = prec
 	cfg.Seeds = opts.Seeds
 	cfg.BaseSeed = sc.Seed + 100
 	cfg.MemBudgetBytes = opts.MemBudgetBytes

@@ -257,11 +257,11 @@ func (a *Adapter) Step(mon *Monitor) (AdaptReport, error) {
 	frames := make([]*tensor.Tensor, 0, len(positives)+len(negatives))
 	targets := make([]float64, 0, len(positives)+len(negatives))
 	for _, s := range positives {
-		frames = append(frames, s.Frame)
+		frames = append(frames, s.Pix())
 		targets = append(targets, 1)
 	}
 	for _, s := range negatives {
-		frames = append(frames, s.Frame)
+		frames = append(frames, s.Pix())
 		targets = append(targets, 0)
 	}
 	batch := stackFrames(frames)
@@ -288,7 +288,8 @@ func (a *Adapter) Step(mon *Monitor) (AdaptReport, error) {
 		meanOf := func(samples []Sample) *tensor.Tensor {
 			acc := tensor.New(a.det.space.Dim())
 			for _, s := range samples {
-				sem := a.det.space.EncodeImage(s.Frame.Reshape(s.Frame.Size()))
+				pix := s.Pix()
+				sem := a.det.space.EncodeImage(pix.Reshape(pix.Size()))
 				tensor.AddInPlace(acc, sem)
 			}
 			return tensor.ScaleInPlace(acc, 1/float64(len(samples)))

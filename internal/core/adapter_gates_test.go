@@ -189,7 +189,7 @@ func TestAdapterRenormalizationPreservesRowNorms(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !rep.Triggered {
-		t.Skip("round did not trigger under this seed")
+		t.Fatalf("adaptation round did not trigger: with SkipLossBelow=0 and a split high/low-score window the step must fire (loss=%v)", rep.Loss)
 	}
 	normsAfter := rowNorms(r.det.GNN(0).Tokens().Bank(id).Data)
 	for i := range normsBefore {

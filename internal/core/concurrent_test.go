@@ -133,7 +133,7 @@ func TestDetectorCloneShared(t *testing.T) {
 		}
 	}
 	if victim < 0 {
-		t.Skip("no prunable node in fixture graph")
+		t.Fatalf("fixture graph has no prunable reasoning node; the multi-node levels the clone-isolation check depends on are gone")
 	}
 	origNodes := rig.det.Graphs()[0].NumNodes()
 	if err := g.RemoveNode(victim); err != nil {

@@ -41,6 +41,9 @@ type Config struct {
 	// unaffected) but fatal for the monitor, whose top-K selection and
 	// Δm detection need graded scores. 0 means 1 (no scaling).
 	ScoreTemperature float64
+	// Precision selects the scoring width: the zero value (Auto) defers
+	// to EDGEKG_PRECISION and defaults to the bit-exact float64 path.
+	Precision Precision
 }
 
 // DefaultConfig returns the paper's model shape for a given class count.
@@ -311,6 +314,9 @@ func (d *Detector) ForwardClipStats(clip *tensor.Tensor, batch int, stats *nn.BN
 // training mode — which Deploy establishes and the serving runtime
 // preserves.
 func (d *Detector) ScoreVideo(frames *tensor.Tensor) []float64 {
+	if d.cfg.Precision.Resolve() == PrecisionF32 {
+		return d.ScoreVideoF32(frames)
+	}
 	d.SetTraining(false)
 	n := frames.Rows()
 	if n == 0 {
@@ -363,7 +369,13 @@ func (d *Detector) ScoreTemperature() float64 {
 }
 
 // SetTraining toggles BatchNorm/Dropout mode across the pipeline.
+// Entering training mode also drops the decision head's float32 weight
+// snapshot (the GNN and temporal models drop their own); the re-assert of
+// inference mode stays a pure read for concurrent scorers.
 func (d *Detector) SetTraining(t bool) {
+	if t {
+		d.head.InvalidateF32()
+	}
 	for _, m := range d.gnns {
 		m.SetTraining(t)
 	}

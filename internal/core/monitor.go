@@ -10,9 +10,43 @@ import (
 // Sample is one monitored data point: a frame, its anomaly score and its
 // arrival sequence number.
 type Sample struct {
-	Frame *tensor.Tensor // (1 × pixDim) raw pixel features
+	// Frame holds the raw (1 × pixDim) pixel features at the canonical
+	// float64 width. It is nil when the owning monitor stores frames at
+	// float32 — read frames through Pix, which handles both layouts.
+	Frame *tensor.Tensor
 	Score float64
 	Seq   int
+
+	// frame32 is the reduced-width frame storage (see Monitor.SetFrameWidth):
+	// the retained window frames dominate per-stream resident memory, so a
+	// float32 ring halves the bill for streams on the reduced-precision path.
+	frame32 []float32
+}
+
+// Pix returns the sample's pixel frame at float64, materializing it from
+// the narrowed storage when the monitor holds frames at float32. Float32
+// values are exactly representable at float64, so a checkpoint written
+// from narrowed samples restores them bit-exactly.
+func (s Sample) Pix() *tensor.Tensor {
+	if s.Frame != nil {
+		return s.Frame
+	}
+	if s.frame32 == nil {
+		return nil
+	}
+	data := make([]float64, len(s.frame32))
+	for i, v := range s.frame32 {
+		data[i] = float64(v)
+	}
+	return tensor.FromSlice(data, 1, len(data))
+}
+
+// memBytes returns the sample's resident frame bytes.
+func (s Sample) memBytes() int64 {
+	if s.Frame != nil {
+		return int64(s.Frame.Size()) * 8
+	}
+	return int64(len(s.frame32)) * 4
 }
 
 // Monitor tracks the anomaly-score distribution over the most recent N
@@ -39,6 +73,10 @@ type Monitor struct {
 	buf   []Sample  // ring of the last n samples
 	means []float64 // windowed mean history, one entry per Push
 	seq   int
+
+	// frameWidth selects the retained frames' storage width: F64 (the
+	// zero value, canonical) or F32 for reduced-precision streams.
+	frameWidth tensor.DType
 }
 
 // NewMonitor returns a sliding-reference monitor over windows of n
@@ -79,9 +117,48 @@ func (m *Monitor) SetReference(ref float64) {
 // N returns the window size.
 func (m *Monitor) N() int { return m.n }
 
+// SetFrameWidth selects the storage width of retained window frames: F64
+// keeps pushed frames as-is; F32 narrows them on Push, halving the
+// monitor's resident bytes (the dominant per-stream memory term) at the
+// cost of float32 rounding on the frames adaptation later reads back —
+// part of the documented reduced-precision drift. Samples already in the
+// window are re-narrowed immediately. Other widths panic.
+func (m *Monitor) SetFrameWidth(w tensor.DType) {
+	if w != tensor.F64 && w != tensor.F32 {
+		panic(fmt.Sprintf("core: monitor frame width %v unsupported (want F64 or F32)", w))
+	}
+	m.frameWidth = w
+	if w == tensor.F32 {
+		for i := range m.buf {
+			m.buf[i] = m.narrow(m.buf[i])
+		}
+	}
+}
+
+// FrameWidth returns the retained frames' storage width.
+func (m *Monitor) FrameWidth() tensor.DType { return m.frameWidth }
+
+// narrow converts a sample to float32 frame storage.
+func (m *Monitor) narrow(s Sample) Sample {
+	if s.Frame == nil {
+		return s
+	}
+	f := s.Frame.Data()
+	s.frame32 = make([]float32, len(f))
+	for i, v := range f {
+		s.frame32[i] = float32(v)
+	}
+	s.Frame = nil
+	return s
+}
+
 // Push records a scored frame.
 func (m *Monitor) Push(frame *tensor.Tensor, score float64) {
-	m.buf = append(m.buf, Sample{Frame: frame, Score: score, Seq: m.seq})
+	smp := Sample{Frame: frame, Score: score, Seq: m.seq}
+	if m.frameWidth == tensor.F32 {
+		smp = m.narrow(smp)
+	}
+	m.buf = append(m.buf, smp)
 	m.seq++
 	if len(m.buf) > m.n {
 		m.buf = m.buf[1:]
@@ -192,9 +269,7 @@ func (m *Monitor) BottomK(k int) []Sample {
 func (m *Monitor) MemBytes() int64 {
 	var b int64
 	for _, s := range m.buf {
-		if s.Frame != nil {
-			b += int64(s.Frame.Size()) * 8
-		}
+		b += s.memBytes()
 	}
 	return b + int64(len(m.means))*8
 }
@@ -225,8 +300,15 @@ type MonitorState struct {
 }
 
 // ExportState captures the monitor's full state. Bookkeeping slices are
-// copied; sample frames are shared (they are immutable once pushed).
+// copied; sample frames are shared when held at float64 (they are
+// immutable once pushed) and materialized to canonical float64 when the
+// monitor stores them narrowed — exported state is width-independent, so
+// checkpoints taken at f32 restore bit-exactly at either width.
 func (m *Monitor) ExportState() MonitorState {
+	samples := make([]Sample, len(m.buf))
+	for i, s := range m.buf {
+		samples[i] = Sample{Frame: s.Pix(), Score: s.Score, Seq: s.Seq}
+	}
 	return MonitorState{
 		N:         m.n,
 		RefLag:    m.refLag,
@@ -234,7 +316,7 @@ func (m *Monitor) ExportState() MonitorState {
 		Reference: m.reference,
 		HasRef:    m.hasRef,
 		Seq:       m.seq,
-		Samples:   append([]Sample(nil), m.buf...),
+		Samples:   samples,
 		Means:     append([]float64(nil), m.means...),
 	}
 }
@@ -253,7 +335,7 @@ func (m *Monitor) ImportState(s MonitorState) error {
 		return fmt.Errorf("core: monitor state has %d samples for window %d", len(s.Samples), s.N)
 	}
 	for i, smp := range s.Samples {
-		if smp.Frame == nil {
+		if smp.Frame == nil && smp.frame32 == nil {
 			return fmt.Errorf("core: monitor state sample %d has no frame", i)
 		}
 	}
@@ -264,6 +346,11 @@ func (m *Monitor) ImportState(s MonitorState) error {
 	m.hasRef = s.HasRef
 	m.seq = s.Seq
 	m.buf = append([]Sample(nil), s.Samples...)
+	if m.frameWidth == tensor.F32 {
+		for i := range m.buf {
+			m.buf[i] = m.narrow(m.buf[i])
+		}
+	}
 	m.means = append([]float64(nil), s.Means...)
 	return nil
 }
@@ -277,12 +364,13 @@ func (m *Monitor) ImportState(s MonitorState) error {
 // window as it stood at the trigger frame while scoring keeps pushing.
 func (m *Monitor) Clone() *Monitor {
 	c := &Monitor{
-		n:         m.n,
-		refLag:    m.refLag,
-		anchored:  m.anchored,
-		reference: m.reference,
-		hasRef:    m.hasRef,
-		seq:       m.seq,
+		n:          m.n,
+		refLag:     m.refLag,
+		anchored:   m.anchored,
+		reference:  m.reference,
+		hasRef:     m.hasRef,
+		seq:        m.seq,
+		frameWidth: m.frameWidth,
 	}
 	c.buf = append([]Sample(nil), m.buf...)
 	c.means = append([]float64(nil), m.means...)

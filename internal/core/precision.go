@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Precision selects the numeric width of the deployed scoring path.
+// Training always runs at float64 — the reduced-precision path is
+// inference-only (no tape), so precision is a deployment property, not a
+// model property: checkpoints always store canonical float64 weights and
+// a detector restored from disk scores bit-identically regardless of the
+// precision it was serving at.
+type Precision int
+
+const (
+	// PrecisionAuto defers to the EDGEKG_PRECISION environment variable
+	// (f64|f32), defaulting to float64 — the zero value, so existing
+	// configs keep the bit-exact double-precision path.
+	PrecisionAuto Precision = iota
+	// PrecisionF64 forces the full double-precision scoring path.
+	PrecisionF64
+	// PrecisionF32 routes scoring through the float32 inference engine:
+	// frozen weights are narrowed once into cached snapshots and every
+	// kernel (matmul, attention, GNN aggregation) runs on the f32 backend.
+	PrecisionF32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionF64:
+		return "f64"
+	case PrecisionF32:
+		return "f32"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePrecision parses a precision name. The empty string means Auto.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return PrecisionAuto, nil
+	case "f64", "float64", "64":
+		return PrecisionF64, nil
+	case "f32", "float32", "32":
+		return PrecisionF32, nil
+	default:
+		return PrecisionAuto, fmt.Errorf("core: unknown precision %q (want auto, f64 or f32)", s)
+	}
+}
+
+var (
+	envPrecOnce sync.Once
+	envPrec     Precision
+)
+
+// envPrecision reads EDGEKG_PRECISION exactly once per process — Resolve
+// sits on the per-frame scoring path.
+func envPrecision() Precision {
+	envPrecOnce.Do(func() {
+		p, err := ParsePrecision(os.Getenv("EDGEKG_PRECISION"))
+		if err != nil || p == PrecisionAuto {
+			p = PrecisionF64
+		}
+		envPrec = p
+	})
+	return envPrec
+}
+
+// Resolve maps Auto to the environment's choice (default f64) and returns
+// explicit settings unchanged.
+func (p Precision) Resolve() Precision {
+	if p == PrecisionAuto {
+		return envPrecision()
+	}
+	return p
+}
+
+// Precision returns the detector's configured scoring precision.
+func (d *Detector) Precision() Precision { return d.cfg.Precision }
+
+// SetPrecision switches the scoring precision for subsequent ScoreVideo
+// calls. Clones taken afterwards inherit the setting (the config is
+// copied on clone). Switching to f32 is lazy: snapshots are narrowed on
+// the first reduced-precision forward.
+func (d *Detector) SetPrecision(p Precision) { d.cfg.Precision = p }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"edgekg/internal/concept"
+	"edgekg/internal/dataset"
+	"edgekg/internal/tensor"
+)
+
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"", PrecisionAuto, true},
+		{"auto", PrecisionAuto, true},
+		{"f64", PrecisionF64, true},
+		{"Float64", PrecisionF64, true},
+		{"f32", PrecisionF32, true},
+		{"32", PrecisionF32, true},
+		{"bf16", PrecisionAuto, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePrecision(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if PrecisionF64.Resolve() != PrecisionF64 || PrecisionF32.Resolve() != PrecisionF32 {
+		t.Error("explicit precisions must resolve to themselves")
+	}
+}
+
+// TestScoreVideoF32DriftBudget scores a 200-frame drift schedule at both
+// widths and pins the divergence: float32 scores must track float64
+// within an absolute budget, and the frame ranking the monitor consumes
+// must be preserved to high rank correlation.
+func TestScoreVideoF32DriftBudget(t *testing.T) {
+	r := newRig(t, "Stealing", 11)
+	r.det.Deploy()
+	// The f64 leg must stay f64 even under an EDGEKG_PRECISION=f32 run.
+	r.det.SetPrecision(PrecisionF64)
+	rng := rand.New(rand.NewSource(12))
+
+	// A drift schedule: normal frames with a gradually mixed-in anomalous
+	// segment, so scores sweep through the graded range rather than
+	// saturating at the extremes. Longer than the engine's 256-window
+	// chunk so the chunk seam rides under the same budget.
+	const n = 300
+	pix := tensor.RandN(rng, 1, n, r.space.PixDim())
+	vids := r.gen.TaskVideos(rng, concept.Stealing, 1, 1)
+	for i := 0; i < n; i++ {
+		src := vids[i%len(vids)].Frames
+		alpha := float64(i) / n
+		row := pix.Row(i)
+		srow := src.Row(i % src.Rows())
+		for j := range row {
+			row[j] = (1-alpha)*row[j] + alpha*srow[j]
+		}
+	}
+
+	f64s := r.det.ScoreVideo(pix)
+	f32s := r.det.ScoreVideoF32(pix)
+	if len(f32s) != n {
+		t.Fatalf("f32 scores length %d, want %d", len(f32s), n)
+	}
+	var maxAbs, sumAbs float64
+	for i := range f64s {
+		d := math.Abs(f64s[i] - f32s[i])
+		sumAbs += d
+		if d > maxAbs {
+			maxAbs = d
+		}
+	}
+	const budget = 2e-3
+	if maxAbs > budget {
+		t.Errorf("max |f64-f32| score drift %.2e exceeds budget %.0e", maxAbs, budget)
+	}
+	if mean := sumAbs / n; mean > budget/4 {
+		t.Errorf("mean |f64-f32| score drift %.2e exceeds %.0e", mean, budget/4)
+	}
+	if rho := spearman(f64s, f32s); rho < 0.999 {
+		t.Errorf("rank correlation f64 vs f32 = %.6f, want ≥ 0.999", rho)
+	}
+}
+
+// TestScoreVideoF32AUC pins that the reduced-precision path preserves the
+// detection quality metric: AUC at f32 matches AUC at f64 within ε on a
+// synthetic eval set.
+func TestScoreVideoF32AUC(t *testing.T) {
+	r := newRig(t, "Stealing", 13)
+	r.det.Deploy()
+	// Pin the f64 leg so an EDGEKG_PRECISION=f32 run still compares widths.
+	r.det.SetPrecision(PrecisionF64)
+	rng := rand.New(rand.NewSource(14))
+	vids := r.gen.TaskVideos(rng, concept.Stealing, 3, 3)
+	frames, labels := dataset.FlattenEval(vids)
+
+	auc64, err := EvalAUC(r.det, frames, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.det.SetPrecision(PrecisionF32)
+	auc32, err := EvalAUC(r.det, frames, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.det.SetPrecision(PrecisionAuto)
+	if d := math.Abs(auc64 - auc32); d > 1e-3 {
+		t.Errorf("AUC drift |%.6f - %.6f| = %.2e exceeds 1e-3", auc64, auc32, d)
+	}
+}
+
+// TestScoreVideoPrecisionDispatch pins that ScoreVideo routes through the
+// float32 engine when the config asks for it, and that the default stays
+// bit-identical to the float64 path.
+func TestScoreVideoPrecisionDispatch(t *testing.T) {
+	r := newRig(t, "Stealing", 15)
+	r.det.Deploy()
+	rng := rand.New(rand.NewSource(16))
+	pix := tensor.RandN(rng, 1, 12, r.space.PixDim())
+
+	r.det.SetPrecision(PrecisionF64)
+	base := r.det.ScoreVideo(pix)
+	r.det.SetPrecision(PrecisionF32)
+	viaConfig := r.det.ScoreVideo(pix)
+	direct := r.det.ScoreVideoF32(pix)
+	r.det.SetPrecision(PrecisionF64)
+	back := r.det.ScoreVideo(pix)
+
+	for i := range base {
+		if viaConfig[i] != direct[i] {
+			t.Fatalf("frame %d: config-dispatched f32 %.17g != direct f32 %.17g", i, viaConfig[i], direct[i])
+		}
+		if base[i] != back[i] {
+			t.Fatalf("frame %d: f64 path changed after precision round trip: %.17g != %.17g", i, base[i], back[i])
+		}
+	}
+}
+
+// TestF32SnapshotInvalidation pins that returning to training mode drops
+// the cached float32 snapshots: scores after a weight change must reflect
+// the new weights, not the stale narrowing.
+func TestF32SnapshotInvalidation(t *testing.T) {
+	r := newRig(t, "Stealing", 17)
+	r.det.Deploy()
+	rng := rand.New(rand.NewSource(18))
+	pix := tensor.RandN(rng, 1, 8, r.space.PixDim())
+
+	before := r.det.ScoreVideoF32(pix)
+
+	// Perturb trainable weights through the training-mode door.
+	r.det.UnfreezeAll()
+	for _, p := range r.det.Params() {
+		d := p.V.Data.Data()
+		for i := range d {
+			d[i] += 0.05
+		}
+	}
+	r.det.Deploy()
+
+	after := r.det.ScoreVideoF32(pix)
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("f32 scores unchanged after weight perturbation — stale snapshot served")
+	}
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// score slices (average ranks for ties are unnecessary here — scores are
+// continuous).
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	r := make([]float64, len(x))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}

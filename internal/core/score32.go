@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+
+	"edgekg/internal/flops"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+)
+
+// EmbedFramesEvalF32 is EmbedFrames on the reduced-precision inference
+// path: frames are encoded through the float32 camera and each per-KG GNN
+// runs its tape-free float32 forward. The per-mission forwards fan out on
+// the shared worker pool exactly like the float64 path.
+func (d *Detector) EmbedFramesEvalF32(pix *tensor.Tensor) *tensor.Tensor32 {
+	sem := d.space.EncodeImageBatchF32(pix)
+	if len(d.gnns) == 1 {
+		return d.gnns[0].ForwardEvalF32(sem)
+	}
+	outs := make([]*tensor.Tensor32, len(d.gnns))
+	parallel.For(len(d.gnns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			outs[i] = d.gnns[i].ForwardEvalF32(sem)
+		}
+	})
+	return concatCols32(outs)
+}
+
+// ScoreVideoF32 is ScoreVideo run entirely through the float32 inference
+// engine: same windowing, chunking and calibration, with only the final
+// anomaly scores widened back to float64 for the monitor. Scores drift
+// from the float64 path within the pinned budget (see the drift tests);
+// ranking and AUC are preserved on the reference workloads.
+//
+// Like ScoreVideo it is safe for concurrent callers over one frozen,
+// deployed detector: the float32 weight snapshots are built once under
+// benign CAS races and every forward is read-only.
+func (d *Detector) ScoreVideoF32(frames *tensor.Tensor) []float64 {
+	d.SetTraining(false)
+	n := frames.Rows()
+	if n == 0 {
+		return nil
+	}
+	t := d.temp.Window()
+	emb := d.EmbedFramesEvalF32(frames)
+	invT := float32(1)
+	if d.cfg.ScoreTemperature > 0 {
+		invT = float32(1 / d.cfg.ScoreTemperature)
+	}
+	const chunk = 256
+	scores := make([]float64, n)
+	for base := 0; base < n; base += chunk {
+		b := n - base
+		if b > chunk {
+			b = chunk
+		}
+		wins := tensor.New32(b*t, emb.Cols())
+		parallel.For(b, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for k := 0; k < t; k++ {
+					src := base + i - (t - 1) + k
+					if src < 0 {
+						src = 0
+					}
+					copy(wins.Row(i*t+k), emb.Row(src))
+				}
+			}
+		})
+		out := d.temp.ForwardBatchEvalF32(wins, b)
+		logits := d.head.LogitsF32(out)
+		c := logits.Cols()
+		for i := 0; i < b; i++ {
+			row := logits.Row(i)
+			mx := row[0] * invT
+			for j := 1; j < c; j++ {
+				if v := row[j] * invT; v > mx {
+					mx = v
+				}
+			}
+			var sum, p0 float32
+			for j := 0; j < c; j++ {
+				e := float32(math.Exp(float64(row[j]*invT - mx)))
+				sum += e
+				if j == 0 {
+					p0 = e
+				}
+			}
+			scores[base+i] = 1 - float64(p0/sum)
+		}
+		flops.Add(int64(b * c * 5))
+	}
+	return scores
+}
+
+// concatCols32 concatenates float32 matrices column-wise; all inputs must
+// share a row count.
+func concatCols32(ms []*tensor.Tensor32) *tensor.Tensor32 {
+	r := ms[0].Rows()
+	cols := 0
+	for _, m := range ms {
+		cols += m.Cols()
+	}
+	out := tensor.New32(r, cols)
+	for i := 0; i < r; i++ {
+		row := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			off += copy(row[off:], m.Row(i))
+		}
+	}
+	return out
+}

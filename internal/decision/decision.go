@@ -8,6 +8,7 @@ package decision
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"edgekg/internal/autograd"
 	"edgekg/internal/nn"
@@ -18,6 +19,10 @@ import (
 type Head struct {
 	linear  *nn.Linear
 	classes int
+
+	// f32 caches the float32 weight snapshot for the reduced-precision
+	// path; see f32.go.
+	f32 atomic.Pointer[nn.LinearF32]
 }
 
 // NewHead returns a decision head mapping D-dimensional temporal outputs

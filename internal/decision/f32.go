@@ -1,0 +1,24 @@
+package decision
+
+import (
+	"edgekg/internal/tensor"
+)
+
+// LogitsF32 returns the pre-softmax scores for a (batch × D) float32
+// input on the reduced-precision path.
+func (h *Head) LogitsF32(x *tensor.Tensor32) *tensor.Tensor32 {
+	s := h.f32.Load()
+	if s == nil {
+		s = h.linear.F32()
+		h.f32.CompareAndSwap(nil, s)
+		if cur := h.f32.Load(); cur != nil {
+			s = cur
+		}
+	}
+	return s.Forward(x)
+}
+
+// InvalidateF32 drops the float32 weight snapshot; the next LogitsF32
+// call rebuilds it from the current float64 weights. Called by the
+// detector when the head's weights are about to change.
+func (h *Head) InvalidateF32() { h.f32.Store(nil) }

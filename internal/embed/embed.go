@@ -39,6 +39,12 @@ type Space struct {
 	camera     *tensor.Tensor // (pixDim × dim), orthonormal columns
 	tokenTable *tensor.Tensor // (vocab × dim), aligned to word vectors
 
+	// cam32 is the float32 twin of camera for the reduced-precision
+	// inference path, built on first use (the space is immutable, so one
+	// narrowing lasts the process lifetime).
+	cam32Once sync.Once
+	cam32     *tensor.Tensor32
+
 	wordMu    sync.RWMutex
 	wordCache map[string]*tensor.Tensor
 }

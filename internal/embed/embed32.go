@@ -1,0 +1,25 @@
+package embed
+
+import (
+	"fmt"
+
+	"edgekg/internal/tensor"
+)
+
+// camera32 returns the float32 camera, narrowing the frozen float64
+// matrix exactly once.
+func (s *Space) camera32() *tensor.Tensor32 {
+	s.cam32Once.Do(func() { s.cam32 = tensor.ToF32(s.camera) })
+	return s.cam32
+}
+
+// EncodeImageBatchF32 is EncodeImageBatch on the reduced-precision path:
+// the (batch × pixDim) frame matrix is narrowed to float32 and projected
+// through the float32 camera on the f32 kernel backend. The frozen image
+// encoder has no trainable state, so no cache invalidation is needed.
+func (s *Space) EncodeImageBatchF32(pix *tensor.Tensor) *tensor.Tensor32 {
+	if pix.Cols() != s.pixDim {
+		panic(fmt.Sprintf("embed: EncodeImageBatchF32 pixel dim %d != %d", pix.Cols(), s.pixDim))
+	}
+	return tensor.MatMul32(tensor.ToF32(pix), s.camera32())
+}

@@ -1,0 +1,214 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"edgekg/internal/autograd"
+	"edgekg/internal/flops"
+	"edgekg/internal/nn"
+	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
+)
+
+// The reduced-precision GNN forward: the same hierarchical layer stack as
+// ForwardStats in inference mode, run at float32 with no tape. Frozen
+// weights and BatchNorm running statistics are snapshotted per layer
+// (cached on the layer structs every clone shares); the per-node token
+// bank means are recomputed from the float64 truth on every forward,
+// because deployment-time adaptation mutates bank pages in place without
+// bumping the structural generation counter.
+
+// layerF32 is one layer's float32 eval snapshot: dense weights plus the
+// folded normalisation constants (running mean and 1/√(var+ε)).
+type layerF32 struct {
+	dense        *nn.LinearF32
+	gamma, beta  []float32
+	rmean, invSd []float32
+}
+
+// snapshotF32 returns the layer's cached float32 snapshot, building it on
+// first use. The layer must be in inference mode: batch statistics have
+// no frozen snapshot. Concurrent builders race benignly (first store
+// wins; both narrow the same frozen weights).
+func (ly *layer) snapshotF32() *layerF32 {
+	if s := ly.f32.Load(); s != nil {
+		return s
+	}
+	if ly.bn.Training() {
+		panic("gnn: float32 forward requires inference mode")
+	}
+	d := ly.bn.RunningVar.Size()
+	s := &layerF32{
+		dense: ly.dense.F32(),
+		gamma: narrowF32(ly.bn.Gamma.Data.Data()),
+		beta:  narrowF32(ly.bn.Beta.Data.Data()),
+		rmean: narrowF32(ly.bn.RunningMean.Data()),
+		invSd: make([]float32, d),
+	}
+	for j, v := range ly.bn.RunningVar.Data() {
+		s.invSd[j] = float32(1 / math.Sqrt(v+ly.bn.Eps))
+	}
+	ly.f32.CompareAndSwap(nil, s)
+	if cur := ly.f32.Load(); cur != nil {
+		return cur
+	}
+	return s
+}
+
+// ForwardEvalF32 reasons over a batch of already-encoded float32 frames
+// (batch × space.Dim()) and returns the embedding-node outputs
+// (batch × Width) — ForwardStats' inference path at reduced precision.
+func (m *Model) ForwardEvalF32(frames *tensor.Tensor32) *tensor.Tensor32 {
+	b := frames.Rows()
+	if frames.Cols() != m.space.Dim() {
+		panic(fmt.Sprintf("gnn: frame dim %d != semantic dim %d", frames.Cols(), m.space.Dim()))
+	}
+
+	var feats *tensor.Tensor32
+	if len(m.lo.reasonIDs) > 0 {
+		feats = bankMeansF32(m.orderedBanks(), m.space.Dim())
+	}
+	x := assembleBatchF32(frames, feats, m.lo.featRow, m.lo.sensorIdx, 1)
+
+	rep := m.lo.replicated(b)
+	for _, ly := range m.layers {
+		s := ly.snapshotF32()
+		x = s.dense.Forward(x)
+		if ly.group >= 0 {
+			rg := rep.groups[ly.group]
+			x = edgeAggNormActEvalF32(x, s, rg.src, rg.dst, rg.inLevel)
+		} else {
+			bnEvalF32InPlace(x, s)
+			nn.ELUF32InPlace(x)
+		}
+	}
+
+	out := tensor.New32(b, x.Cols())
+	for k, r := range rep.embRows {
+		copy(out.Row(k), x.Row(r))
+	}
+	return out
+}
+
+// bankMeansF32 computes the per-node token-bank means in float64 (the
+// banks' native width — adaptation updates them in place) and narrows the
+// result, one (numNodes × dim) matrix per forward.
+func bankMeansF32(banks []*autograd.Value, dim int) *tensor.Tensor32 {
+	out := tensor.New32(len(banks), dim)
+	for i, bank := range banks {
+		bd := bank.Data
+		r := bd.Rows()
+		row := out.Row(i)
+		if r == 0 {
+			continue
+		}
+		inv := 1 / float64(r)
+		for j := 0; j < dim; j++ {
+			s := 0.0
+			for k := 0; k < r; k++ {
+				s += bd.At2(k, j)
+			}
+			row[j] = float32(s * inv)
+		}
+	}
+	flops.Add(int64(out.Size() * 2))
+	return out
+}
+
+// assembleBatchF32 builds the (b·v × dim) stacked node-feature matrix:
+// one template of reasoning-node features and fill values, stamped per
+// sample with that sample's frame embedding at the sensor row — the
+// float32 twin of autograd.AssembleBatch.
+func assembleBatchF32(frames, feats *tensor.Tensor32, featRow []int, frameRow int, fill float32) *tensor.Tensor32 {
+	b, d := frames.Rows(), frames.Cols()
+	v := len(featRow)
+	template := make([]float32, v*d)
+	for i := 0; i < v; i++ {
+		row := template[i*d : (i+1)*d]
+		switch {
+		case featRow[i] >= 0:
+			copy(row, feats.Row(featRow[i]))
+		case i == frameRow:
+			// stamped per sample below
+		default:
+			for j := range row {
+				row[j] = fill
+			}
+		}
+	}
+	out := tensor.New32(b*v, d)
+	od := out.Data()
+	for k := 0; k < b; k++ {
+		block := od[k*v*d : (k+1)*v*d]
+		copy(block, template)
+		copy(block[frameRow*d:(frameRow+1)*d], frames.Row(k))
+	}
+	return out
+}
+
+// edgeAggNormActEvalF32 is the fused layer tail at float32: hierarchical
+// mean aggregation of product messages over the edge group, BatchNorm
+// with frozen running statistics, ELU.
+func edgeAggNormActEvalF32(x *tensor.Tensor32, s *layerF32, src, dst []int, inLevel []bool) *tensor.Tensor32 {
+	n, d := x.Rows(), x.Cols()
+	xd := x.Data()
+	counts := make([]float32, n)
+	for _, t := range dst {
+		counts[t]++
+	}
+	bk := kernels.Active32()
+	tmp := make([]float32, n*d)
+	for e, t := range dst {
+		if !inLevel[t] {
+			continue
+		}
+		sr := src[e]
+		bk.MulAcc(xd[sr*d:(sr+1)*d], xd[t*d:(t+1)*d], tmp[t*d:(t+1)*d])
+	}
+	for i := 0; i < n; i++ {
+		row := tmp[i*d : (i+1)*d]
+		if inLevel[i] && counts[i] > 0 {
+			bk.Scale(1/counts[i], row, row)
+		} else {
+			copy(row, xd[i*d:(i+1)*d])
+		}
+	}
+	out := tensor.New32(n, d)
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		trow := tmp[i*d : (i+1)*d]
+		orow := od[i*d : (i+1)*d]
+		for j := 0; j < d; j++ {
+			pre := s.gamma[j]*((trow[j]-s.rmean[j])*s.invSd[j]) + s.beta[j]
+			if pre > 0 {
+				orow[j] = pre
+			} else {
+				orow[j] = float32(math.Exp(float64(pre)) - 1)
+			}
+		}
+	}
+	flops.Add(int64(2*len(dst)*d + 6*n*d))
+	return out
+}
+
+// bnEvalF32InPlace normalises x with the snapshot's frozen statistics.
+func bnEvalF32InPlace(x *tensor.Tensor32, s *layerF32) {
+	r, d := x.Rows(), x.Cols()
+	for i := 0; i < r; i++ {
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = s.gamma[j]*((row[j]-s.rmean[j])*s.invSd[j]) + s.beta[j]
+		}
+	}
+	flops.Add(int64(4 * r * d))
+}
+
+// narrowF32 narrows a float64 slice to a fresh float32 slice.
+func narrowF32(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"edgekg/internal/autograd"
 	"edgekg/internal/embed"
@@ -47,6 +48,12 @@ type layer struct {
 	dense *nn.Linear
 	bn    *nn.BatchNorm1d
 	group int
+
+	// f32 caches the layer's float32 eval snapshot (dense weights plus
+	// folded BatchNorm running statistics). The layers slice is shared
+	// across every clone of a model, so one snapshot serves all streams;
+	// it is dropped whenever the layer returns to training mode.
+	f32 atomic.Pointer[layerF32]
 }
 
 // Config sizes a Model.
@@ -316,9 +323,13 @@ func (m *Model) ForwardStats(frames *autograd.Value, stats *nn.BNStats) *autogra
 }
 
 // SetTraining switches the BatchNorm layers between batch and running
-// statistics.
+// statistics. Entering training mode drops each layer's float32 eval
+// snapshot — weights and running statistics are about to change.
 func (m *Model) SetTraining(t bool) {
 	for _, ly := range m.layers {
+		if t {
+			ly.f32.Store(nil)
+		}
 		ly.bn.SetTraining(t)
 	}
 }

@@ -1,0 +1,102 @@
+package gnn
+
+import (
+	"fmt"
+	"sort"
+
+	"edgekg/internal/kg"
+	"edgekg/internal/tensor"
+)
+
+// QuantBank is a frozen int8 snapshot of a TokenBank: every node's token
+// matrix quantized row-wise to 8-bit codes with per-row affine
+// dequantization. It is read-only lookup state — the trainable float64
+// banks stay the source of truth for adaptation, and a QuantBank is taken
+// from them at deployment (or after an adaptation round) for consumers
+// that only read: retrieval decoding, frozen-backbone embedding lookups,
+// memory-tight serving replicas. At 1 byte per element plus 8 bytes per
+// row it holds roughly an eighth of the float64 original.
+type QuantBank struct {
+	dim   int
+	gen   uint64
+	banks map[kg.NodeID]*tensor.QuantizedMatrix
+}
+
+// Quantize snapshots the bank at int8. The snapshot carries the source
+// generation so callers can detect staleness after structural mutation.
+func (tb *TokenBank) Quantize() *QuantBank {
+	qb := &QuantBank{
+		dim:   tb.dim,
+		gen:   tb.gen,
+		banks: make(map[kg.NodeID]*tensor.QuantizedMatrix, len(tb.banks)),
+	}
+	for id, b := range tb.banks {
+		qb.banks[id] = tensor.QuantizeRows(b.Data)
+	}
+	return qb
+}
+
+// Dim returns the embedding dimensionality.
+func (qb *QuantBank) Dim() int { return qb.dim }
+
+// Gen returns the source bank's generation at snapshot time.
+func (qb *QuantBank) Gen() uint64 { return qb.gen }
+
+// Has reports whether the snapshot tracks node id.
+func (qb *QuantBank) Has(id kg.NodeID) bool {
+	_, ok := qb.banks[id]
+	return ok
+}
+
+// Bank returns a node's quantized token matrix.
+func (qb *QuantBank) Bank(id kg.NodeID) *tensor.QuantizedMatrix {
+	b, ok := qb.banks[id]
+	if !ok {
+		panic(fmt.Sprintf("gnn: no quantized bank for node %d", id))
+	}
+	return b
+}
+
+// NodeEmbedding returns the node's (dim) float32 feature: the mean of its
+// dequantized token rows — the reduced-precision twin of
+// TokenBank.NodeEmbedding.
+func (qb *QuantBank) NodeEmbedding(id kg.NodeID) []float32 {
+	b := qb.Bank(id)
+	out := make([]float32, qb.dim)
+	r := b.Rows()
+	if r == 0 {
+		return out
+	}
+	row := make([]float32, qb.dim)
+	for i := 0; i < r; i++ {
+		b.DequantRow(i, row)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	inv := 1 / float32(r)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// NodeIDs returns the tracked node ids sorted ascending.
+func (qb *QuantBank) NodeIDs() []kg.NodeID {
+	ids := make([]kg.NodeID, 0, len(qb.banks))
+	for id := range qb.banks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// MemBytes returns the snapshot's resident size: int8 codes plus per-row
+// affine parameters across every node.
+func (qb *QuantBank) MemBytes() int64 {
+	var n int64
+	for _, b := range qb.banks {
+		n += int64(b.MemBytes())
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"edgekg/internal/tensor"
+)
+
+// TestQuantBankRoundTrip pins the int8 token-bank snapshot: same node
+// set, per-element reconstruction within half a quantization step, and a
+// NodeEmbedding mean within that bound of the float64 mean.
+func TestQuantBankRoundTrip(t *testing.T) {
+	m, space, _ := newTestModel(t)
+	tb := m.Tokens()
+	qb := tb.Quantize()
+	if qb.Dim() != space.Dim() || qb.Gen() != tb.Gen() {
+		t.Fatalf("dim/gen mismatch: %d/%d vs %d/%d", qb.Dim(), qb.Gen(), space.Dim(), tb.Gen())
+	}
+	ids := tb.NodeIDs()
+	if got := qb.NodeIDs(); len(got) != len(ids) {
+		t.Fatalf("node sets differ: %v vs %v", got, ids)
+	}
+	for _, id := range ids {
+		if !qb.Has(id) {
+			t.Fatalf("node %d missing from snapshot", id)
+		}
+		bank := tb.Bank(id).Data
+		q := qb.Bank(id)
+		dst := make([]float64, bank.Cols())
+		for i := 0; i < bank.Rows(); i++ {
+			row := bank.Row(i)
+			mn, mx := row[0], row[0]
+			for _, v := range row {
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			step := (mx - mn) / 255
+			q.DequantRowF64(i, dst)
+			for j, v := range row {
+				if err := math.Abs(dst[j] - v); err > step/2+1e-6 {
+					t.Fatalf("node %d row %d col %d: reconstruction error %.2e exceeds %.2e", id, i, j, err, step/2)
+				}
+			}
+		}
+		mean64 := tb.NodeEmbedding(id).Data.Data()
+		mean32 := qb.NodeEmbedding(id)
+		for j := range mean64 {
+			if err := math.Abs(mean64[j] - float64(mean32[j])); err > 1e-2 {
+				t.Errorf("node %d mean col %d: |%.6f - %.6f| = %.2e", id, j, mean64[j], mean32[j], err)
+			}
+		}
+	}
+}
+
+// TestQuantBankFootprint pins that the snapshot is a small fraction of
+// the float64 banks it shadows.
+func TestQuantBankFootprint(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	tb := m.Tokens()
+	qb := tb.Quantize()
+	var f64Bytes int64
+	for _, id := range tb.NodeIDs() {
+		f64Bytes += int64(tb.Bank(id).Data.Size()) * 8
+	}
+	if qb.MemBytes()*3 >= f64Bytes {
+		t.Errorf("quantized banks %d bytes vs float64 %d — expected <1/3", qb.MemBytes(), f64Bytes)
+	}
+}
+
+// TestQuantBankUnknownNodePanics mirrors TokenBank.Bank's contract.
+func TestQuantBankUnknownNodePanics(t *testing.T) {
+	m, _, _ := newTestModel(t)
+	qb := m.Tokens().Quantize()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown node")
+		}
+	}()
+	qb.Bank(99999)
+}
+
+// TestQuantBankEmptyRowsEmbedding pins the zero-row edge case: a node
+// installed with an empty bank yields a zero embedding, not a panic.
+func TestQuantBankEmptyRowsEmbedding(t *testing.T) {
+	m, space, _ := newTestModel(t)
+	tb := m.Tokens()
+	id := tb.NodeIDs()[0]
+	tb.Install(id, tensor.New(0, space.Dim()))
+	qb := tb.Quantize()
+	for _, v := range qb.NodeEmbedding(id) {
+		if v != 0 {
+			t.Fatalf("empty bank embedding has nonzero %v", v)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"edgekg/internal/flops"
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor"
+	"edgekg/internal/tensor/kernels"
+)
+
+// Float32 inference modules: eval-only snapshots of the trainable layers,
+// holding the same weights rounded to float32 and running forward passes
+// on the f32 kernel backends. There is no autograd at this width —
+// training and adaptation stay float64 — so a snapshot is immutable once
+// built and safe for concurrent scoring over one frozen backbone. Owners
+// (temporal.Model, gnn layers, decision.Head) cache snapshots and drop
+// them whenever the model returns to training mode, so a stale-weight
+// read is impossible under the deploy-then-serve contract.
+
+// LinearF32 is a float32 snapshot of a Linear layer.
+type LinearF32 struct {
+	W *tensor.Tensor32 // (in × out)
+	B []float32        // (out)
+}
+
+// F32 snapshots the layer's current weights at float32.
+func (l *Linear) F32() *LinearF32 {
+	return &LinearF32{W: tensor.ToF32(l.W.Data), B: rowF32(l.B.Data.Data())}
+}
+
+// Forward applies y = x·W + b to a (batch × in) input.
+func (l *LinearF32) Forward(x *tensor.Tensor32) *tensor.Tensor32 {
+	out := tensor.MatMul32(x, l.W)
+	bk := kernels.Active32()
+	r := out.Rows()
+	for i := 0; i < r; i++ {
+		row := out.Row(i)
+		bk.Add(row, l.B, row)
+	}
+	flops.Add(int64(r * len(l.B)))
+	return out
+}
+
+// LayerNormF32 is a float32 snapshot of a LayerNorm.
+type LayerNormF32 struct {
+	Gamma, Beta []float32
+	Eps         float32
+}
+
+// F32 snapshots the norm's current parameters at float32.
+func (l *LayerNorm) F32() *LayerNormF32 {
+	return &LayerNormF32{
+		Gamma: rowF32(l.Gamma.Data.Data()),
+		Beta:  rowF32(l.Beta.Data.Data()),
+		Eps:   float32(l.Eps),
+	}
+}
+
+// Forward normalises each row of x in a fresh tensor.
+func (l *LayerNormF32) Forward(x *tensor.Tensor32) *tensor.Tensor32 {
+	r, c := x.Rows(), x.Cols()
+	out := tensor.New32(r, c)
+	inv := 1 / float32(c)
+	for i := 0; i < r; i++ {
+		xr, or := x.Row(i), out.Row(i)
+		var mu float32
+		for _, v := range xr {
+			mu += v
+		}
+		mu *= inv
+		var va float32
+		for _, v := range xr {
+			d := v - mu
+			va += d * d
+		}
+		va *= inv
+		is := 1 / float32(math.Sqrt(float64(va+l.Eps)))
+		for j, v := range xr {
+			or[j] = l.Gamma[j]*(v-mu)*is + l.Beta[j]
+		}
+	}
+	flops.Add(int64(r * c * 7))
+	return out
+}
+
+// MultiHeadAttentionF32 is a float32 snapshot of a MultiHeadAttention.
+type MultiHeadAttentionF32 struct {
+	Wq, Wk, Wv, Wo *LinearF32
+	heads, dk      int
+	causal         bool
+}
+
+// F32 snapshots the attention weights at float32.
+func (a *MultiHeadAttention) F32() *MultiHeadAttentionF32 {
+	return &MultiHeadAttentionF32{
+		Wq: a.Wq.F32(), Wk: a.Wk.F32(), Wv: a.Wv.F32(), Wo: a.Wo.F32(),
+		heads: a.heads, dk: a.dk, causal: a.causal,
+	}
+}
+
+// ForwardBatch applies self-attention to every T-row window of a
+// (batch·T × dim) matrix, mirroring the float64 fused batched path.
+func (a *MultiHeadAttentionF32) ForwardBatch(x *tensor.Tensor32, batch int) *tensor.Tensor32 {
+	q := a.Wq.Forward(x)
+	k := a.Wk.Forward(x)
+	v := a.Wv.Forward(x)
+	scale := float32(1 / math.Sqrt(float64(a.dk)))
+	ctx := BatchedAttentionF32(q, k, v, batch, a.heads, scale, a.causal)
+	return a.Wo.Forward(ctx)
+}
+
+// BatchedAttentionF32 is the inference-only float32 port of
+// autograd.BatchedAttention: block-diagonal scaled dot-product attention
+// over batch windows × heads, with the same worker-pool split and FLOP
+// accounting as the float64 node so cost trajectories stay comparable.
+func BatchedAttentionF32(q, k, v *tensor.Tensor32, batch, heads int, scale float32, causal bool) *tensor.Tensor32 {
+	rows, dim := q.Rows(), q.Cols()
+	if batch < 1 || rows%batch != 0 {
+		panic(fmt.Sprintf("nn: attention batch %d does not divide %d rows", batch, rows))
+	}
+	t := rows / batch
+	if heads < 1 || dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by %d heads", dim, heads))
+	}
+	dk := dim / heads
+	out := tensor.New32(rows, dim)
+	bk := kernels.Active32()
+
+	nb := batch * heads
+	blockCost := 4*t*t*dk + 5*t*t
+	grain := 1
+	if blockCost > 0 && (1<<16)/blockCost > 1 {
+		grain = (1 << 16) / blockCost
+	}
+	parallel.For(nb, grain, func(lo, hi int) {
+		arow := make([]float32, t)
+		for idx := lo; idx < hi; idx++ {
+			b, h := idx/heads, idx%heads
+			rowOff, colOff := b*t, h*dk
+			for i := 0; i < t; i++ {
+				jm := t
+				if causal {
+					jm = i + 1
+				}
+				qrow := q.Row(rowOff + i)[colOff : colOff+dk]
+				for j := 0; j < jm; j++ {
+					krow := k.Row(rowOff + j)[colOff : colOff+dk]
+					arow[j] = bk.Dot(qrow, krow) * scale
+				}
+				mx := arow[0]
+				for j := 1; j < jm; j++ {
+					if arow[j] > mx {
+						mx = arow[j]
+					}
+				}
+				var sum float32
+				for j := 0; j < jm; j++ {
+					e := float32(math.Exp(float64(arow[j] - mx)))
+					arow[j] = e
+					sum += e
+				}
+				inv := 1 / sum
+				orow := out.Row(rowOff + i)[colOff : colOff+dk]
+				for p := 0; p < jm; p++ {
+					av := arow[p] * inv
+					if av == 0 {
+						continue
+					}
+					vrow := v.Row(rowOff + p)[colOff : colOff+dk]
+					bk.Axpy(av, vrow, orow)
+				}
+			}
+		}
+	})
+	flops.Add(int64(nb * blockCost))
+	return out
+}
+
+// AddTiledF32 adds a (T × dim) tile to every T-row window of x in place,
+// the inference form of autograd.AddTiled.
+func AddTiledF32(x *tensor.Tensor32, tile *tensor.Tensor32) {
+	r, c := x.Rows(), x.Cols()
+	t := tile.Rows()
+	if tile.Cols() != c || t == 0 || r%t != 0 {
+		panic(fmt.Sprintf("nn: AddTiledF32 shape (%d×%d) tile (%d×%d)", r, c, t, tile.Cols()))
+	}
+	bk := kernels.Active32()
+	for i := 0; i < r; i++ {
+		row := x.Row(i)
+		bk.Add(row, tile.Row(i%t), row)
+	}
+	flops.Add(int64(r * c))
+}
+
+// GELUF32InPlace applies the tanh-approximated GELU elementwise,
+// matching the float64 autograd.GELU formula.
+func GELUF32InPlace(x *tensor.Tensor32) {
+	const c = 0.7978845608028654
+	d := x.Data()
+	for i, v := range d {
+		f := float64(v)
+		d[i] = float32(0.5 * f * (1 + math.Tanh(c*(f+0.044715*f*f*f))))
+	}
+	flops.Add(int64(8 * len(d)))
+}
+
+// ELUF32InPlace applies ELU (α=1) elementwise.
+func ELUF32InPlace(x *tensor.Tensor32) {
+	d := x.Data()
+	for i, v := range d {
+		if v <= 0 {
+			d[i] = float32(math.Exp(float64(v)) - 1)
+		}
+	}
+	flops.Add(int64(2 * len(d)))
+}
+
+// EncoderLayerF32 is a float32 snapshot of one pre-norm encoder block.
+type EncoderLayerF32 struct {
+	Attn     *MultiHeadAttentionF32
+	LN1, LN2 *LayerNormF32
+	FF1, FF2 *LinearF32
+}
+
+// F32 snapshots the block's weights at float32. Dropout is the identity
+// in inference mode and carries no weights, so it has no f32 twin.
+func (e *EncoderLayer) F32() *EncoderLayerF32 {
+	return &EncoderLayerF32{
+		Attn: e.Attn.F32(),
+		LN1:  e.LN1.F32(), LN2: e.LN2.F32(),
+		FF1: e.FF1.F32(), FF2: e.FF2.F32(),
+	}
+}
+
+// ForwardBatch applies the block to a batch of stacked windows.
+func (e *EncoderLayerF32) ForwardBatch(x *tensor.Tensor32, batch int) *tensor.Tensor32 {
+	h := addF32(x, e.Attn.ForwardBatch(e.LN1.Forward(x), batch))
+	ff := e.FF1.Forward(e.LN2.Forward(h))
+	GELUF32InPlace(ff)
+	return addF32(h, e.FF2.Forward(ff))
+}
+
+// addF32 returns x + y elementwise in a fresh tensor.
+func addF32(x, y *tensor.Tensor32) *tensor.Tensor32 {
+	out := tensor.New32(x.Shape()...)
+	kernels.Active32().Add(x.Data(), y.Data(), out.Data())
+	flops.Add(int64(x.Size()))
+	return out
+}
+
+// rowF32 narrows a float64 slice to a fresh float32 slice.
+func rowF32(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}

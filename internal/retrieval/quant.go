@@ -1,0 +1,138 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"edgekg/internal/embed"
+	"edgekg/internal/tensor"
+)
+
+// QuantRetriever performs nearest-token searches against an int8-quantized
+// copy of the space's token table: 1 byte per element of row traffic
+// instead of 8, with distances computed against the dequantized values on
+// the fly. Quantization is lossy, so results can differ from Retriever in
+// near-tie cases; the ranking-preservation tests pin how far.
+type QuantRetriever struct {
+	space *embed.Space
+	table *tensor.QuantizedMatrix
+	// norms caches each dequantized row's L2 norm for the cosine metric.
+	norms []float64
+}
+
+// NewQuantized quantizes the space's frozen token table and returns a
+// retriever over it.
+func NewQuantized(space *embed.Space) *QuantRetriever {
+	t := space.TokenTable()
+	q := tensor.QuantizeRows(t)
+	norms := make([]float64, q.Rows())
+	row := make([]float32, q.Cols())
+	for i := range norms {
+		q.DequantRow(i, row)
+		var acc float64
+		for _, v := range row {
+			acc += float64(v) * float64(v)
+		}
+		norms[i] = math.Sqrt(acc)
+	}
+	return &QuantRetriever{space: space, table: q, norms: norms}
+}
+
+// MemBytes returns the resident size of the quantized table (codes plus
+// per-row affine parameters and cached norms).
+func (r *QuantRetriever) MemBytes() int64 {
+	return int64(r.table.MemBytes()) + int64(len(r.norms))*8
+}
+
+// Nearest returns the k vocabulary tokens closest to the given embedding
+// under the metric, ordered closest-first — Retriever.Nearest over the
+// int8 table.
+func (r *QuantRetriever) Nearest(embedding *tensor.Tensor, k int, metric Metric) []Match {
+	if embedding.Size() != r.space.Dim() {
+		panic(fmt.Sprintf("retrieval: embedding dim %d != %d", embedding.Size(), r.space.Dim()))
+	}
+	q := make([]float32, embedding.Size())
+	var qnorm float64
+	for i, v := range embedding.Data() {
+		q[i] = float32(v)
+		qnorm += v * v
+	}
+	qnorm = math.Sqrt(qnorm)
+
+	vocab := r.table.Rows()
+	matches := make([]Match, 0, vocab)
+	for id := 0; id < vocab; id++ {
+		var d float64
+		switch metric {
+		case Euclidean:
+			d = math.Sqrt(float64(r.table.L2DistSq(id, q)))
+		case Cosine:
+			denom := qnorm * r.norms[id]
+			if denom > 0 {
+				d = -float64(r.table.Dot(id, q)) / denom
+			}
+		case Dot:
+			d = -float64(r.table.Dot(id, q))
+		default:
+			panic(fmt.Sprintf("retrieval: unknown metric %d", int(metric)))
+		}
+		matches = append(matches, Match{
+			TokenID:  id,
+			Word:     r.space.Tokenizer().TokenWord(id),
+			Distance: d,
+		})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Distance != matches[j].Distance {
+			return matches[i].Distance < matches[j].Distance
+		}
+		return matches[i].TokenID < matches[j].TokenID
+	})
+	if k > len(matches) {
+		k = len(matches)
+	}
+	return matches[:k]
+}
+
+// NearestWords returns the k closest whole-word tokens (see
+// Retriever.NearestWords) from the quantized table.
+func (r *QuantRetriever) NearestWords(embedding *tensor.Tensor, k int, metric Metric) []Match {
+	all := r.Nearest(embedding, r.table.Rows(), metric)
+	out := make([]Match, 0, k)
+	for _, m := range all {
+		if len(out) >= k {
+			break
+		}
+		if r.space.Tokenizer().IsWordFinal(m.TokenID) && len(m.Word) >= 3 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// DecodeBank retrieves the top-k nearest tokens for every row of a
+// quantized node bank, dequantizing each row once for the query side.
+func (r *QuantRetriever) DecodeBank(bank *tensor.QuantizedMatrix, k int, metric Metric) [][]Match {
+	out := make([][]Match, bank.Rows())
+	row := make([]float64, bank.Cols())
+	for i := 0; i < bank.Rows(); i++ {
+		bank.DequantRowF64(i, row)
+		out[i] = r.Nearest(tensor.FromSlice(append([]float64(nil), row...), bank.Cols()), k, metric)
+	}
+	return out
+}
+
+// NodePhrase renders a quantized node bank as its top-1 decoded words
+// joined with spaces — Retriever.NodePhrase over int8 state.
+func (r *QuantRetriever) NodePhrase(bank *tensor.QuantizedMatrix, metric Metric) string {
+	per := r.DecodeBank(bank, 1, metric)
+	words := make([]string, 0, len(per))
+	for _, ms := range per {
+		if len(ms) > 0 && ms[0].Word != "" {
+			words = append(words, ms[0].Word)
+		}
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,116 @@
+package retrieval
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgekg/internal/tensor"
+)
+
+// TestQuantNearestRankingPreserved pins that int8 quantization of the
+// token table preserves the retrieval ranking where it matters: for
+// noisy near-token queries the quantized top-1 must match the float64
+// top-1, and the top-5 sets must overlap heavily.
+func TestQuantNearestRankingPreserved(t *testing.T) {
+	space := testSpace(t)
+	full := New(space)
+	quant := NewQuantized(space)
+	rng := rand.New(rand.NewSource(4))
+
+	vocab := space.Tokenizer().VocabSize()
+	top1Match, top5Overlap, trials := 0, 0, 0
+	for i := 0; i < 40; i++ {
+		id := rng.Intn(vocab)
+		q := space.TokenVector(id).Clone()
+		for j, v := range q.Data() {
+			q.Data()[j] = v + 0.01*rng.NormFloat64()
+		}
+		fm := full.Nearest(q, 5, Euclidean)
+		qm := quant.Nearest(q, 5, Euclidean)
+		trials++
+		if fm[0].TokenID == qm[0].TokenID {
+			top1Match++
+		}
+		in := make(map[int]bool, 5)
+		for _, m := range fm {
+			in[m.TokenID] = true
+		}
+		for _, m := range qm {
+			if in[m.TokenID] {
+				top5Overlap++
+			}
+		}
+	}
+	if top1Match < trials*9/10 {
+		t.Errorf("quantized top-1 matched float64 top-1 on %d/%d queries, want ≥ 90%%", top1Match, trials)
+	}
+	if top5Overlap < trials*4 {
+		t.Errorf("top-5 overlap %d/%d, want ≥ 80%%", top5Overlap, trials*5)
+	}
+}
+
+// TestQuantSelfRetrieval pins exact self-retrieval through the int8
+// table: a token's own embedding must still return that token first
+// under every metric (quantization error is far below inter-token
+// spacing in this space).
+func TestQuantSelfRetrieval(t *testing.T) {
+	space := testSpace(t)
+	quant := NewQuantized(space)
+	for _, w := range []string{"robbery", "gun", "mask"} {
+		ids := space.Tokenizer().Encode(w)
+		if len(ids) != 1 {
+			t.Fatalf("%q tokenizes to %d tokens; fixture vocab must keep it whole-word", w, len(ids))
+		}
+		emb := space.TokenVector(ids[0])
+		for _, m := range []Metric{Euclidean, Cosine, Dot} {
+			ms := quant.Nearest(emb, 1, m)
+			if ms[0].TokenID != ids[0] {
+				t.Errorf("metric %v: top match for %q is token %d (%q)", m, w, ms[0].TokenID, ms[0].Word)
+			}
+		}
+	}
+}
+
+// TestQuantDecodeBankAgrees pins the DecodeBank/NodePhrase path over a
+// quantized bank against the float64 retriever on clean token rows.
+func TestQuantDecodeBankAgrees(t *testing.T) {
+	space := testSpace(t)
+	quant := NewQuantized(space)
+	idsA := space.Tokenizer().Encode("gun")
+	idsB := space.Tokenizer().Encode("mask")
+	if len(idsA) != 1 || len(idsB) != 1 {
+		t.Fatalf("gun/mask tokenize to %d/%d tokens; fixture vocab must keep both whole-word", len(idsA), len(idsB))
+	}
+	bank := tensor.QuantizeRows(tensor.ConcatRows(
+		space.TokenVector(idsA[0]).Reshape(1, space.Dim()),
+		space.TokenVector(idsB[0]).Reshape(1, space.Dim()),
+	))
+	if phrase := quant.NodePhrase(bank, Euclidean); phrase != "gun mask" {
+		t.Errorf("NodePhrase over int8 bank = %q, want \"gun mask\"", phrase)
+	}
+}
+
+// TestQuantTableFootprint pins the memory claim. At the fixture's narrow
+// dim (16) the per-row affine and cached-norm overhead is proportionally
+// large — 32 bytes against 128 — so the bound here is 1/3; wide rows
+// approach the asymptotic 1/8.
+func TestQuantTableFootprint(t *testing.T) {
+	space := testSpace(t)
+	quant := NewQuantized(space)
+	f64Bytes := int64(space.TokenTable().Size()) * 8
+	if quant.MemBytes()*3 >= f64Bytes {
+		t.Errorf("quantized table %d bytes vs float64 %d — expected <1/3", quant.MemBytes(), f64Bytes)
+	}
+}
+
+// TestQuantNearestDimValidation mirrors the float64 validation panic.
+func TestQuantNearestDimValidation(t *testing.T) {
+	space := testSpace(t)
+	quant := NewQuantized(space)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong dim")
+		}
+	}()
+	quant.Nearest(tensor.New(space.Dim()+1), 1, Euclidean)
+}

@@ -74,6 +74,14 @@ type StreamConfig struct {
 	// part of the checkpoint config pin — a checkpoint taken under either
 	// mode restores under the other.
 	EagerClone bool
+	// Precision selects the stream's scoring width (core.Precision): the
+	// zero value defers to EDGEKG_PRECISION and defaults to the bit-exact
+	// float64 path; f32 routes ScoreVideo through the reduced-precision
+	// engine and narrows the monitor's retained window frames, roughly
+	// halving per-stream resident bytes. Not part of the checkpoint
+	// config pin — checkpoints store canonical float64 state, so one
+	// taken under either width restores under the other.
+	Precision core.Precision
 }
 
 // DefaultStreamConfig returns the experiment suite's per-stream settings:
@@ -209,6 +217,10 @@ func NewStream(id int, det *core.Detector, cfg StreamConfig, src rand.Source, sh
 	}
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	det.SetPrecision(cfg.Precision)
+	if cfg.Precision.Resolve() == core.PrecisionF32 {
+		mon.SetFrameWidth(tensor.F32)
 	}
 	st := &Stream{id: id, det: det, mon: mon, cfg: cfg, ledger: flops.NewLedger(), src: src, shared: shared, scoreDet: det}
 	if cfg.AdaptEveryFrames > 0 {
@@ -381,6 +393,10 @@ func (st *Stream) materialize() error {
 	}
 	if err != nil {
 		return fmt.Errorf("serve: rehydrate stream %d: %w", st.id, err)
+	}
+	det.SetPrecision(st.cfg.Precision)
+	if st.cfg.Precision.Resolve() == core.PrecisionF32 {
+		mon.SetFrameWidth(tensor.F32)
 	}
 	st.det, st.mon, st.scoreDet = det, mon, det
 	if st.cfg.AdaptEveryFrames > 0 {

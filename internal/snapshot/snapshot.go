@@ -245,7 +245,7 @@ func EncodeMonitor(s core.MonitorState) MonitorState {
 		Means:     append(Floats(nil), s.Means...),
 	}
 	for _, smp := range s.Samples {
-		w.Frames = append(w.Frames, EncodeTensor(smp.Frame))
+		w.Frames = append(w.Frames, EncodeTensor(smp.Pix()))
 		w.Scores = append(w.Scores, smp.Score)
 		w.Seqs = append(w.Seqs, smp.Seq)
 	}

@@ -1,0 +1,73 @@
+package temporal
+
+import (
+	"fmt"
+
+	"edgekg/internal/nn"
+	"edgekg/internal/tensor"
+)
+
+// modelF32 is the float32 eval snapshot of the temporal stack: every
+// weight narrowed once, the positional table included. Immutable after
+// construction.
+type modelF32 struct {
+	inProj *nn.LinearF32
+	blocks []*nn.EncoderLayerF32
+	norm   *nn.LayerNormF32
+	out    *nn.LinearF32
+	pos    *tensor.Tensor32
+}
+
+// snapshotF32 returns the cached float32 snapshot, building it on first
+// use. Concurrent scorers may race to build; the first stored snapshot
+// wins and duplicates are dropped — both are narrowed from the same
+// frozen weights, so either is correct.
+func (m *Model) snapshotF32() *modelF32 {
+	if s := m.f32.Load(); s != nil {
+		return s
+	}
+	s := &modelF32{
+		inProj: m.inProj.F32(),
+		norm:   m.norm.F32(),
+		out:    m.out.F32(),
+		pos:    tensor.ToF32(m.pos),
+	}
+	for _, b := range m.blocks {
+		s.blocks = append(s.blocks, b.F32())
+	}
+	m.f32.CompareAndSwap(nil, s)
+	if cur := m.f32.Load(); cur != nil {
+		return cur
+	}
+	return s
+}
+
+// ForwardBatchEvalF32 is ForwardBatch on the reduced-precision inference
+// path: the same batched structure (one projection, tiled positional add,
+// block-diagonal batched attention, final norm, last-position gather) run
+// entirely at float32 with no tape. The model must be in inference mode.
+func (m *Model) ForwardBatchEvalF32(windows *tensor.Tensor32, batch int) *tensor.Tensor32 {
+	t := m.cfg.Window
+	if batch < 1 {
+		panic(fmt.Sprintf("temporal: batch %d must be ≥ 1", batch))
+	}
+	if windows.Rows() != batch*t {
+		panic(fmt.Sprintf("temporal: batch matrix has %d rows, want %d (batch %d × window %d)",
+			windows.Rows(), batch*t, batch, t))
+	}
+	if windows.Cols() != m.cfg.InputDim {
+		panic(fmt.Sprintf("temporal: input dim %d != %d", windows.Cols(), m.cfg.InputDim))
+	}
+	s := m.snapshotF32()
+	h := s.inProj.Forward(windows)
+	nn.AddTiledF32(h, s.pos)
+	for _, b := range s.blocks {
+		h = b.ForwardBatch(h, batch)
+	}
+	h = s.norm.Forward(h)
+	last := tensor.New32(batch, h.Cols())
+	for k := 0; k < batch; k++ {
+		copy(last.Row(k), h.Row((k+1)*t-1))
+	}
+	return s.out.Forward(last)
+}

@@ -8,6 +8,7 @@ package temporal
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"edgekg/internal/autograd"
 	"edgekg/internal/nn"
@@ -49,6 +50,13 @@ type Model struct {
 	norm   *nn.LayerNorm
 	out    *nn.Linear
 	pos    *tensor.Tensor
+
+	// f32 caches the float32 eval snapshot of the whole stack, built
+	// lazily on the first reduced-precision forward and dropped whenever
+	// the model returns to training mode (weights may change). Clones are
+	// not taken of temporal models — serving shares one frozen instance —
+	// so one snapshot serves every stream.
+	f32 atomic.Pointer[modelF32]
 }
 
 // New builds a temporal model.
@@ -141,8 +149,14 @@ func (m *Model) ForwardBatch(windows *autograd.Value, batch int) *autograd.Value
 	return m.out.Forward(autograd.GatherRows(h, last))
 }
 
-// SetTraining toggles dropout inside the encoder blocks.
+// SetTraining toggles dropout inside the encoder blocks. Entering
+// training mode drops the float32 eval snapshot: the weights are about to
+// change, and the next reduced-precision forward rebuilds it from the
+// post-training values.
 func (m *Model) SetTraining(t bool) {
+	if t {
+		m.f32.Store(nil)
+	}
 	for _, b := range m.blocks {
 		b.SetTraining(t)
 	}

@@ -6,3 +6,5 @@ package kernels
 var cpuFeatures []string
 
 func registerArch() {}
+
+func registerArch32() {}

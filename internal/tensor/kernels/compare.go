@@ -58,6 +58,70 @@ func AccumBudget(n int, absSum float64) float64 {
 	return 4 * float64(n+1) * eps * absSum
 }
 
+// ULPDiff32 is ULPDiff at float32 width.
+func ULPDiff32(a, b float32) uint64 {
+	if a != a || b != b { // NaN
+		if a != a && b != b {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ord := func(f float32) int32 {
+		bits := int32(math.Float32bits(f))
+		if bits < 0 {
+			bits = math.MinInt32 - bits
+		}
+		return bits
+	}
+	oa, ob := ord(a), ord(b)
+	if oa > ob {
+		oa, ob = ob, oa
+	}
+	return uint64(ob - oa)
+}
+
+// CompareExact32 is the order-preserving budget at float32: identical
+// bits, except any NaN matches any NaN.
+func CompareExact32(ref, got float32) error {
+	if ref != ref && got != got {
+		return nil
+	}
+	if math.Float32bits(ref) != math.Float32bits(got) {
+		return fmt.Errorf("want %v (%#x), got %v (%#x), %d ULP apart",
+			ref, math.Float32bits(ref), got, math.Float32bits(got), ULPDiff32(ref, got))
+	}
+	return nil
+}
+
+// AccumBudget32 is the reassociating tolerance at float32 width: the
+// same n·ε·Σ|tᵢ| bound with ε = 2⁻²³. absSum is computed in float64 so
+// the budget itself carries no f32 rounding.
+func AccumBudget32(n int, absSum float64) float64 {
+	const eps = 0x1p-23
+	return 4 * float64(n+1) * eps * absSum
+}
+
+// CompareAccum32 is CompareAccum with the float32 budget.
+func CompareAccum32(ref, got float32, n int, absSum float64) error {
+	r64, g64 := float64(ref), float64(got)
+	refBad := math.IsNaN(r64) || math.IsInf(r64, 0)
+	gotBad := math.IsNaN(g64) || math.IsInf(g64, 0)
+	if refBad || gotBad {
+		if refBad && gotBad {
+			return nil
+		}
+		return fmt.Errorf("want %v, got %v (finite/non-finite mismatch)", ref, got)
+	}
+	if ULPDiff32(ref, got) <= 4 {
+		return nil
+	}
+	if d := math.Abs(r64 - g64); d > AccumBudget32(n, absSum) {
+		return fmt.Errorf("want %v, got %v: |Δ|=%g exceeds budget %g (n=%d, Σ|terms|=%g, %d ULP)",
+			ref, got, d, AccumBudget32(n, absSum), n, absSum, ULPDiff32(ref, got))
+	}
+	return nil
+}
+
 // CompareAccum enforces the reassociating budget: both NaN is equal,
 // any non-finite reference requires a non-finite result (term order
 // cannot rescue a sum that contains an Inf or NaN term), and finite

@@ -1,0 +1,94 @@
+package kernels
+
+import "sort"
+
+// Backend32 is the float32 sibling of Backend: the inference-critical
+// subset of the kernel set at half width, for the eval-only fast path.
+// There is deliberately no f32 autograd — training and adaptation stay
+// float64 — so the surface is smaller: the reductions and elementwise
+// kernels the f32 forward passes lean on, plus the matmul that backs
+// linear layers. The same numeric contract applies per class:
+// order-preserving kernels are bit-identical to the scalar32 reference,
+// reassociating reductions are pinned by tolerance.
+//
+// Backends register under the same names as their float64 twins
+// ("scalar", "unrolled", "avx2") and selection follows the active f64
+// backend: Active32 resolves the f64 backend's name against the f32
+// registry, degrading avx2 → unrolled when the assembly has no f32 port
+// on this architecture. EDGEKG_BACKEND therefore steers both widths at
+// once.
+type Backend32 interface {
+	// Name returns the registry key.
+	Name() string
+
+	// Dot returns Σ x[i]·y[i]. Reassociating.
+	Dot(x, y []float32) float32
+	// Norm2Sq returns Σ x[i]². Reassociating.
+	Norm2Sq(x []float32) float32
+	// Sum returns Σ x[i]. Reassociating.
+	Sum(x []float32) float32
+
+	// Add stores x + y into dst. Order-preserving.
+	Add(x, y, dst []float32)
+	// Mul stores x ⊙ y into dst. Order-preserving.
+	Mul(x, y, dst []float32)
+	// MulAcc accumulates dst += x ⊙ y. Order-preserving.
+	MulAcc(x, y, dst []float32)
+	// Axpy accumulates y += alpha·x. Order-preserving.
+	Axpy(alpha float32, x, y []float32)
+	// Scale stores alpha·x into dst. Order-preserving.
+	Scale(alpha float32, x, dst []float32)
+
+	// MatMul computes output rows [lo, hi) of a(m×k)·b(k×n) into
+	// out(m×n), accumulating over p in ascending order with the zero
+	// skip of the float64 reference. Order-preserving.
+	MatMul(a, b, out []float32, k, n, lo, hi int)
+}
+
+// registry32 is populated only from this package's init, so lookups
+// after program start are lock-free.
+var registry32 = map[string]Backend32{}
+
+func register32(b Backend32) {
+	if _, dup := registry32[b.Name()]; dup {
+		panic("kernels: duplicate f32 backend " + b.Name())
+	}
+	registry32[b.Name()] = b
+}
+
+// Active32 returns the float32 backend paired with the active float64
+// backend, falling back down the preference order when the active name
+// has no f32 twin on this host.
+func Active32() Backend32 {
+	if b, ok := registry32[Active().Name()]; ok {
+		return b
+	}
+	for _, name := range []string{"unrolled", "scalar"} {
+		if b, ok := registry32[name]; ok {
+			return b
+		}
+	}
+	panic("kernels: no f32 backends registered")
+}
+
+// Get32 returns the named f32 backend.
+func Get32(name string) (Backend32, bool) {
+	b, ok := registry32[name]
+	return b, ok
+}
+
+// Names32 returns the registered f32 backend names, sorted.
+func Names32() []string {
+	names := make([]string, 0, len(registry32))
+	for n := range registry32 {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	register32(scalar32Backend{})
+	register32(unrolled32Backend{})
+	registerArch32() // avx2 f32 on capable amd64 hosts, nothing elsewhere
+}

@@ -1,0 +1,183 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The f32 conformance harness: every registered f32 backend is driven
+// through the same shape/payload grid as the f64 suite, pinned against
+// the scalar32 reference — order-preserving kernels bit-exact,
+// reassociating reductions to the float32 tolerance budget.
+
+// sanitize32 narrows a conformance-payload float64 to float32 inside the
+// range the f32 reassociation budget is valid over: NaN/±Inf pass
+// through (the comparator's non-finite rule covers them), finite values
+// are clamped to 2^±30 so no finite f32 reduction can overflow in one
+// summation order but not another. Subnormal f64 payloads collapse to
+// signed zero at f32, which is exactly the signed-zero class.
+func sanitize32(x float64) float32 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return float32(x)
+	}
+	f, e := math.Frexp(x)
+	if e > 30 {
+		return float32(math.Ldexp(f, 30))
+	}
+	if e < -30 {
+		return float32(math.Ldexp(f, -30))
+	}
+	return float32(x)
+}
+
+func fill32(rng *rand.Rand, p Payload, n int) []float32 {
+	buf := make([]float64, n)
+	p.Fill(rng, buf)
+	out := make([]float32, n)
+	for i, v := range buf {
+		out[i] = sanitize32(v)
+	}
+	return out
+}
+
+func absSum32Dot(x, y []float32) float64 {
+	s := 0.0
+	for i := range x {
+		s += math.Abs(float64(x[i]) * float64(y[i]))
+	}
+	return s
+}
+
+func absSum32(x []float32) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+func others32(t *testing.T) []Backend32 {
+	var out []Backend32
+	for _, name := range Names32() {
+		if name == "scalar" {
+			continue
+		}
+		b, ok := Get32(name)
+		if !ok {
+			t.Fatalf("registered f32 backend %q not gettable", name)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		t.Fatal("no non-reference f32 backends registered")
+	}
+	return out
+}
+
+func TestConformance32Reductions(t *testing.T) {
+	ref, _ := Get32("scalar")
+	for _, b := range others32(t) {
+		for _, p := range ConformancePayloads {
+			rng := rand.New(rand.NewSource(321))
+			for _, n := range ConformanceLens {
+				x := fill32(rng, p, n)
+				y := fill32(rng, p, n)
+				if err := CompareAccum32(ref.Dot(x, y), b.Dot(x, y), n, absSum32Dot(x, y)); err != nil {
+					t.Errorf("%s/Dot/%s/n=%d: %v", b.Name(), p.Name, n, err)
+				}
+				if err := CompareAccum32(ref.Norm2Sq(x), b.Norm2Sq(x), n, absSum32Dot(x, x)); err != nil {
+					t.Errorf("%s/Norm2Sq/%s/n=%d: %v", b.Name(), p.Name, n, err)
+				}
+				if err := CompareAccum32(ref.Sum(x), b.Sum(x), n, absSum32(x)); err != nil {
+					t.Errorf("%s/Sum/%s/n=%d: %v", b.Name(), p.Name, n, err)
+				}
+			}
+		}
+	}
+}
+
+func TestConformance32Elementwise(t *testing.T) {
+	ref, _ := Get32("scalar")
+	for _, b := range others32(t) {
+		for _, p := range ConformancePayloads {
+			rng := rand.New(rand.NewSource(654))
+			for _, n := range ConformanceLens {
+				x := fill32(rng, p, n)
+				y := fill32(rng, p, n)
+				base := fill32(rng, p, n)
+				alpha := sanitize32(rng.NormFloat64())
+
+				check := func(kernel string, want, got []float32) {
+					t.Helper()
+					for i := range want {
+						if err := CompareExact32(want[i], got[i]); err != nil {
+							t.Errorf("%s/%s/%s/n=%d i=%d: %v", b.Name(), kernel, p.Name, n, i, err)
+							return
+						}
+					}
+				}
+				run2 := func(kernel string, f func(Backend32, []float32)) {
+					want := append([]float32(nil), base...)
+					got := append([]float32(nil), base...)
+					f(ref, want)
+					f(b, got)
+					check(kernel, want, got)
+				}
+				run2("Add", func(bk Backend32, dst []float32) { bk.Add(x, y, dst) })
+				run2("Mul", func(bk Backend32, dst []float32) { bk.Mul(x, y, dst) })
+				run2("MulAcc", func(bk Backend32, dst []float32) { bk.MulAcc(x, y, dst) })
+				run2("Axpy", func(bk Backend32, dst []float32) { bk.Axpy(alpha, x, dst) })
+				run2("Scale", func(bk Backend32, dst []float32) { bk.Scale(alpha, x, dst) })
+			}
+		}
+	}
+}
+
+func TestConformance32MatMul(t *testing.T) {
+	ref, _ := Get32("scalar")
+	for _, b := range others32(t) {
+		for _, p := range ConformancePayloads {
+			rng := rand.New(rand.NewSource(987))
+			for _, d := range ConformanceDims {
+				a := fill32(rng, p, d.M*d.K)
+				bb := fill32(rng, p, d.K*d.N)
+				want := make([]float32, d.M*d.N)
+				got := make([]float32, d.M*d.N)
+				ref.MatMul(a, bb, want, d.K, d.N, 0, d.M)
+				// Run the candidate in two row chunks to check that the
+				// worker split cannot change results.
+				mid := d.M / 2
+				b.MatMul(a, bb, got, d.K, d.N, 0, mid)
+				b.MatMul(a, bb, got, d.K, d.N, mid, d.M)
+				for i := range want {
+					if err := CompareExact32(want[i], got[i]); err != nil {
+						t.Errorf("%s/MatMul/%s/%v i=%d: %v", b.Name(), p.Name, d, i, err)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestActive32FollowsActive pins the pairing rule: Use(name) steers both
+// widths, and a name with no f32 twin degrades down the preference
+// order instead of failing.
+func TestActive32FollowsActive(t *testing.T) {
+	for _, name := range Names() {
+		restore, err := Use(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b32 := Active32()
+		if _, ok := Get32(name); ok {
+			if b32.Name() != name {
+				t.Errorf("Active32 after Use(%q) = %q, want %q", name, b32.Name(), name)
+			}
+		} else if b32 == nil {
+			t.Errorf("Active32 after Use(%q) = nil", name)
+		}
+		restore()
+	}
+}

@@ -1,0 +1,79 @@
+package kernels
+
+// scalar32Backend is the float32 reference: the same plain loops as the
+// float64 scalar backend, evaluated at binary32. Every other f32 backend
+// is pinned against it by the conformance harness.
+type scalar32Backend struct{}
+
+func (scalar32Backend) Name() string { return "scalar" }
+
+func (scalar32Backend) Dot(x, y []float32) float32 {
+	var s float32
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func (scalar32Backend) Norm2Sq(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func (scalar32Backend) Sum(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func (scalar32Backend) Add(x, y, dst []float32) {
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+func (scalar32Backend) Mul(x, y, dst []float32) {
+	for i := range dst {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+func (scalar32Backend) MulAcc(x, y, dst []float32) {
+	for i := range dst {
+		dst[i] += x[i] * y[i]
+	}
+}
+
+func (scalar32Backend) Axpy(alpha float32, x, y []float32) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+func (scalar32Backend) Scale(alpha float32, x, dst []float32) {
+	for i := range dst {
+		dst[i] = alpha * x[i]
+	}
+}
+
+func (scalar32Backend) MatMul(a, b, out []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package kernels
+
+// unrolled32Backend is the portable optimized float32 backend: the same
+// 4×-unrolled, bounds-check-eliminated loops as the float64 unrolled
+// backend, at half the element width (so twice the elements per cache
+// line even without SIMD). Elementwise kernels keep the scalar32
+// reference's per-element rounding and are bit-exact; the reductions run
+// four accumulators and are pinned by tolerance.
+type unrolled32Backend struct{}
+
+func (unrolled32Backend) Name() string { return "unrolled" }
+
+// dot4f is the 4-accumulator f32 dot: lanes take elements i≡0,1,2,3
+// (mod 4) and combine as (s0+s1)+(s2+s3).
+func dot4f(x, y []float32) float32 {
+	n := len(x)
+	y = y[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4, y4 := x[i:i+4:i+4], y[i:i+4:i+4]
+		s0 += x4[0] * y4[0]
+		s1 += x4[1] * y4[1]
+		s2 += x4[2] * y4[2]
+		s3 += x4[3] * y4[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func (unrolled32Backend) Dot(x, y []float32) float32 { return dot4f(x, y) }
+
+func (unrolled32Backend) Norm2Sq(x []float32) float32 { return dot4f(x, x) }
+
+func sum4f(x []float32) float32 {
+	n := len(x)
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		s0 += x4[0]
+		s1 += x4[1]
+		s2 += x4[2]
+		s3 += x4[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += x[i]
+	}
+	return s
+}
+
+func (unrolled32Backend) Sum(x []float32) float32 { return sum4f(x) }
+
+func (unrolled32Backend) Add(x, y, dst []float32) {
+	n := len(dst)
+	x, y = x[:n], y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4, y4, d4 := x[i:i+4:i+4], y[i:i+4:i+4], dst[i:i+4:i+4]
+		d4[0] = x4[0] + y4[0]
+		d4[1] = x4[1] + y4[1]
+		d4[2] = x4[2] + y4[2]
+		d4[3] = x4[3] + y4[3]
+	}
+	for ; i < n; i++ {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+func (unrolled32Backend) Mul(x, y, dst []float32) {
+	n := len(dst)
+	x, y = x[:n], y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4, y4, d4 := x[i:i+4:i+4], y[i:i+4:i+4], dst[i:i+4:i+4]
+		d4[0] = x4[0] * y4[0]
+		d4[1] = x4[1] * y4[1]
+		d4[2] = x4[2] * y4[2]
+		d4[3] = x4[3] * y4[3]
+	}
+	for ; i < n; i++ {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+func mulacc4f(x, y, dst []float32) {
+	n := len(dst)
+	x, y = x[:n], y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4, y4, d4 := x[i:i+4:i+4], y[i:i+4:i+4], dst[i:i+4:i+4]
+		d4[0] += x4[0] * y4[0]
+		d4[1] += x4[1] * y4[1]
+		d4[2] += x4[2] * y4[2]
+		d4[3] += x4[3] * y4[3]
+	}
+	for ; i < n; i++ {
+		dst[i] += x[i] * y[i]
+	}
+}
+
+func (unrolled32Backend) MulAcc(x, y, dst []float32) { mulacc4f(x, y, dst) }
+
+func axpy4f(alpha float32, x, y []float32) {
+	n := len(y)
+	x = x[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4, y4 := x[i:i+4:i+4], y[i:i+4:i+4]
+		y4[0] += alpha * x4[0]
+		y4[1] += alpha * x4[1]
+		y4[2] += alpha * x4[2]
+		y4[3] += alpha * x4[3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+func (unrolled32Backend) Axpy(alpha float32, x, y []float32) { axpy4f(alpha, x, y) }
+
+func (unrolled32Backend) Scale(alpha float32, x, dst []float32) {
+	n := len(dst)
+	x = x[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4, d4 := x[i:i+4:i+4], dst[i:i+4:i+4]
+		d4[0] = alpha * x4[0]
+		d4[1] = alpha * x4[1]
+		d4[2] = alpha * x4[2]
+		d4[3] = alpha * x4[3]
+	}
+	for ; i < n; i++ {
+		dst[i] = alpha * x[i]
+	}
+}
+
+// matMul4p32 mirrors matMul4p at float32: four ascending p-steps per
+// pass over the output row, falling back to per-p axpy around zero
+// a-elements to reproduce the reference's zero skip.
+func matMul4p32(a, b, out []float32, k, n, lo, hi int,
+	quad func(a0, a1, a2, a3 float32, b4, orow []float32),
+	axpy func(alpha float32, x, y []float32)) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : (i+1)*n]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+				quad(a0, a1, a2, a3, b[p*n:(p+4)*n], orow)
+				continue
+			}
+			for q := p; q < p+4; q++ {
+				if av := arow[q]; av != 0 {
+					axpy(av, b[q*n:(q+1)*n], orow)
+				}
+			}
+		}
+		for ; p < k; p++ {
+			if av := arow[p]; av != 0 {
+				axpy(av, b[p*n:(p+1)*n], orow)
+			}
+		}
+	}
+}
+
+// quad4f is the portable f32 quad microkernel: one pass over the row,
+// the out element held in a register across the four p-steps.
+func quad4f(a0, a1, a2, a3 float32, b4, orow []float32) {
+	n := len(orow)
+	b0 := b4[0*n : 1*n : 1*n]
+	b1 := b4[1*n : 2*n : 2*n]
+	b2 := b4[2*n : 3*n : 3*n]
+	b3 := b4[3*n : 4*n : 4*n]
+	for j := range orow {
+		o := orow[j]
+		o += a0 * b0[j]
+		o += a1 * b1[j]
+		o += a2 * b2[j]
+		o += a3 * b3[j]
+		orow[j] = o
+	}
+}
+
+func (unrolled32Backend) MatMul(a, b, out []float32, k, n, lo, hi int) {
+	matMul4p32(a, b, out, k, n, lo, hi, quad4f, axpy4f)
+}

@@ -1,0 +1,33 @@
+package tensor
+
+import (
+	"fmt"
+
+	"edgekg/internal/parallel"
+	"edgekg/internal/tensor/kernels"
+)
+
+// MatMul32 returns the matrix product a·b of two 2-D float32 tensors,
+// dispatching to the f32 twin of the active backend. The parallel split
+// and FLOP accounting mirror the float64 MatMul — FLOPs count
+// operations, not bytes, so the Table-I trajectory stays comparable
+// across widths.
+func MatMul32(a, b *Tensor32) *Tensor32 {
+	a.must2D("MatMul32")
+	b.must2D("MatMul32")
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul32 inner dim mismatch %v · %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New32(m, n)
+	bk := kernels.Active32()
+	worker := func(lo, hi int) { bk.MatMul(a.data, b.data, out.data, k, n, lo, hi) }
+	if 2*m*n*k >= matmulParallelFlops {
+		parallel.For(m, matmulGrain(2*n*k), worker)
+	} else {
+		worker(0, m)
+	}
+	countOps(2 * m * n * k)
+	return out
+}

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizedMatrix is a row-major int8 matrix with a per-row affine
+// dequantization pair: element (i, j) reconstructs as
+//
+//	min[i] + scale[i] · (code + 128)
+//
+// so code -128 maps to the row minimum and code 127 to the row maximum.
+// It is the frozen-side representation of token banks and retrieval
+// tables — read-only lookup state that never feeds a gradient — where
+// 8 bits per element cuts the resident footprint and memory-bandwidth
+// bill to an eighth of the float64 original. Quantization is lossy;
+// consumers are pinned by ranking/tolerance harnesses, never bit-exact.
+type QuantizedMatrix struct {
+	rows, cols int
+	data       []int8
+	scale      []float32 // per-row step size ((max-min)/255; 0 for constant rows)
+	min        []float32 // per-row value of code -128
+}
+
+// QuantizeRows quantizes a 2-D float64 tensor row by row to int8 with a
+// per-row (scale, min) affine. Rows with no spread (max == min, e.g.
+// all-zero padding rows) store scale 0 and reconstruct exactly.
+func QuantizeRows(m *Tensor) *QuantizedMatrix {
+	m.must2D("QuantizeRows")
+	r, c := m.shape[0], m.shape[1]
+	q := &QuantizedMatrix{
+		rows:  r,
+		cols:  c,
+		data:  make([]int8, r*c),
+		scale: make([]float32, r),
+		min:   make([]float32, r),
+	}
+	for i := 0; i < r; i++ {
+		q.quantizeRow(i, m.data[i*c:(i+1)*c])
+	}
+	countOps(3 * r * c) // min/max sweep + affine encode
+	return q
+}
+
+func (q *QuantizedMatrix) quantizeRow(i int, row []float64) {
+	mn, mx := row[0], row[0]
+	for _, v := range row[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	q.min[i] = float32(mn)
+	dst := q.data[i*q.cols : (i+1)*q.cols]
+	if mx == mn {
+		q.scale[i] = 0
+		for j := range dst {
+			dst[j] = -128
+		}
+		return
+	}
+	scale := (mx - mn) / 255
+	q.scale[i] = float32(scale)
+	inv := 1 / scale
+	for j, v := range row {
+		code := math.Round((v-mn)*inv) - 128
+		if code < -128 {
+			code = -128
+		} else if code > 127 {
+			code = 127
+		}
+		dst[j] = int8(code)
+	}
+}
+
+// Rows returns the number of rows.
+func (q *QuantizedMatrix) Rows() int { return q.rows }
+
+// Cols returns the number of columns.
+func (q *QuantizedMatrix) Cols() int { return q.cols }
+
+// DType returns I8.
+func (q *QuantizedMatrix) DType() DType { return I8 }
+
+// MemBytes returns the resident size of codes plus the per-row affine
+// parameters.
+func (q *QuantizedMatrix) MemBytes() int {
+	return len(q.data)*I8.Bytes() + (len(q.scale)+len(q.min))*F32.Bytes()
+}
+
+// RowScale returns row i's (scale, min) dequantization pair.
+func (q *QuantizedMatrix) RowScale(i int) (scale, min float32) {
+	return q.scale[i], q.min[i]
+}
+
+// DequantRow reconstructs row i into dst at float32.
+func (q *QuantizedMatrix) DequantRow(i int, dst []float32) {
+	q.checkRow(i, len(dst))
+	codes := q.data[i*q.cols : (i+1)*q.cols]
+	s, mn := q.scale[i], q.min[i]
+	for j, code := range codes {
+		dst[j] = mn + s*float32(int(code)+128)
+	}
+	countOps(2 * q.cols)
+}
+
+// DequantRowF64 reconstructs row i into dst at float64. The affine is
+// evaluated at float32 first so both widths reconstruct identical values.
+func (q *QuantizedMatrix) DequantRowF64(i int, dst []float64) {
+	q.checkRow(i, len(dst))
+	codes := q.data[i*q.cols : (i+1)*q.cols]
+	s, mn := q.scale[i], q.min[i]
+	for j, code := range codes {
+		dst[j] = float64(mn + s*float32(int(code)+128))
+	}
+	countOps(2 * q.cols)
+}
+
+// L2DistSq returns the squared Euclidean distance between row i and the
+// float32 query x, dequantizing on the fly — the int8 codes are the only
+// row-sized memory traffic.
+func (q *QuantizedMatrix) L2DistSq(i int, x []float32) float32 {
+	q.checkRow(i, len(x))
+	codes := q.data[i*q.cols : (i+1)*q.cols]
+	s, mn := q.scale[i], q.min[i]
+	var acc float32
+	for j, code := range codes {
+		d := mn + s*float32(int(code)+128) - x[j]
+		acc += d * d
+	}
+	countOps(4 * q.cols)
+	return acc
+}
+
+// Dot returns the inner product of row i with the float32 query x,
+// dequantizing on the fly.
+func (q *QuantizedMatrix) Dot(i int, x []float32) float32 {
+	q.checkRow(i, len(x))
+	codes := q.data[i*q.cols : (i+1)*q.cols]
+	s, mn := q.scale[i], q.min[i]
+	var acc float32
+	for j, code := range codes {
+		acc += (mn + s*float32(int(code)+128)) * x[j]
+	}
+	countOps(4 * q.cols)
+	return acc
+}
+
+func (q *QuantizedMatrix) checkRow(i, n int) {
+	if i < 0 || i >= q.rows {
+		panic(fmt.Sprintf("tensor: quantized row %d out of range [0,%d)", i, q.rows))
+	}
+	if n != q.cols {
+		panic(fmt.Sprintf("tensor: quantized row width %d does not match operand length %d", q.cols, n))
+	}
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantizeRowsRoundTrip pins the reconstruction error bound of the
+// per-row affine: every element comes back within half a quantization
+// step of the original, and the row extremes reconstruct exactly (max up
+// to float32 rounding of the affine).
+func TestQuantizeRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandN(rng, 1, 17, 23)
+	q := QuantizeRows(m)
+	if q.Rows() != 17 || q.Cols() != 23 || q.DType() != I8 {
+		t.Fatalf("shape/dtype: %d×%d %v", q.Rows(), q.Cols(), q.DType())
+	}
+	dst := make([]float64, 23)
+	dst32 := make([]float32, 23)
+	for i := 0; i < 17; i++ {
+		row := m.Row(i)
+		mn, mx := row[0], row[0]
+		for _, v := range row {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		step := (mx - mn) / 255
+		q.DequantRow(i, dst32)
+		q.DequantRowF64(i, dst)
+		for j, v := range row {
+			if err := math.Abs(dst[j] - v); err > step/2+1e-6 {
+				t.Fatalf("row %d col %d: |%.9f - %.9f| = %.2e exceeds step/2 = %.2e", i, j, dst[j], v, err, step/2)
+			}
+			if float64(dst32[j]) != dst[j] {
+				t.Fatalf("row %d col %d: f32 and f64 dequant disagree: %v vs %v", i, j, dst32[j], dst[j])
+			}
+		}
+	}
+}
+
+// TestQuantizeRowsConstantRow pins exact reconstruction of spread-free
+// rows (scale 0): all-zero padding rows must come back bit-exact.
+func TestQuantizeRowsConstantRow(t *testing.T) {
+	m := New(2, 5)
+	for j := 0; j < 5; j++ {
+		m.Set2(1, j, 3.25)
+	}
+	q := QuantizeRows(m)
+	dst := make([]float64, 5)
+	q.DequantRowF64(0, dst)
+	for j, v := range dst {
+		if v != 0 {
+			t.Fatalf("zero row col %d reconstructed as %v", j, v)
+		}
+	}
+	q.DequantRowF64(1, dst)
+	for j, v := range dst {
+		if v != 3.25 {
+			t.Fatalf("constant row col %d reconstructed as %v", j, v)
+		}
+	}
+	if s, _ := q.RowScale(0); s != 0 {
+		t.Errorf("zero row scale = %v", s)
+	}
+}
+
+// TestQuantizedDistancesMatchDequant pins that the fused L2DistSq/Dot
+// kernels equal the same computation over an explicitly dequantized row.
+func TestQuantizedDistancesMatchDequant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := RandN(rng, 1, 6, 16)
+	q := QuantizeRows(m)
+	x := make([]float32, 16)
+	for j := range x {
+		x[j] = float32(rng.NormFloat64())
+	}
+	row := make([]float32, 16)
+	for i := 0; i < 6; i++ {
+		q.DequantRow(i, row)
+		var l2, dot float32
+		for j := range row {
+			d := row[j] - x[j]
+			l2 += d * d
+			dot += row[j] * x[j]
+		}
+		if got := q.L2DistSq(i, x); math.Abs(float64(got-l2)) > 1e-4 {
+			t.Errorf("row %d: L2DistSq %v != reference %v", i, got, l2)
+		}
+		if got := q.Dot(i, x); math.Abs(float64(got-dot)) > 1e-4 {
+			t.Errorf("row %d: Dot %v != reference %v", i, got, dot)
+		}
+	}
+}
+
+// TestQuantizedMemBytes pins the 8× storage reduction claim: the int8
+// representation of a large-enough matrix must be under a fifth of the
+// float64 bytes (1/8 for codes plus per-row affine overhead).
+func TestQuantizedMemBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := RandN(rng, 1, 64, 128)
+	q := QuantizeRows(m)
+	f64Bytes := m.Size() * 8
+	if q.MemBytes()*5 >= f64Bytes {
+		t.Errorf("quantized %d bytes vs float64 %d bytes — expected <1/5", q.MemBytes(), f64Bytes)
+	}
+}

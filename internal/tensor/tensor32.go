@@ -1,0 +1,174 @@
+package tensor
+
+import "fmt"
+
+// Tensor32 is a dense row-major tensor of float32 values: the storage
+// half of the reduced-precision fast path. It deliberately mirrors the
+// float64 Tensor's minimal surface (shapes, row access, fill/copy) and
+// nothing more — the f32 engine is eval-only, so there is no autograd,
+// no gather/scatter, and no random init at this width. Conversions to
+// and from the canonical float64 width are explicit (ToF32 / ToF64);
+// nothing in the package converts implicitly, which is what keeps the
+// f64 default path bit-identical to the pre-precision code.
+type Tensor32 struct {
+	shape     []int
+	data      []float32
+	shapeBack [2]int
+}
+
+func (t *Tensor32) setShape(shape []int) {
+	if len(shape) <= len(t.shapeBack) {
+		t.shape = t.shapeBack[:len(shape)]
+		copy(t.shape, shape)
+	} else {
+		t.shape = append([]int(nil), shape...)
+	}
+}
+
+// New32 returns a zero-filled float32 tensor with the given shape.
+func New32(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	t := &Tensor32{data: make([]float32, n)}
+	t.setShape(shape)
+	return t
+}
+
+// FromSlice32 wraps data in a Tensor32 with the given shape. The tensor
+// takes ownership of data; the caller must not modify it afterwards.
+func FromSlice32(data []float32, shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice32 data length %d does not match shape %v (size %d)", len(data), shape, n))
+	}
+	t := &Tensor32{data: data}
+	t.setShape(shape)
+	return t
+}
+
+// ToF32 converts a float64 tensor to float32, rounding each element to
+// nearest. The conversion is pure bandwidth, so it reports byte traffic
+// rather than FLOPs.
+func ToF32(t *Tensor) *Tensor32 {
+	c := &Tensor32{data: make([]float32, len(t.data))}
+	c.setShape(t.shape)
+	for i, v := range t.data {
+		c.data[i] = float32(v)
+	}
+	countBytes(len(t.data) * (F64.Bytes() + F32.Bytes()))
+	return c
+}
+
+// ToF64 widens the tensor back to float64. Widening is exact: every
+// float32 is representable as a float64.
+func (t *Tensor32) ToF64() *Tensor {
+	c := &Tensor{data: make([]float64, len(t.data))}
+	c.setShape(t.shape)
+	for i, v := range t.data {
+		c.data[i] = float64(v)
+	}
+	countBytes(len(t.data) * (F64.Bytes() + F32.Bytes()))
+	return c
+}
+
+// DType returns F32.
+func (t *Tensor32) DType() DType { return F32 }
+
+// MemBytes returns the resident size of the tensor's backing storage.
+func (t *Tensor32) MemBytes() int { return len(t.data) * F32.Bytes() }
+
+// Shape returns the tensor's shape. The returned slice is a copy.
+func (t *Tensor32) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor32) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor32) Dim(i int) int { return t.shape[i] }
+
+// Size returns the total number of elements.
+func (t *Tensor32) Size() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor32) Data() []float32 { return t.data }
+
+// Clone returns a deep copy of t.
+func (t *Tensor32) Clone() *Tensor32 {
+	c := &Tensor32{data: make([]float32, len(t.data))}
+	c.setShape(t.shape)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal size.
+func (t *Tensor32) Reshape(shape ...int) *Tensor32 {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape size %d to %v", len(t.data), shape))
+	}
+	r := &Tensor32{data: t.data}
+	r.setShape(shape)
+	return r
+}
+
+func (t *Tensor32) must2D(op string) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires a 2-D tensor, have shape %v", op, t.shape))
+	}
+}
+
+// Rows returns the first dimension of a matrix. It panics if t is not 2-D.
+func (t *Tensor32) Rows() int {
+	t.must2D("Rows")
+	return t.shape[0]
+}
+
+// Cols returns the second dimension of a matrix. It panics if t is not 2-D.
+func (t *Tensor32) Cols() int {
+	t.must2D("Cols")
+	return t.shape[1]
+}
+
+// Row returns row i of a matrix as a slice into t's backing storage.
+func (t *Tensor32) Row(i int) []float32 {
+	t.must2D("Row")
+	c := t.shape[1]
+	if i < 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: row %d out of range for shape %v", i, t.shape))
+	}
+	return t.data[i*c : (i+1)*c]
+}
+
+// At2 returns element (i, j) of a matrix.
+func (t *Tensor32) At2(i, j int) float32 {
+	t.must2D("At2")
+	return t.data[i*t.shape[1]+j]
+}
+
+// Set2 stores v at element (i, j) of a matrix.
+func (t *Tensor32) Set2(i, j int, v float32) {
+	t.must2D("Set2")
+	t.data[i*t.shape[1]+j] = v
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor32) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element of t to 0.
+func (t *Tensor32) Zero() { t.Fill(0) }
+
+// CopyFrom copies o's elements into t. Shapes must match.
+func (t *Tensor32) CopyFrom(o *Tensor32) {
+	if len(t.shape) != len(o.shape) {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, o.shape))
+		}
+	}
+	copy(t.data, o.data)
+}
